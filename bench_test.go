@@ -1,0 +1,355 @@
+// Benchmarks regenerating the paper's evaluation (Section 6), one family
+// per table/figure, plus the ablation studies listed in DESIGN.md. The
+// full parameter sweeps with paper-style output live in cmd/benchfig;
+// these testing.B benches cover the same code paths at benchmark-friendly
+// sizes.
+//
+//	go test -bench=Fig10 -benchmem           # E1: scalability (Figure 10)
+//	go test -bench=Density                   # E3: density insensitivity
+//	go test -bench=Ablation                  # A1–A5
+package sgl
+
+import (
+	"math"
+	"testing"
+
+	"github.com/epicscale/sgl/internal/exec"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/geom"
+	"github.com/epicscale/sgl/internal/index/grid"
+	"github.com/epicscale/sgl/internal/index/kdtree"
+	"github.com/epicscale/sgl/internal/index/rangetree"
+	"github.com/epicscale/sgl/internal/index/segtree"
+	"github.com/epicscale/sgl/internal/index/sweepline"
+	"github.com/epicscale/sgl/internal/rng"
+	"github.com/epicscale/sgl/internal/sgl/interp"
+	"github.com/epicscale/sgl/internal/workload"
+)
+
+// newBattle builds an engine for benchmarking; b.N ticks are then timed.
+func newBattle(b *testing.B, mode Mode, n int, density float64, tweak func(*EngineOptions)) *Engine {
+	b.Helper()
+	prog, err := CompileBattle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := ArmySpec{Units: n, Density: density, Seed: 42, Formation: workload.BattleLines}
+	opts := EngineOptions{
+		Mode:         mode,
+		Categoricals: game.Categoricals(),
+		Seed:         42,
+		Side:         spec.Side(),
+		MoveSpeed:    1,
+	}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	eng, err := NewEngine(prog, NewBattleMechanics(), GenerateArmy(spec), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Let the armies engage so the steady-state workload is combat.
+	if err := eng.Run(3); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func benchTicks(b *testing.B, mode Mode, n int, density float64) {
+	e := newBattle(b, mode, n, density, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds()*float64(b.N), "unit-ticks/s")
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Figure 10: time per tick vs number of units at 1% density.
+
+func BenchmarkFig10Naive250(b *testing.B)  { benchTicks(b, Naive, 250, 0.01) }
+func BenchmarkFig10Naive500(b *testing.B)  { benchTicks(b, Naive, 500, 0.01) }
+func BenchmarkFig10Naive1000(b *testing.B) { benchTicks(b, Naive, 1000, 0.01) }
+func BenchmarkFig10Naive2000(b *testing.B) { benchTicks(b, Naive, 2000, 0.01) }
+
+func BenchmarkFig10Indexed250(b *testing.B)   { benchTicks(b, Indexed, 250, 0.01) }
+func BenchmarkFig10Indexed500(b *testing.B)   { benchTicks(b, Indexed, 500, 0.01) }
+func BenchmarkFig10Indexed1000(b *testing.B)  { benchTicks(b, Indexed, 1000, 0.01) }
+func BenchmarkFig10Indexed2000(b *testing.B)  { benchTicks(b, Indexed, 2000, 0.01) }
+func BenchmarkFig10Indexed4000(b *testing.B)  { benchTicks(b, Indexed, 4000, 0.01) }
+func BenchmarkFig10Indexed8000(b *testing.B)  { benchTicks(b, Indexed, 8000, 0.01) }
+func BenchmarkFig10Indexed14000(b *testing.B) { benchTicks(b, Indexed, 14000, 0.01) }
+
+// ---------------------------------------------------------------------------
+// E3 — density sensitivity at n = 500 (paper Section 6.1).
+
+func BenchmarkDensityNaive0_5(b *testing.B)   { benchTicks(b, Naive, 500, 0.005) }
+func BenchmarkDensityNaive2(b *testing.B)     { benchTicks(b, Naive, 500, 0.02) }
+func BenchmarkDensityNaive8(b *testing.B)     { benchTicks(b, Naive, 500, 0.08) }
+func BenchmarkDensityIndexed0_5(b *testing.B) { benchTicks(b, Indexed, 500, 0.005) }
+func BenchmarkDensityIndexed2(b *testing.B)   { benchTicks(b, Indexed, 500, 0.02) }
+func BenchmarkDensityIndexed8(b *testing.B)   { benchTicks(b, Indexed, 500, 0.08) }
+
+// ---------------------------------------------------------------------------
+// A1 — aggregate index ablation: scan vs bucket grid vs layered range tree
+// (with and without fractional cascading) on the same count-in-rect load.
+
+func ablationPoints(n int, radius float64) ([]rangetree.Point, []float64, []geom.Rect) {
+	st := rng.NewStream(rng.New(7), 3)
+	side := math.Sqrt(float64(n) / 0.01)
+	pts := make([]rangetree.Point, n)
+	vals := make([]float64, n)
+	for i := range pts {
+		pts[i] = rangetree.Point{X: math.Floor(st.Float64() * side), Y: math.Floor(st.Float64() * side)}
+		vals[i] = 1
+	}
+	probes := make([]geom.Rect, 1024)
+	for i := range probes {
+		c := geom.Point{X: st.Float64() * side, Y: st.Float64() * side}
+		probes[i] = geom.RectAround(c, radius)
+	}
+	return pts, vals, probes
+}
+
+// A1 runs each structure at a Warcraft-scale sight (16 squares, few units
+// visible) and a d20-scale sight (150 squares, thousands visible): the
+// bucket grid wins small windows, the aggregate range tree wins large ones
+// — exactly the paper's Section 3.2 argument for why d20 visibility needs
+// the new index structures.
+var ablationRadii = []struct {
+	name   string
+	radius float64
+}{{"r16", 16}, {"r150", 150}}
+
+var ablationSink float64
+
+func BenchmarkAggIndexAblationScan(b *testing.B) {
+	for _, ar := range ablationRadii {
+		b.Run(ar.name, func(b *testing.B) {
+			pts, vals, probes := ablationPoints(8000, ar.radius)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := probes[i%len(probes)]
+				sum := 0.0
+				for j, p := range pts {
+					if p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY {
+						sum += vals[j]
+					}
+				}
+				ablationSink = sum
+			}
+		})
+	}
+}
+
+func BenchmarkAggIndexAblationGrid(b *testing.B) {
+	for _, ar := range ablationRadii {
+		b.Run(ar.name, func(b *testing.B) {
+			pts, vals, probes := ablationPoints(8000, ar.radius)
+			gp := make([]geom.Point, len(pts))
+			for i, p := range pts {
+				gp[i] = geom.Point{X: p.X, Y: p.Y}
+			}
+			g := grid.Build(gp, 1, vals, 8)
+			out := []float64{0}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out[0] = 0
+				g.Aggregate(probes[i%len(probes)], out)
+				ablationSink = out[0]
+			}
+		})
+	}
+}
+
+func BenchmarkAggIndexAblationRangeTree(b *testing.B) {
+	for _, ar := range ablationRadii {
+		b.Run(ar.name, func(b *testing.B) {
+			pts, vals, probes := ablationPoints(8000, ar.radius)
+			tr := rangetree.Build(pts, 1, vals)
+			out := []float64{0}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out[0] = 0
+				tr.Aggregate(probes[i%len(probes)], out)
+				ablationSink = out[0]
+			}
+		})
+	}
+}
+
+func BenchmarkAggIndexAblationNoCascade(b *testing.B) {
+	for _, ar := range ablationRadii {
+		b.Run(ar.name, func(b *testing.B) {
+			pts, vals, probes := ablationPoints(8000, ar.radius)
+			tr := rangetree.Build(pts, 1, vals)
+			out := []float64{0}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out[0] = 0
+				tr.AggregateNoCascade(probes[i%len(probes)], out)
+				ablationSink = out[0]
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A2 — MIN via sweepline vs per-probe scan.
+
+func BenchmarkMinAblationSweep(b *testing.B) {
+	pts, _, _ := ablationPoints(4000, 16)
+	sp := make([]sweepline.Point, len(pts))
+	probes := make([]sweepline.Probe, len(pts))
+	for i, p := range pts {
+		sp[i] = sweepline.Point{X: p.X, Y: p.Y, Value: float64(i % 97), Key: int64(i)}
+		probes[i] = sweepline.Probe{X: p.X, Y: p.Y, RX: 16, Exclude: sweepline.NoExclude}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweepline.Sweep(sp, probes, 16, segtree.Min)
+	}
+}
+
+func BenchmarkMinAblationScan(b *testing.B) {
+	pts, _, _ := ablationPoints(4000, 16)
+	vals := make([]float64, len(pts))
+	for i := range vals {
+		vals[i] = float64(i % 97)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One full all-probes pass, like one Sweep call.
+		for _, q := range pts {
+			best := math.Inf(1)
+			for j, p := range pts {
+				if math.Abs(p.X-q.X) <= 16 && math.Abs(p.Y-q.Y) <= 16 && vals[j] < best {
+					best = vals[j]
+				}
+			}
+			ablationSink = best
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A3 — nearest neighbour: kD-tree vs scan.
+
+func BenchmarkNNAblationKDTree(b *testing.B) {
+	pts, _, _ := ablationPoints(8000, 16)
+	kp := make([]kdtree.Point, len(pts))
+	for i, p := range pts {
+		kp[i] = kdtree.Point{X: p.X, Y: p.Y, Key: int64(i)}
+	}
+	tr := kdtree.Build(kp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := kp[i%len(kp)]
+		tr.Nearest(q.X, q.Y, q.Key, math.Inf(1))
+	}
+}
+
+func BenchmarkNNAblationScan(b *testing.B) {
+	pts, _, _ := ablationPoints(8000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := pts[i%len(pts)]
+		best := math.Inf(1)
+		for j, p := range pts {
+			if j == i%len(pts) {
+				continue
+			}
+			d := (p.X-q.X)*(p.X-q.X) + (p.Y-q.Y)*(p.Y-q.Y)
+			if d < best {
+				best = d
+			}
+		}
+		ablationSink = best
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A4 — Section 5.4 effect index vs per-performer area application, on a
+// healer-heavy army where auras overlap heavily.
+
+func benchHealerArmy(b *testing.B, disableDefer bool) {
+	prog, err := CompileBattle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := ArmySpec{Units: 3000, Density: 0.04, Seed: 42, Formation: workload.BattleLines, Mix: [3]int{1, 1, 4}}
+	eng, err := NewEngine(prog, NewBattleMechanics(), GenerateArmy(spec), EngineOptions{
+		Mode:             Indexed,
+		Categoricals:     game.Categoricals(),
+		Seed:             42,
+		Side:             spec.Side(),
+		MoveSpeed:        1,
+		DisableAreaDefer: disableDefer,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Run(3); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEffectCombineDeferred(b *testing.B) { benchHealerArmy(b, false) }
+func BenchmarkEffectCombineDirect(b *testing.B)   { benchHealerArmy(b, true) }
+
+// ---------------------------------------------------------------------------
+// A5 — per-tick index construction cost (the paper rebuilds from scratch
+// every tick and argues the overhead is low).
+
+func BenchmarkIndexBuild8000(b *testing.B) {
+	pts, vals, _ := ablationPoints(8000, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rangetree.Build(pts, 1, vals)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A6 — set-at-a-time plan execution vs unit-at-a-time interpretation, both
+// over the *indexed* provider: isolates the plan executor's contribution
+// from the index structures'.
+
+func BenchmarkDecisionSetAtATime(b *testing.B) { benchTicks(b, Indexed, 2000, 0.01) }
+
+func BenchmarkDecisionUnitAtATime(b *testing.B) {
+	// Unit-at-a-time with indexed aggregates: interpreter + Indexed
+	// provider, measured on the decision phase only.
+	prog, err := CompileBattle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := ArmySpec{Units: 2000, Density: 0.01, Seed: 42, Formation: workload.BattleLines}
+	env := GenerateArmy(spec)
+	an := exec.NewAnalyzer(prog, game.Categoricals())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rng.New(42).Tick(int64(i))
+		prov := exec.NewIndexed(an, env, r)
+		ev := interp.New(prog, env, prov, r)
+		for _, unit := range env.Rows {
+			if err := ev.RunUnit(unit, func([]float64) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkEngineTickNaiveVsIndexed(b *testing.B) {
+	b.Run("naive-1000", func(b *testing.B) { benchTicks(b, Naive, 1000, 0.01) })
+	b.Run("indexed-1000", func(b *testing.B) { benchTicks(b, Indexed, 1000, 0.01) })
+}

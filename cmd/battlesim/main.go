@@ -1,0 +1,92 @@
+// Command battlesim runs the paper's battle simulation (Section 3.2) from
+// the command line under either engine.
+//
+// Usage:
+//
+//	battlesim -units 2000 -ticks 500 -mode indexed -density 0.01 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/workload"
+)
+
+func main() {
+	units := flag.Int("units", 1000, "number of units")
+	ticks := flag.Int("ticks", 100, "clock ticks to simulate")
+	modeName := flag.String("mode", "indexed", "naive or indexed")
+	density := flag.Float64("density", 0.01, "fraction of grid squares occupied")
+	seed := flag.Uint64("seed", 42, "run seed")
+	formation := flag.String("formation", "lines", "lines or scattered")
+	report := flag.Int("report", 25, "progress report interval in ticks (0 = none)")
+	flag.Parse()
+
+	mode := engine.Indexed
+	switch *modeName {
+	case "indexed":
+	case "naive":
+		mode = engine.Naive
+	default:
+		fmt.Fprintln(os.Stderr, "battlesim: -mode must be naive or indexed")
+		os.Exit(2)
+	}
+	form := workload.BattleLines
+	if *formation == "scattered" {
+		form = workload.Scattered
+	}
+
+	prog, err := game.Compile()
+	if err != nil {
+		fatal(err)
+	}
+	spec := workload.Spec{Units: *units, Density: *density, Seed: *seed, Formation: form}
+	e, err := engine.New(prog, game.NewMechanics(), workload.Generate(spec), engine.Options{
+		Mode:         mode,
+		Categoricals: game.Categoricals(),
+		Seed:         *seed,
+		Side:         spec.Side(),
+		MoveSpeed:    1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("battlesim: %d units, %.1f%% density (grid %.0f×%.0f), %s engine, %d ticks\n",
+		*units, *density*100, spec.Side(), spec.Side(), mode, *ticks)
+	start := time.Now()
+	for done := 0; done < *ticks; {
+		step := *ticks - done
+		if *report > 0 && step > *report {
+			step = *report
+		}
+		if err := e.Run(step); err != nil {
+			fatal(err)
+		}
+		done += step
+		if *report > 0 {
+			elapsed := time.Since(start)
+			fmt.Printf("tick %5d  %8.2fs elapsed  %8.1f ticks/s  deaths=%d moves=%d blocked=%d\n",
+				done, elapsed.Seconds(), float64(done)/elapsed.Seconds(),
+				e.Stats.Deaths, e.Stats.Moves, e.Stats.MovesBlocked)
+		}
+	}
+	total := time.Since(start)
+	fmt.Printf("\ntotal: %.2fs for %d ticks (%.4fs/tick, %.1f ticks/s)\n",
+		total.Seconds(), *ticks, total.Seconds()/float64(*ticks), float64(*ticks)/total.Seconds())
+	if mode == engine.Indexed {
+		s := e.Stats.IndexStats
+		fmt.Printf("index work: %d builds, %d tree probes, %d kd probes, %d sweeps, %d scan fallbacks\n",
+			s.IndexBuilds, s.TreeProbes, s.KDProbes, s.Sweeps, s.ScanProbes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "battlesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command benchfig regenerates the paper's evaluation figures and tables
+// (Section 6) as text tables.
+//
+// Usage:
+//
+//	benchfig -experiment fig10                 # Figure 10 scalability series
+//	benchfig -experiment density               # unit-density sensitivity
+//	benchfig -experiment capacity              # 10 ticks/s capacity per engine
+//	benchfig -experiment ticks                 # proportionality to tick count
+//	benchfig -experiment fig1                  # expressiveness-tier frontier
+//	benchfig -experiment all -quick            # everything, reduced sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/metrics"
+)
+
+func main() {
+	experiment := flag.String("experiment", "fig10", "fig10, density, capacity, ticks, fig1, or all")
+	quick := flag.Bool("quick", false, "smaller sizes and fewer measured ticks")
+	measure := flag.Int("measure", 0, "override measured ticks per point (0 = default)")
+	flag.Parse()
+
+	r, err := metrics.NewRunner()
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig10":
+			fig10(r, *quick, *measure)
+		case "density":
+			density(r, *quick, *measure)
+		case "capacity":
+			capacity(r, *quick, *measure)
+		case "ticks":
+			ticks(r, *quick, *measure)
+		case "fig1":
+			fig1(r, *quick, *measure)
+		default:
+			fmt.Fprintf(os.Stderr, "benchfig: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *experiment == "all" {
+		for _, name := range []string{"fig10", "density", "capacity", "ticks", "fig1"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(*experiment)
+}
+
+func pick(measure, quickDefault, fullDefault int, quick bool) int {
+	if measure > 0 {
+		return measure
+	}
+	if quick {
+		return quickDefault
+	}
+	return fullDefault
+}
+
+func fig10(r *metrics.Runner, quick bool, measure int) {
+	fmt.Println("=== Figure 10: total time vs number of units (constant 1% density) ===")
+	sizes := []int{500, 1000, 2000, 4000, 8000, 12000, 14000}
+	naiveCap := 4000
+	if quick {
+		sizes = []int{250, 500, 1000, 2000, 4000}
+		naiveCap = 2000
+	}
+	rows, err := r.Fig10(sizes, 0.01, pick(measure, 3, 10, quick), naiveCap)
+	if err != nil {
+		fatal(err)
+	}
+	metrics.WriteFig10(os.Stdout, rows)
+	fmt.Println("(naive points above the cap are omitted: quadratic growth)")
+}
+
+func density(r *metrics.Runner, quick bool, measure int) {
+	fmt.Println("=== Varying unit density (500 units, 0.5%–8%) ===")
+	n := 500
+	densities := []float64{0.005, 0.01, 0.02, 0.04, 0.08}
+	rows, err := r.Density(n, densities, pick(measure, 3, 10, quick))
+	if err != nil {
+		fatal(err)
+	}
+	metrics.WriteDensity(os.Stdout, rows)
+}
+
+func capacity(r *metrics.Runner, quick bool, measure int) {
+	fmt.Println("=== Capacity at 10 ticks per second (100 ms budget) ===")
+	hi := 40000
+	if quick {
+		hi = 16000
+	}
+	for _, mode := range []engine.Mode{engine.Naive, engine.Indexed} {
+		modeHi := hi
+		if mode == engine.Naive && modeHi > 3000 {
+			// Probing the quadratic engine at five-digit sizes would take
+			// minutes per point; its capacity is far below 3000 anyway.
+			modeHi = 3000
+		}
+		n, err := r.Capacity(mode, 100*time.Millisecond, 100, modeHi, pick(measure, 2, 5, quick))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s sustains ~%d units at 10 ticks/s\n", mode, n)
+	}
+}
+
+func ticks(r *metrics.Runner, quick bool, measure int) {
+	fmt.Println("=== Proportionality: total time vs tick count (2000 units, indexed) ===")
+	counts := []int{50, 100, 200, 400}
+	if quick {
+		counts = []int{20, 40, 80}
+	}
+	_ = measure
+	rows, err := r.Proportionality(engine.Indexed, 2000, counts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %14s %14s\n", "ticks", "total sec", "sec/tick")
+	for _, row := range rows {
+		fmt.Printf("%-8d %14.3f %14.6f\n", row.Ticks, row.TotalSeconds, row.SecondsPerTick)
+	}
+}
+
+func fig1(r *metrics.Runner, quick bool, measure int) {
+	fmt.Println("=== Figure 1: expressiveness tiers vs sustainable army size (10 ticks/s) ===")
+	hi := 40000
+	if quick {
+		hi = 8000
+	}
+	rows, err := r.Fig1(100*time.Millisecond, 100, hi, pick(measure, 2, 4, quick))
+	if err != nil {
+		fatal(err)
+	}
+	metrics.WriteFig1(os.Stdout, rows)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfig:", err)
+	os.Exit(1)
+}

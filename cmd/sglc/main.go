@@ -1,0 +1,94 @@
+// Command sglc is the SGL compiler front end: it parses and type-checks a
+// script against the battle-simulation schema, prints the optimized query
+// plan, and reports how the optimizer classified every aggregate and
+// action definition (which index structure will serve it).
+//
+// Usage:
+//
+//	sglc [-explain] [-classify] [-no-opt] script.sgl
+//	sglc -builtin            # inspect the built-in battle script
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/epicscale/sgl/internal/algebra"
+	"github.com/epicscale/sgl/internal/exec"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/sgl/parser"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+)
+
+func main() {
+	explain := flag.Bool("explain", true, "print the compiled query plan")
+	classify := flag.Bool("classify", true, "print per-definition index classification")
+	noOpt := flag.Bool("no-opt", false, "skip the algebraic optimizer")
+	builtin := flag.Bool("builtin", false, "compile the built-in battle script instead of a file")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *builtin:
+		src = game.Script
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: sglc [-explain] [-classify] [-no-opt] script.sgl | sglc -builtin")
+		os.Exit(2)
+	}
+
+	script, err := parser.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := sem.Check(script, game.Schema(), game.Consts())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ok: %d aggregate(s), %d action(s), %d function(s)\n\n",
+		len(prog.Script.Aggs), len(prog.Script.Acts), len(prog.Script.Funcs))
+
+	if *classify {
+		an := exec.NewAnalyzer(prog, game.Categoricals())
+		fmt.Println("aggregate classification:")
+		for _, def := range prog.Script.Aggs {
+			a := an.Agg(def)
+			fmt.Printf("  %-28s indexable=%-5v axes=%d eqs=%d", def.Name, a.Indexable, len(a.Axes), len(a.Eqs))
+			for i, out := range def.Outputs {
+				fmt.Printf(" %s:%s", out.As, a.OutClass[i])
+			}
+			fmt.Println()
+		}
+		fmt.Println("action classification:")
+		for _, def := range prog.Script.Acts {
+			a := an.Act(def)
+			fmt.Printf("  %-28s class=%-6s deferrable=%v\n", def.Name, a.Class, a.Deferrable)
+		}
+		fmt.Println()
+	}
+
+	if *explain {
+		plan, err := algebra.Translate(prog)
+		if err != nil {
+			fatal(err)
+		}
+		if !*noOpt {
+			algebra.Optimize(plan)
+			fmt.Println("optimized plan:")
+		} else {
+			fmt.Println("unoptimized plan:")
+		}
+		fmt.Print(plan.Explain())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sglc:", err)
+	os.Exit(1)
+}

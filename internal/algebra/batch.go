@@ -1,0 +1,123 @@
+package algebra
+
+import (
+	"github.com/epicscale/sgl/internal/sgl/ast"
+	"github.com/epicscale/sgl/internal/sgl/interp"
+)
+
+// BatchAggProvider is implemented by providers that can answer the same
+// aggregate for many units at once — required for the sweep-line MIN/MAX
+// technique, which is inherently set-at-a-time: the whole probe set is
+// sorted and answered in one pass (paper Section 5.3.1).
+type BatchAggProvider interface {
+	interp.Provider
+	// EvalAggBatch evaluates def for every unit; args[i] are the parameter
+	// values for units[i] (nil when the definition has no parameters).
+	EvalAggBatch(def *ast.AggDef, units [][]float64, args [][]float64) [][]float64
+}
+
+// UnitsOf exposes memoized unit-set evaluation for external plan walkers
+// (the engine's decision phase walks Apply nodes itself to defer area
+// effects, Section 5.4).
+func (x *Executor) UnitsOf(n Node) ([]*Row, error) { return x.units(n) }
+
+// ApplyArgs evaluates an Apply node's argument terms for one row.
+func (x *Executor) ApplyArgs(a *Apply, row *Row) ([]float64, error) {
+	args := make([]float64, len(a.Args))
+	for i, t := range a.Args {
+		v, err := x.evalTerm(t, a.Env, row)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v.Num
+	}
+	return args, nil
+}
+
+// BuildEffectRow forwards to the shared effect-row builder.
+func (x *Executor) BuildEffectRow(def *ast.ActDef, unit, args, target []float64) ([]float64, error) {
+	return x.ev.BuildEffectRow(def, unit, args, target)
+}
+
+// collectAggCalls gathers the aggregate calls inside a term in evaluation
+// order (inner calls before the calls whose arguments contain them), so a
+// batched outer call can read the cached results of its inner calls.
+func (x *Executor) collectAggCalls(t ast.Term, out *[]*ast.Call) {
+	switch n := t.(type) {
+	case *ast.Field:
+		x.collectAggCalls(n.X, out)
+	case *ast.Pair:
+		x.collectAggCalls(n.X, out)
+		x.collectAggCalls(n.Y, out)
+	case *ast.Neg:
+		x.collectAggCalls(n.X, out)
+	case *ast.Binary:
+		x.collectAggCalls(n.X, out)
+		x.collectAggCalls(n.Y, out)
+	case *ast.Call:
+		for _, a := range n.Args {
+			x.collectAggCalls(a, out)
+		}
+		if _, ok := x.prog.AggCalls[n]; ok {
+			*out = append(*out, n)
+		}
+	}
+}
+
+// batchExtend pre-evaluates every aggregate call in an Extend's value term
+// for all rows at once, caching per-(call, row) results that evalCall then
+// consumes. Returns true if batching was performed.
+func (x *Executor) batchExtend(v *Extend, rows []*Row) (bool, error) {
+	bp, ok := x.prov.(BatchAggProvider)
+	if !ok {
+		return false, nil
+	}
+	var calls []*ast.Call
+	x.collectAggCalls(v.Value, &calls)
+	if len(calls) == 0 {
+		return false, nil
+	}
+	if x.batchCache == nil {
+		x.batchCache = map[*ast.Call]map[*Row]interp.Value{}
+	}
+	for _, call := range calls {
+		def := x.prog.AggCalls[call]
+		units := make([][]float64, len(rows))
+		var args [][]float64
+		if len(call.Args) > 1 {
+			args = make([][]float64, len(rows))
+		}
+		for i, row := range rows {
+			units[i] = row.Unit
+			if args != nil {
+				vals := make([]float64, len(call.Args)-1)
+				for j, at := range call.Args[1:] {
+					// Inner calls were batched first, so this per-row
+					// evaluation hits the cache rather than the provider.
+					av, err := x.evalTerm(at, v.Env, row)
+					if err != nil {
+						return false, err
+					}
+					vals[j] = av.Num
+				}
+				args[i] = vals
+			}
+		}
+		results := bp.EvalAggBatch(def, units, args)
+		cache := make(map[*Row]interp.Value, len(rows))
+		for i, row := range rows {
+			outs := results[i]
+			if len(def.Outputs) == 1 {
+				cache[row] = interp.NumVal(outs[0])
+			} else {
+				fields := make([]string, len(def.Outputs))
+				for j, o := range def.Outputs {
+					fields[j] = o.As
+				}
+				cache[row] = interp.RecVal(fields, outs)
+			}
+		}
+		x.batchCache[call] = cache
+	}
+	return true, nil
+}

@@ -1,0 +1,408 @@
+package algebra
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/epicscale/sgl/internal/rng"
+	"github.com/epicscale/sgl/internal/sgl/ast"
+	"github.com/epicscale/sgl/internal/sgl/interp"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/table"
+)
+
+// Row is one unit flowing through a plan: its environment tuple plus the
+// extension columns added by Extend operators. Ext is indexed by global
+// slot; a Row object is shared by every branch that sees the unit, so each
+// extension is computed exactly once (set-at-a-time sharing).
+type Row struct {
+	Unit []float64
+	Ext  []interp.Value
+}
+
+// Executor evaluates a plan over one tick's environment. Node results are
+// memoized, so the DAG sharing produced by translation (and improved by the
+// optimizer) directly becomes shared computation.
+type Executor struct {
+	prog  *sem.Program
+	plan  *Plan
+	env   *table.Table
+	prov  interp.Provider
+	r     rng.TickSource
+	ev    *interp.Evaluator // for BuildEffectRow reuse
+	cache map[Node][]*Row
+	// batchCache holds per-(aggregate call, row) results produced by
+	// batchExtend when the provider supports set-at-a-time evaluation.
+	batchCache map[*ast.Call]map[*Row]interp.Value
+}
+
+// NewExecutor binds a plan to an environment, provider, and tick source.
+func NewExecutor(prog *sem.Program, plan *Plan, env *table.Table, prov interp.Provider, r rng.TickSource) *Executor {
+	return &Executor{
+		prog: prog, plan: plan, env: env, prov: prov, r: r,
+		ev:    interp.New(prog, env, prov, r),
+		cache: map[Node][]*Row{},
+	}
+}
+
+// Effects evaluates the plan, emitting every effect row it produces. This
+// is main⊕(E) without the final ⊕ E.
+func (x *Executor) Effects(emit func(row []float64)) error {
+	return x.effects(x.plan.Root, emit)
+}
+
+// Tick computes the full semantics of Eq. (6) — the plan's effects
+// ⊕-combined with the environment — and must agree exactly with
+// interp.Evaluator.Tick on the same program.
+func (x *Executor) Tick() (*table.Table, error) {
+	effects := table.New(x.env.Schema, x.env.Len())
+	if err := x.Effects(func(row []float64) { effects.Append(row) }); err != nil {
+		return nil, err
+	}
+	return effects.Union(x.env).Combine(), nil
+}
+
+func (x *Executor) effects(n Node, emit func([]float64)) error {
+	switch v := n.(type) {
+	case *Combine:
+		for _, k := range v.Kids {
+			if err := x.effects(k, emit); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Apply:
+		rows, err := x.units(v.In)
+		if err != nil {
+			return err
+		}
+		args := make([]float64, len(v.Args))
+		for _, row := range rows {
+			for i, a := range v.Args {
+				val, err := x.evalTerm(a, v.Env, row)
+				if err != nil {
+					return err
+				}
+				if val.Rec {
+					return fmt.Errorf("algebra: unexpanded record argument at %s", a.Pos())
+				}
+				args[i] = val.Num
+			}
+			var applyErr error
+			x.prov.SelectTargets(v.Def, row.Unit, args, func(tgt []float64) {
+				if applyErr != nil {
+					return
+				}
+				eff, err := x.ev.BuildEffectRow(v.Def, row.Unit, args, tgt)
+				if err != nil {
+					applyErr = err
+					return
+				}
+				emit(eff)
+			})
+			if applyErr != nil {
+				return applyErr
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("algebra: node %T does not produce effects", n)
+	}
+}
+
+// units evaluates a unit-set node, memoized.
+func (x *Executor) units(n Node) ([]*Row, error) {
+	if rows, ok := x.cache[n]; ok {
+		return rows, nil
+	}
+	var rows []*Row
+	var err error
+	switch v := n.(type) {
+	case *Base:
+		rows = make([]*Row, x.env.Len())
+		for i, u := range x.env.Rows {
+			rows[i] = &Row{Unit: u, Ext: make([]interp.Value, x.plan.Slots)}
+		}
+	case *Select:
+		var in []*Row
+		in, err = x.units(v.In)
+		if err != nil {
+			return nil, err
+		}
+		rows = make([]*Row, 0, len(in))
+		for _, row := range in {
+			ok, cerr := x.evalCond(v.Cond, v.Env, row)
+			if cerr != nil {
+				return nil, cerr
+			}
+			if ok {
+				rows = append(rows, row)
+			}
+		}
+	case *Extend:
+		rows, err = x.units(v.In)
+		if err != nil {
+			return nil, err
+		}
+		if _, berr := x.batchExtend(v, rows); berr != nil {
+			return nil, berr
+		}
+		for _, row := range rows {
+			val, verr := x.evalTerm(v.Value, v.Env, row)
+			if verr != nil {
+				return nil, verr
+			}
+			row.Ext[v.Slot] = val
+		}
+	default:
+		return nil, fmt.Errorf("algebra: node %T does not produce a unit set", n)
+	}
+	x.cache[n] = rows
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Slot-based term and condition evaluation (mirrors interp semantics)
+
+func (x *Executor) evalCond(c ast.Cond, env *Env, row *Row) (bool, error) {
+	switch n := c.(type) {
+	case *ast.BoolLit:
+		return n.Val, nil
+	case *ast.Not:
+		v, err := x.evalCond(n.X, env, row)
+		return !v, err
+	case *ast.And:
+		a, err := x.evalCond(n.X, env, row)
+		if err != nil || !a {
+			return false, err
+		}
+		return x.evalCond(n.Y, env, row)
+	case *ast.Or:
+		a, err := x.evalCond(n.X, env, row)
+		if err != nil || a {
+			return a, err
+		}
+		return x.evalCond(n.Y, env, row)
+	case *ast.Compare:
+		xv, err := x.evalTerm(n.X, env, row)
+		if err != nil {
+			return false, err
+		}
+		yv, err := x.evalTerm(n.Y, env, row)
+		if err != nil {
+			return false, err
+		}
+		switch n.Op {
+		case ast.Eq:
+			return xv.Num == yv.Num, nil
+		case ast.Ne:
+			return xv.Num != yv.Num, nil
+		case ast.Lt:
+			return xv.Num < yv.Num, nil
+		case ast.Le:
+			return xv.Num <= yv.Num, nil
+		case ast.Gt:
+			return xv.Num > yv.Num, nil
+		default:
+			return xv.Num >= yv.Num, nil
+		}
+	}
+	return false, fmt.Errorf("algebra: unknown condition node %T", c)
+}
+
+func (x *Executor) evalTerm(t ast.Term, env *Env, row *Row) (interp.Value, error) {
+	switch n := t.(type) {
+	case *ast.NumLit:
+		return interp.NumVal(n.Val), nil
+
+	case *ast.ConstRef:
+		return interp.NumVal(x.prog.Consts[n.Name]), nil
+
+	case *ast.VarRef:
+		slot, ok := env.Lookup(n.Name)
+		if !ok {
+			return interp.Value{}, fmt.Errorf("algebra: unresolved name %q at %s", n.Name, n.P)
+		}
+		return row.Ext[slot], nil
+
+	case *ast.FieldRef:
+		if n.Base == env.Unit {
+			return interp.NumVal(row.Unit[x.prog.Schema.MustCol(n.Field)]), nil
+		}
+		slot, ok := env.Lookup(n.Base)
+		if !ok {
+			return interp.Value{}, fmt.Errorf("algebra: unresolved name %q at %s", n.Base, n.P)
+		}
+		f, ok := row.Ext[slot].Field(n.Field)
+		if !ok {
+			return interp.Value{}, fmt.Errorf("algebra: record %q has no field %q at %s", n.Base, n.Field, n.P)
+		}
+		return interp.NumVal(f), nil
+
+	case *ast.Field:
+		base, err := x.evalTerm(n.X, env, row)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		f, ok := base.Field(n.Field)
+		if !ok {
+			return interp.Value{}, fmt.Errorf("algebra: no field %q at %s", n.Field, n.P)
+		}
+		return interp.NumVal(f), nil
+
+	case *ast.Pair:
+		xv, err := x.evalTerm(n.X, env, row)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		yv, err := x.evalTerm(n.Y, env, row)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		return interp.RecVal([]string{"x", "y"}, []float64{xv.Num, yv.Num}), nil
+
+	case *ast.Neg:
+		v, err := x.evalTerm(n.X, env, row)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		if v.Rec {
+			out := make([]float64, len(v.Vals))
+			for i, f := range v.Vals {
+				out[i] = -f
+			}
+			return interp.RecVal(v.Fields, out), nil
+		}
+		return interp.NumVal(-v.Num), nil
+
+	case *ast.Binary:
+		xv, err := x.evalTerm(n.X, env, row)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		yv, err := x.evalTerm(n.Y, env, row)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		return applyBinop(n.Op, xv, yv), nil
+
+	case *ast.Call:
+		return x.evalCall(n, env, row)
+	}
+	return interp.Value{}, fmt.Errorf("algebra: unknown term node %T", t)
+}
+
+func applyBinop(op ast.BinOp, x, y interp.Value) interp.Value {
+	apply := func(a, b float64) float64 {
+		switch op {
+		case ast.Add:
+			return a + b
+		case ast.Sub:
+			return a - b
+		case ast.Mul:
+			return a * b
+		case ast.Div:
+			return a / b
+		default:
+			return math.Trunc(math.Mod(a, b))
+		}
+	}
+	switch {
+	case !x.Rec && !y.Rec:
+		return interp.NumVal(apply(x.Num, y.Num))
+	case x.Rec && y.Rec:
+		out := make([]float64, len(x.Vals))
+		for i := range out {
+			out[i] = apply(x.Vals[i], y.Vals[i])
+		}
+		return interp.RecVal(x.Fields, out)
+	case x.Rec:
+		out := make([]float64, len(x.Vals))
+		for i := range out {
+			out[i] = apply(x.Vals[i], y.Num)
+		}
+		return interp.RecVal(x.Fields, out)
+	default:
+		out := make([]float64, len(y.Vals))
+		for i := range out {
+			out[i] = apply(x.Num, y.Vals[i])
+		}
+		return interp.RecVal(y.Fields, out)
+	}
+}
+
+func (x *Executor) evalCall(n *ast.Call, env *Env, row *Row) (interp.Value, error) {
+	if cache, ok := x.batchCache[n]; ok {
+		if v, ok := cache[row]; ok {
+			return v, nil
+		}
+	}
+	switch n.Name {
+	case "Random", "random":
+		seed, err := x.evalTerm(n.Args[0], env, row)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		key := int64(row.Unit[x.prog.Schema.KeyCol()])
+		return interp.NumVal(float64(x.r.Random(key, int64(seed.Num)))), nil
+	case "abs", "sqrt", "floor":
+		v, err := x.evalTerm(n.Args[0], env, row)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		switch n.Name {
+		case "abs":
+			return interp.NumVal(math.Abs(v.Num)), nil
+		case "sqrt":
+			return interp.NumVal(math.Sqrt(v.Num)), nil
+		default:
+			return interp.NumVal(math.Floor(v.Num)), nil
+		}
+	case "min", "max":
+		a, err := x.evalTerm(n.Args[0], env, row)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		b, err := x.evalTerm(n.Args[1], env, row)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		if n.Name == "min" {
+			return interp.NumVal(math.Min(a.Num, b.Num)), nil
+		}
+		return interp.NumVal(math.Max(a.Num, b.Num)), nil
+	}
+
+	def := x.prog.AggCalls[n]
+	if def == nil {
+		return interp.Value{}, fmt.Errorf("algebra: unresolved call %q at %s", n.Name, n.P)
+	}
+	args := make([]float64, len(n.Args)-1)
+	for i, a := range n.Args[1:] {
+		v, err := x.evalTerm(a, env, row)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		args[i] = v.Num
+	}
+	outs := x.prov.EvalAgg(def, row.Unit, args)
+	if len(def.Outputs) == 1 {
+		return interp.NumVal(outs[0]), nil
+	}
+	fields := make([]string, len(def.Outputs))
+	for i, o := range def.Outputs {
+		fields[i] = o.As
+	}
+	return interp.RecVal(fields, outs), nil
+}
+
+// RunTick translates, optimizes, and executes a program for one tick — the
+// compiled counterpart of interp.RunTickNaive.
+func RunTick(prog *sem.Program, env *table.Table, prov interp.Provider, r rng.TickSource) (*table.Table, error) {
+	plan, err := Translate(prog)
+	if err != nil {
+		return nil, err
+	}
+	Optimize(plan)
+	return NewExecutor(prog, plan, env, prov, r).Tick()
+}

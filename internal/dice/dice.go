@@ -1,0 +1,136 @@
+// Package dice implements the d20 System combat mechanics that the paper's
+// battle simulation adopts (Section 3.2: "we use the game mechanics in the
+// pen-and-paper d20 system").
+//
+// The relevant subset:
+//
+//   - An attack roll is 1d20 + attack bonus; it hits if it meets or exceeds
+//     the target's Armor Class (AC). A natural 20 always hits, a natural 1
+//     always misses.
+//   - Damage is a dice expression such as 1d8+3, reduced by the target's
+//     damage reduction (armored units "take less damage from the attacks of
+//     others"); a hit always deals at least 1 point.
+//   - Healing restores hit points but "can never be restored beyond the
+//     initial health of the unit"; that cap is enforced by the engine's
+//     post-processing query, not here.
+//
+// All randomness flows through rng.TickSource so combat is a deterministic
+// function of (seed, tick, attacker key, sequence number); the naive and
+// indexed evaluators therefore roll identical dice.
+package dice
+
+import (
+	"fmt"
+
+	"github.com/epicscale/sgl/internal/rng"
+)
+
+// Roll is a dice expression: Count dice with Sides faces plus a flat Bonus,
+// e.g. Roll{1, 8, 3} is 1d8+3.
+type Roll struct {
+	Count int // number of dice
+	Sides int // faces per die
+	Bonus int // flat modifier
+}
+
+// String renders the roll in standard dice notation.
+func (r Roll) String() string {
+	switch {
+	case r.Bonus > 0:
+		return fmt.Sprintf("%dd%d+%d", r.Count, r.Sides, r.Bonus)
+	case r.Bonus < 0:
+		return fmt.Sprintf("%dd%d%d", r.Count, r.Sides, r.Bonus)
+	default:
+		return fmt.Sprintf("%dd%d", r.Count, r.Sides)
+	}
+}
+
+// Min returns the smallest possible outcome.
+func (r Roll) Min() int { return r.Count + r.Bonus }
+
+// Max returns the largest possible outcome.
+func (r Roll) Max() int { return r.Count*r.Sides + r.Bonus }
+
+// Mean returns the expected outcome.
+func (r Roll) Mean() float64 {
+	return float64(r.Count)*float64(r.Sides+1)/2 + float64(r.Bonus)
+}
+
+// Eval rolls the expression using the tick source, attributed to the unit
+// with the given key; seq distinguishes multiple rolls by the same unit in
+// the same tick.
+func (r Roll) Eval(t rng.TickSource, key, seq int64) int {
+	total := r.Bonus
+	for i := 0; i < r.Count; i++ {
+		total += t.Intn(key, seq*64+int64(i)+1, r.Sides) + 1
+	}
+	return total
+}
+
+// Attack describes one attack attempt: the attacker's bonus and damage
+// expression against a defender's AC and damage reduction.
+type Attack struct {
+	Bonus  int  // attack bonus added to the d20 roll
+	Damage Roll // damage expression on a hit
+}
+
+// Defense describes the defender-side mechanics.
+type Defense struct {
+	AC        int // armor class the attack roll must meet
+	Reduction int // flat damage reduction applied to each hit
+}
+
+// Outcome reports the result of a resolved attack.
+type Outcome struct {
+	Roll   int  // the natural d20 roll, 1..20
+	Hit    bool // whether the attack hit
+	Damage int  // damage dealt after reduction (0 if missed)
+}
+
+// seq slots: slot 0 is the attack roll, slot 1.. the damage dice. Each
+// (attack resolution) consumes one seq value from the caller.
+
+// Resolve performs a full d20 attack resolution for the attacker with the
+// given key at the bound tick. A natural 20 always hits and a natural 1
+// always misses, per the d20 SRD; damage on a hit is at least 1 after
+// reduction.
+func Resolve(t rng.TickSource, key, seq int64, atk Attack, def Defense) Outcome {
+	natural := t.Intn(key, seq*128+0, 20) + 1
+	hit := natural == 20 || (natural != 1 && natural+atk.Bonus >= def.AC)
+	out := Outcome{Roll: natural, Hit: hit}
+	if !hit {
+		return out
+	}
+	dmg := atk.Damage.Eval(t, key, seq*2+1) - def.Reduction
+	if dmg < 1 {
+		dmg = 1
+	}
+	out.Damage = dmg
+	return out
+}
+
+// HitProbability returns the analytic chance that an attack with the given
+// bonus hits the given AC, accounting for automatic hits and misses. Used
+// by tests and by the workload balancer.
+func HitProbability(bonus, ac int) float64 {
+	need := ac - bonus // minimum natural roll to hit
+	if need < 2 {
+		need = 2 // natural 1 always misses
+	}
+	if need > 20 {
+		need = 20 // natural 20 always hits
+	}
+	return float64(21-need) / 20
+}
+
+// ExpectedDamage returns the analytic expected damage per attack attempt,
+// approximating the ≥1 floor by clamping the post-reduction mean. It is a
+// balance-tuning aid, not part of the hot path.
+func ExpectedDamage(atk Attack, def Defense) float64 {
+	p := HitProbability(atk.Bonus, def.AC)
+	mean := atk.Damage.Mean() - float64(def.Reduction)
+	if mean < 1 {
+		mean = 1
+	}
+	return p * mean
+}

@@ -1,0 +1,211 @@
+package dice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/epicscale/sgl/internal/rng"
+)
+
+func tick() rng.TickSource { return rng.New(99).Tick(5) }
+
+func TestRollString(t *testing.T) {
+	cases := []struct {
+		r    Roll
+		want string
+	}{
+		{Roll{1, 8, 3}, "1d8+3"},
+		{Roll{2, 6, 0}, "2d6"},
+		{Roll{1, 4, -1}, "1d4-1"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRollBounds(t *testing.T) {
+	r := Roll{2, 6, 3}
+	if r.Min() != 5 || r.Max() != 15 {
+		t.Fatalf("bounds = [%d,%d], want [5,15]", r.Min(), r.Max())
+	}
+	if r.Mean() != 10 {
+		t.Fatalf("Mean = %v, want 10", r.Mean())
+	}
+}
+
+func TestRollEvalWithinBounds(t *testing.T) {
+	r := Roll{3, 6, 2}
+	tk := tick()
+	for seq := int64(0); seq < 500; seq++ {
+		v := r.Eval(tk, 7, seq)
+		if v < r.Min() || v > r.Max() {
+			t.Fatalf("Eval = %d outside [%d,%d]", v, r.Min(), r.Max())
+		}
+	}
+}
+
+func TestRollEvalDeterministic(t *testing.T) {
+	r := Roll{1, 20, 0}
+	a := r.Eval(tick(), 7, 3)
+	b := r.Eval(tick(), 7, 3)
+	if a != b {
+		t.Fatalf("same (tick,key,seq) rolled differently: %d vs %d", a, b)
+	}
+	if r.Eval(tick(), 7, 3) == r.Eval(tick(), 8, 3) &&
+		r.Eval(tick(), 7, 4) == r.Eval(tick(), 8, 4) &&
+		r.Eval(tick(), 7, 5) == r.Eval(tick(), 8, 5) {
+		t.Fatal("different keys consistently rolled the same values")
+	}
+}
+
+func TestRollEvalMeanConverges(t *testing.T) {
+	r := Roll{1, 6, 0}
+	tk := tick()
+	var sum float64
+	const n = 20000
+	for seq := int64(0); seq < n; seq++ {
+		sum += float64(r.Eval(tk, 1, seq))
+	}
+	if mean := sum / n; math.Abs(mean-3.5) > 0.05 {
+		t.Fatalf("empirical mean = %v, want ≈3.5", mean)
+	}
+}
+
+func TestResolveOutcomes(t *testing.T) {
+	tk := tick()
+	atk := Attack{Bonus: 4, Damage: Roll{1, 8, 2}}
+	def := Defense{AC: 15, Reduction: 2}
+	hits, total := 0, 0
+	const n = 20000
+	for seq := int64(0); seq < n; seq++ {
+		out := Resolve(tk, 3, seq, atk, def)
+		if out.Roll < 1 || out.Roll > 20 {
+			t.Fatalf("natural roll %d outside 1..20", out.Roll)
+		}
+		if out.Hit {
+			hits++
+			total += out.Damage
+			if out.Damage < 1 {
+				t.Fatalf("hit dealt %d damage; floor is 1", out.Damage)
+			}
+			maxDmg := atk.Damage.Max() - def.Reduction
+			if out.Damage > maxDmg {
+				t.Fatalf("damage %d above max %d", out.Damage, maxDmg)
+			}
+		} else if out.Damage != 0 {
+			t.Fatalf("miss dealt damage %d", out.Damage)
+		}
+	}
+	// Need an 11+ to hit: p = 0.5.
+	p := float64(hits) / n
+	if math.Abs(p-HitProbability(atk.Bonus, def.AC)) > 0.02 {
+		t.Fatalf("hit rate %v, want ≈%v", p, HitProbability(atk.Bonus, def.AC))
+	}
+}
+
+func TestNatural20AlwaysHits(t *testing.T) {
+	tk := tick()
+	// AC so high only a natural 20 can hit.
+	atk := Attack{Bonus: 0, Damage: Roll{1, 4, 0}}
+	def := Defense{AC: 100}
+	hits := 0
+	const n = 40000
+	for seq := int64(0); seq < n; seq++ {
+		if Resolve(tk, 11, seq, atk, def).Hit {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.05) > 0.01 {
+		t.Fatalf("natural-20 hit rate %v, want ≈0.05", p)
+	}
+}
+
+func TestNatural1AlwaysMisses(t *testing.T) {
+	tk := tick()
+	// Bonus so high everything except a natural 1 hits.
+	atk := Attack{Bonus: 100, Damage: Roll{1, 4, 0}}
+	def := Defense{AC: 10}
+	misses := 0
+	const n = 40000
+	for seq := int64(0); seq < n; seq++ {
+		if !Resolve(tk, 12, seq, atk, def).Hit {
+			misses++
+		}
+	}
+	p := float64(misses) / n
+	if math.Abs(p-0.05) > 0.01 {
+		t.Fatalf("natural-1 miss rate %v, want ≈0.05", p)
+	}
+}
+
+func TestHitProbability(t *testing.T) {
+	cases := []struct {
+		bonus, ac int
+		want      float64
+	}{
+		{0, 10, 0.55},  // need 10
+		{5, 10, 0.80},  // need 5
+		{0, 30, 0.05},  // only nat 20
+		{30, 10, 0.95}, // all but nat 1
+		{0, 2, 0.95},   // need 2
+	}
+	for _, c := range cases {
+		if got := HitProbability(c.bonus, c.ac); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("HitProbability(%d,%d) = %v, want %v", c.bonus, c.ac, got, c.want)
+		}
+	}
+}
+
+func TestExpectedDamagePositive(t *testing.T) {
+	atk := Attack{Bonus: 2, Damage: Roll{1, 6, 0}}
+	heavy := Defense{AC: 14, Reduction: 10}
+	if ed := ExpectedDamage(atk, heavy); ed <= 0 {
+		t.Fatalf("ExpectedDamage = %v, want > 0 (1-point floor)", ed)
+	}
+}
+
+// Property: hit probability is within [0.05, 0.95] for any bonus/AC, and
+// monotone in the bonus.
+func TestHitProbabilityProperties(t *testing.T) {
+	f := func(bonus, ac int8) bool {
+		p := HitProbability(int(bonus), int(ac))
+		if p < 0.05-1e-12 || p > 0.95+1e-12 {
+			return false
+		}
+		return HitProbability(int(bonus)+1, int(ac)) >= p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: empirical resolve results respect hit-damage bounds for random
+// but sane attack/defense parameters.
+func TestResolveBoundsProperty(t *testing.T) {
+	tk := tick()
+	f := func(bonus uint8, sides uint8, red uint8, seq int64) bool {
+		atk := Attack{Bonus: int(bonus % 10), Damage: Roll{1, int(sides%8) + 1, int(bonus % 4)}}
+		def := Defense{AC: 12, Reduction: int(red % 5)}
+		out := Resolve(tk, 21, seq, atk, def)
+		if !out.Hit {
+			return out.Damage == 0
+		}
+		return out.Damage >= 1 && out.Damage <= atk.Damage.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkResolve(b *testing.B) {
+	tk := tick()
+	atk := Attack{Bonus: 4, Damage: Roll{1, 8, 2}}
+	def := Defense{AC: 15, Reduction: 2}
+	for i := 0; i < b.N; i++ {
+		Resolve(tk, 3, int64(i), atk, def)
+	}
+}

@@ -1,0 +1,381 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/epicscale/sgl/internal/algebra"
+	"github.com/epicscale/sgl/internal/exec"
+	"github.com/epicscale/sgl/internal/geom"
+	"github.com/epicscale/sgl/internal/index/rangetree"
+	"github.com/epicscale/sgl/internal/index/segtree"
+	"github.com/epicscale/sgl/internal/index/sweepline"
+	"github.com/epicscale/sgl/internal/rng"
+	"github.com/epicscale/sgl/internal/sgl/ast"
+	"github.com/epicscale/sgl/internal/sgl/interp"
+	"github.com/epicscale/sgl/internal/table"
+)
+
+// performer is one unit that decided to execute an area action this tick,
+// with its evaluated action arguments.
+type performer struct {
+	unit []float64
+	args []float64
+}
+
+// decideNaive runs the unit-at-a-time interpreter with O(n)-scan aggregates:
+// the Figure 10 baseline.
+func (e *Engine) decideNaive(r rng.TickSource, acc *accumulator, keyIdx map[int64]int) error {
+	prov := interp.NewNaive(e.prog, e.env, r)
+	ev := interp.New(e.prog, e.env, prov, r)
+	kc := e.prog.Schema.KeyCol()
+	for _, unit := range e.env.Rows {
+		err := ev.RunUnit(unit, func(row []float64) {
+			if idx, ok := keyIdx[int64(row[kc])]; ok {
+				acc.foldRow(idx, row)
+				e.Stats.EffectsApplied++
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decideIndexed runs the compiled set-at-a-time plan over the indexed
+// provider. Apply nodes with deferrable area actions are collected and
+// applied through the Section 5.4 effect index instead of per-performer
+// target enumeration.
+func (e *Engine) decideIndexed(r rng.TickSource, acc *accumulator, keyIdx map[int64]int) error {
+	prov := exec.NewIndexed(e.an, e.env, r)
+	x := algebra.NewExecutor(e.prog, e.plan, e.env, prov, r)
+	kc := e.prog.Schema.KeyCol()
+
+	deferred := map[*ast.ActDef][]performer{}
+	var deferredOrder []*ast.ActDef
+
+	var walk func(n algebra.Node) error
+	walk = func(n algebra.Node) error {
+		switch v := n.(type) {
+		case *algebra.Combine:
+			for _, k := range v.Kids {
+				if err := walk(k); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *algebra.Apply:
+			rows, err := x.UnitsOf(v.In)
+			if err != nil {
+				return err
+			}
+			actA := e.an.Act(v.Def)
+			deferThis := actA.Deferrable && !e.opts.DisableAreaDefer
+			for _, row := range rows {
+				args, err := x.ApplyArgs(v, row)
+				if err != nil {
+					return err
+				}
+				if deferThis {
+					if _, seen := deferred[v.Def]; !seen {
+						deferredOrder = append(deferredOrder, v.Def)
+					}
+					deferred[v.Def] = append(deferred[v.Def], performer{unit: row.Unit, args: args})
+					continue
+				}
+				var applyErr error
+				prov.SelectTargets(v.Def, row.Unit, args, func(tgt []float64) {
+					if applyErr != nil {
+						return
+					}
+					eff, err := x.BuildEffectRow(v.Def, row.Unit, args, tgt)
+					if err != nil {
+						applyErr = err
+						return
+					}
+					if idx, ok := keyIdx[int64(eff[kc])]; ok {
+						acc.foldRow(idx, eff)
+						e.Stats.EffectsApplied++
+					}
+				})
+				if applyErr != nil {
+					return applyErr
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("engine: unexpected plan node %T", n)
+		}
+	}
+	if err := walk(e.plan.Root); err != nil {
+		return err
+	}
+
+	for _, def := range deferredOrder {
+		perf := deferred[def]
+		if err := e.applyDeferredArea(def, perf, r, acc); err != nil {
+			return err
+		}
+	}
+	e.Stats.IndexStats.IndexBuilds += prov.Stats.IndexBuilds
+	e.Stats.IndexStats.TreeProbes += prov.Stats.TreeProbes
+	e.Stats.IndexStats.KDProbes += prov.Stats.KDProbes
+	e.Stats.IndexStats.Sweeps += prov.Stats.Sweeps
+	e.Stats.IndexStats.ScanProbes += prov.Stats.ScanProbes
+	return nil
+}
+
+// applyDeferredArea implements the paper's Section 5.4 ⊕-optimization:
+// "to optimize ⊕, we arrange our query plan to group together all actions
+// of the same type. For each such action we construct an index that
+// contains their centers of effect. Applying ⊕ now consists of performing
+// an aggregate on this index; for stackable effects this action is sum,
+// and for nonstackable effects it is max."
+//
+// Performers with identical range offsets and identical categorical
+// requirements form one group; each group's centers are indexed once and
+// every unit recovers its combined contribution with one probe per SET
+// column.
+func (e *Engine) applyDeferredArea(def *ast.ActDef, performers []performer, r rng.TickSource, acc *accumulator) error {
+	a := e.an.Act(def)
+	dl := interp.DefParams(def)
+	schema := e.prog.Schema
+
+	type center struct {
+		x, y float64
+		vals []float64 // one per SET clause
+	}
+	type groupKey struct {
+		offLoX, offHiX, offLoY, offHiY float64
+		eq                             string
+	}
+	type group struct {
+		key     groupKey
+		eqVals  []float64
+		centers []center
+	}
+	groups := map[groupKey]*group{}
+	var order []groupKey
+
+	axCol := func(i int) int {
+		if i < len(a.Axes) {
+			return a.Axes[i].Col
+		}
+		return -1
+	}
+	evalAxisOffsets := func(unit, args []float64, ax int) (lo, hi float64, err error) {
+		if ax >= len(a.Axes) {
+			return math.Inf(-1), math.Inf(1), nil
+		}
+		base := unit[a.Axes[ax].Col]
+		lo, hi = math.Inf(-1), math.Inf(1)
+		if a.Axes[ax].Lo != nil {
+			v, err := interp.EvalDefTermWith(a.Axes[ax].Lo, dl, unit, args, unit, e.prog, r)
+			if err != nil {
+				return 0, 0, err
+			}
+			lo = v - base
+		}
+		if a.Axes[ax].Hi != nil {
+			v, err := interp.EvalDefTermWith(a.Axes[ax].Hi, dl, unit, args, unit, e.prog, r)
+			if err != nil {
+				return 0, 0, err
+			}
+			hi = v - base
+		}
+		return lo, hi, nil
+	}
+
+	for _, p := range performers {
+		// u-only conjuncts gate the performer entirely.
+		skip := false
+		for _, c := range a.UOnly {
+			ok, err := interp.EvalDefCond(c, dl, p.unit, p.args, p.unit, e.prog, r)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		loX, hiX, err := evalAxisOffsets(p.unit, p.args, 0)
+		if err != nil {
+			return err
+		}
+		loY, hiY, err := evalAxisOffsets(p.unit, p.args, 1)
+		if err != nil {
+			return err
+		}
+		eqVals := make([]float64, len(a.Eqs))
+		eqKey := ""
+		for i, eq := range a.Eqs {
+			v, err := interp.EvalDefTermWith(eq.Term, dl, p.unit, p.args, p.unit, e.prog, r)
+			if err != nil {
+				return err
+			}
+			eqVals[i] = v
+			eqKey += fmt.Sprintf("%g|", v)
+		}
+		vals := make([]float64, len(def.Sets))
+		for i, set := range def.Sets {
+			v, err := interp.EvalDefTermWith(set.Value, dl, p.unit, p.args, p.unit, e.prog, r)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		gk := groupKey{loX, hiX, loY, hiY, eqKey}
+		g := groups[gk]
+		if g == nil {
+			g = &group{key: gk, eqVals: eqVals}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		cx, cy := 0.0, 0.0
+		if c := axCol(0); c >= 0 {
+			cx = p.unit[c]
+		}
+		if c := axCol(1); c >= 0 {
+			cy = p.unit[c]
+		}
+		g.centers = append(g.centers, center{x: cx, y: cy, vals: vals})
+	}
+
+	// Target eligibility: e-only conjuncts, evaluated once per row.
+	eligible := make([]bool, e.env.Len())
+	for i, row := range e.env.Rows {
+		ok := true
+		for _, c := range a.EOnly {
+			pass, err := interp.EvalDefCond(c, dl, row, nil, row, e.prog, r)
+			if err != nil {
+				return err
+			}
+			if !pass {
+				ok = false
+				break
+			}
+		}
+		eligible[i] = ok
+	}
+
+	for _, gk := range order {
+		g := groups[gk]
+		// Targets matching this group's categorical requirements.
+		var targets []int
+		for i, row := range e.env.Rows {
+			if !eligible[i] {
+				continue
+			}
+			match := true
+			for j, eq := range a.Eqs {
+				if eq.Neq {
+					if row[eq.Col] == g.eqVals[j] {
+						match = false
+					}
+				} else if row[eq.Col] != g.eqVals[j] {
+					match = false
+				}
+			}
+			if match {
+				targets = append(targets, i)
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+
+		for si, set := range def.Sets {
+			col := schema.MustCol(set.Attr)
+			kind := schema.Attr(col).Kind
+			// Reflected probe window for target t:
+			// performer at c affects t iff t ∈ [c+lo, c+hi] iff c ∈ [t−hi, t−lo].
+			switch kind {
+			case table.Sum:
+				pts := make([]rangetree.Point, len(g.centers))
+				vals := make([]float64, len(g.centers))
+				for j, c := range g.centers {
+					pts[j] = rangetree.Point{X: c.x, Y: c.y}
+					vals[j] = c.vals[si]
+				}
+				rt := rangetree.Build(pts, 1, vals)
+				e.Stats.IndexStats.IndexBuilds++
+				out := []float64{0}
+				for _, ti := range targets {
+					row := e.env.Rows[ti]
+					tx, ty := 0.0, 0.0
+					if c := axCol(0); c >= 0 {
+						tx = row[c]
+					}
+					if c := axCol(1); c >= 0 {
+						ty = row[c]
+					}
+					out[0] = 0
+					rt.Aggregate(reflectedRect(tx, ty, gk.offLoX, gk.offHiX, gk.offLoY, gk.offHiY), out)
+					e.Stats.IndexStats.TreeProbes++
+					if out[0] != 0 {
+						acc.fold(ti, col, out[0])
+						e.Stats.EffectsApplied++
+					}
+				}
+			default: // Max or Min: one sweep over the group's centers
+				op := segtree.Max
+				if kind == table.Min {
+					op = segtree.Min
+				}
+				pts := make([]sweepline.Point, len(g.centers))
+				for j, c := range g.centers {
+					pts[j] = sweepline.Point{X: c.x, Y: c.y, Value: c.vals[si], Key: int64(j)}
+				}
+				probes := make([]sweepline.Probe, len(targets))
+				for j, ti := range targets {
+					row := e.env.Rows[ti]
+					tx, ty := 0.0, 0.0
+					if c := axCol(0); c >= 0 {
+						tx = row[c]
+					}
+					if c := axCol(1); c >= 0 {
+						ty = row[c]
+					}
+					rect := reflectedRect(tx, ty, gk.offLoX, gk.offHiX, gk.offLoY, gk.offHiY)
+					cx, rx := intervalCenterHalf(rect.MinX, rect.MaxX)
+					cy, _ := intervalCenterHalf(rect.MinY, rect.MaxY)
+					probes[j] = sweepline.Probe{X: cx, Y: cy, RX: rx, Exclude: sweepline.NoExclude}
+				}
+				// The reflected y-window height is constant within a group.
+				var rect0 = reflectedRect(0, 0, gk.offLoX, gk.offHiX, gk.offLoY, gk.offHiY)
+				_, ry := intervalCenterHalf(rect0.MinY, rect0.MaxY)
+				res := sweepline.Sweep(pts, probes, ry, op)
+				e.Stats.IndexStats.Sweeps++
+				for j, rres := range res {
+					if rres.Found {
+						acc.fold(targets[j], col, rres.Value)
+						e.Stats.EffectsApplied++
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reflectedRect is the probe window of a target at (tx, ty): a performer
+// centered at c affects the target iff the target lies in [c+lo, c+hi] on
+// each axis, i.e. iff c lies in [t−hi, t−lo].
+func reflectedRect(tx, ty, loX, hiX, loY, hiY float64) geom.Rect {
+	return geom.Rect{MinX: tx - hiX, MinY: ty - hiY, MaxX: tx - loX, MaxY: ty - loY}
+}
+
+// intervalCenterHalf converts an interval to (center, half-extent); a
+// doubly unbounded interval (absent axis, where all coordinates are 0)
+// maps to (0, +Inf).
+func intervalCenterHalf(lo, hi float64) (float64, float64) {
+	if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
+		return 0, math.Inf(1)
+	}
+	return (lo + hi) / 2, (hi - lo) / 2
+}

@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/table"
+	"github.com/epicscale/sgl/internal/workload"
+)
+
+func battleProg(t testing.TB) *sem.Program {
+	t.Helper()
+	prog, err := game.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func newEngine(t testing.TB, prog *sem.Program, n int, mode Mode, seed uint64, tweak func(*Options)) *Engine {
+	t.Helper()
+	spec := workload.Spec{Units: n, Density: 0.01, Seed: seed, Formation: workload.BattleLines}
+	opts := Options{
+		Mode:         mode,
+		Categoricals: game.Categoricals(),
+		Seed:         seed,
+		Side:         spec.Side(),
+		MoveSpeed:    1,
+	}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	e, err := New(prog, game.NewMechanics(), workload.Generate(spec), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// The paper's central correctness claim: the indexed engine is an
+// optimization, not a different game. Both engines must produce identical
+// environments tick-for-tick.
+func TestNaiveAndIndexedAgreeOverManyTicks(t *testing.T) {
+	prog := battleProg(t)
+	for _, seed := range []uint64{1, 2} {
+		naive := newEngine(t, prog, 90, Naive, seed, nil)
+		indexed := newEngine(t, prog, 90, Indexed, seed, nil)
+		for tick := 0; tick < 12; tick++ {
+			if err := naive.Tick(); err != nil {
+				t.Fatalf("naive tick %d: %v", tick, err)
+			}
+			if err := indexed.Tick(); err != nil {
+				t.Fatalf("indexed tick %d: %v", tick, err)
+			}
+			if !naive.Env().AlmostEqualContents(indexed.Env(), 1e-9) {
+				t.Fatalf("seed %d: engines diverged at tick %d", seed, tick)
+			}
+		}
+	}
+}
+
+// The Section 5.4 deferred area path must not change outcomes either.
+func TestAreaDeferMatchesDirect(t *testing.T) {
+	prog := battleProg(t)
+	deferred := newEngine(t, prog, 72, Indexed, 5, nil)
+	direct := newEngine(t, prog, 72, Indexed, 5, func(o *Options) { o.DisableAreaDefer = true })
+	for tick := 0; tick < 10; tick++ {
+		if err := deferred.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if err := direct.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if !deferred.Env().AlmostEqualContents(direct.Env(), 1e-9) {
+			t.Fatalf("area defer diverged at tick %d", tick)
+		}
+	}
+}
+
+// The optimizer rewrites must be semantics-preserving inside the engine.
+func TestOptimizerPreservesEngineSemantics(t *testing.T) {
+	prog := battleProg(t)
+	opt := newEngine(t, prog, 60, Indexed, 9, nil)
+	raw := newEngine(t, prog, 60, Indexed, 9, func(o *Options) { o.DisableOptimizer = true })
+	for tick := 0; tick < 8; tick++ {
+		if err := opt.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if err := raw.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if !opt.Env().AlmostEqualContents(raw.Env(), 1e-9) {
+			t.Fatalf("optimizer changed semantics at tick %d", tick)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	prog := battleProg(t)
+	a := newEngine(t, prog, 60, Indexed, 11, nil)
+	b := newEngine(t, prog, 60, Indexed, 11, nil)
+	if err := a.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Env().EqualContents(b.Env()) {
+		t.Fatal("same seed must reproduce the same battle exactly")
+	}
+	c := newEngine(t, prog, 60, Indexed, 12, nil)
+	if err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if a.Env().EqualContents(c.Env()) {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+// Engine invariants over a longer run.
+func TestEngineInvariants(t *testing.T) {
+	prog := battleProg(t)
+	e := newEngine(t, prog, 120, Indexed, 3, nil)
+	s := game.Schema()
+	side := (workload.Spec{Units: 120, Density: 0.01}).Side()
+	for tick := 0; tick < 25; tick++ {
+		if err := e.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		env := e.Env()
+		if env.Len() != 120 {
+			t.Fatalf("population changed: %d (resurrection rule broken)", env.Len())
+		}
+		occupied := map[[2]int]int{}
+		for _, row := range env.Rows {
+			h := row[s.MustCol("health")]
+			if h <= 0 {
+				t.Fatalf("dead unit in environment at tick %d", tick)
+			}
+			if h > row[s.MustCol("maxhealth")] {
+				t.Fatalf("health above max at tick %d: %v", tick, h)
+			}
+			if row[s.MustCol("cooldown")] < 0 {
+				t.Fatal("negative cooldown")
+			}
+			x, y := row[s.MustCol("posx")], row[s.MustCol("posy")]
+			if x < 0 || x >= side || y < 0 || y >= side {
+				t.Fatalf("unit out of bounds: %v,%v (side %v)", x, y, side)
+			}
+			// Effect columns must be back at game defaults after the tick.
+			for _, c := range []string{"weaponused", "movevect_x", "movevect_y", "damage", "inaura"} {
+				if row[s.MustCol(c)] != 0 {
+					t.Fatalf("effect column %s not reset: %v", c, row[s.MustCol(c)])
+				}
+			}
+			sq := [2]int{int(x), int(y)}
+			occupied[sq]++
+			if occupied[sq] > 1 {
+				t.Fatalf("collision: two units in square %v at tick %d", sq, tick)
+			}
+		}
+	}
+	if e.Stats.Moves == 0 {
+		t.Error("nobody moved in 25 ticks; scripts inert?")
+	}
+	if e.Stats.EffectsApplied == 0 {
+		t.Error("no effects applied in 25 ticks")
+	}
+}
+
+func TestCombatActuallyHappens(t *testing.T) {
+	prog := battleProg(t)
+	// Dense arena (4%) so the armies make contact quickly.
+	spec := workload.Spec{Units: 120, Density: 0.04, Seed: 21, Formation: workload.BattleLines}
+	opts := Options{
+		Mode:         Indexed,
+		Categoricals: game.Categoricals(),
+		Seed:         21,
+		Side:         spec.Side(),
+		MoveSpeed:    1,
+	}
+	e, err := New(prog, game.NewMechanics(), workload.Generate(spec), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Deaths == 0 {
+		t.Error("no deaths in 30 ticks of a battle-lines engagement")
+	}
+	if e.Stats.IndexStats.TreeProbes == 0 {
+		t.Error("indexed engine made no range-tree probes")
+	}
+	if e.Stats.IndexStats.Sweeps == 0 {
+		t.Error("indexed engine ran no sweeps (weakest-in-reach should batch)")
+	}
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	prog := battleProg(t)
+	env := workload.Generate(workload.Spec{Units: 10, Density: 0.01, Seed: 1})
+	dup := env.Clone()
+	dup.Rows[1][dup.Schema.KeyCol()] = dup.Rows[0][dup.Schema.KeyCol()]
+	if _, err := New(prog, game.NewMechanics(), dup, Options{Side: 10, MoveSpeed: 1}); err == nil {
+		t.Fatal("duplicate keys should be rejected")
+	}
+	noPos := table.MustSchema(table.Attr{Name: "key", Kind: table.Const})
+	_ = noPos // schema mismatch is caught by sem long before the engine
+}
+
+func TestEngineModeString(t *testing.T) {
+	if Naive.String() != "naive" || Indexed.String() != "indexed" {
+		t.Fatal("mode labels wrong")
+	}
+}
+
+func BenchmarkTickNaive500(b *testing.B)   { benchTick(b, Naive, 500) }
+func BenchmarkTickIndexed500(b *testing.B) { benchTick(b, Indexed, 500) }
+
+func benchTick(b *testing.B, mode Mode, n int) {
+	prog := battleProg(b)
+	e := newEngine(b, prog, n, mode, 42, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,453 @@
+// Package exec implements the indexed aggregate query evaluator of paper
+// Section 5.3 — the counterpart of the naive evaluator in sgl/interp.
+//
+// A one-time analysis pass classifies every aggregate and action definition
+// by inspecting the conjuncts of its WHERE clause (the paper assumes φ is
+// conjunctive; anything else falls back to a scan, preserving semantics):
+//
+//   - join range conjuncts  e.A ≥ t(u) / e.A ≤ t(u): an orthogonal range
+//     on attribute A whose bounds depend on the probing unit;
+//   - join equality/inequality conjuncts  e.A = t(u) / e.A ≠ t(u) on a
+//     categorical attribute: handled by partitioning E on A and probing
+//     the matching (or complementary) partitions — the paper's "push
+//     selection on player and/or unit type to the top";
+//   - e-only conjuncts (no u, no parameters): folded into the partition
+//     filter at index build time;
+//   - u-only conjuncts: evaluated once per probe; a false value yields the
+//     empty-set identities without touching any index;
+//   - anything else: residual → the definition is evaluated by scanning.
+//
+// Outputs are then classified individually: divisible aggregates (count,
+// sum, avg, stddev) over ≤2-attribute orthogonal ranges use the layered
+// range tree with prefix aggregates; min/max/argmin/argmax use the
+// sweep line (batch) or a per-partition scan (single probe); nearest-
+// neighbour outputs use the kD-tree; and min/max with no range conjuncts
+// at all use a precomputed per-partition global extremum.
+package exec
+
+import (
+	"github.com/epicscale/sgl/internal/sgl/ast"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+)
+
+// OutputClass says how one aggregate output column is evaluated by the
+// indexed provider.
+type OutputClass uint8
+
+// Output classes.
+const (
+	ClassScan      OutputClass = iota // fallback: O(n) scan per probe
+	ClassDivisible                    // layered range tree prefix aggregates
+	ClassMinMax                       // sweepline (batch) / partition scan
+	ClassNearest                      // kD-tree nearest neighbour
+	ClassGlobal                       // per-partition precomputed extremum
+)
+
+func (c OutputClass) String() string {
+	return [...]string{"scan", "divisible", "minmax", "nearest", "global"}[c]
+}
+
+// Bound is one side of an orthogonal range conjunct on an e-attribute:
+// e.Attr ≥ Term (lower) or e.Attr ≤ Term (upper), with Term over u,
+// parameters and constants only.
+type Bound struct {
+	Col   int // schema column of the e-attribute
+	Lower bool
+	Term  ast.Term
+}
+
+// EqCond is a join (in)equality conjunct e.Attr = Term or e.Attr ≠ Term
+// with Term over u/params/consts.
+type EqCond struct {
+	Col  int
+	Neq  bool
+	Term ast.Term
+}
+
+// RangeAxis pairs the bounds of one range attribute.
+type RangeAxis struct {
+	Col    int
+	Lo, Hi ast.Term // nil = unbounded on that side
+}
+
+// AggAnalysis is the classification of one aggregate definition.
+type AggAnalysis struct {
+	Def      *ast.AggDef
+	UOnly    []ast.Cond  // conjuncts over u/params/consts only
+	EOnly    []ast.Cond  // conjuncts over e/consts only (partition filter)
+	Eqs      []EqCond    // categorical join conjuncts
+	Axes     []RangeAxis // orthogonal range join conjuncts, ≤2 for indexing
+	Residual []ast.Cond  // unclassifiable conjuncts (forces scans)
+	OutClass []OutputClass
+	// Indexable is false when residual conjuncts or >2 range axes force
+	// every output to a scan.
+	Indexable bool
+}
+
+// ActClass says how an action's target set is computed.
+type ActClass uint8
+
+// Action classes.
+const (
+	ActScan  ActClass = iota // scan all rows
+	ActByKey                 // e.key = t(u): direct key lookup
+	ActArea                  // categorical eqs + orthogonal range: spatial index
+)
+
+func (c ActClass) String() string { return [...]string{"scan", "bykey", "area"}[c] }
+
+// ActAnalysis is the classification of one action definition.
+type ActAnalysis struct {
+	Def      *ast.ActDef
+	Class    ActClass
+	KeyTerm  ast.Term // ActByKey: the right-hand side of e.key = t
+	UOnly    []ast.Cond
+	EOnly    []ast.Cond
+	Eqs      []EqCond
+	Axes     []RangeAxis
+	Residual []ast.Cond
+	// Deferrable reports the Section 5.4 condition: an ActArea whose SET
+	// values do not reference e, so the per-performer contribution can be
+	// computed once and applied to all targets through an effect index.
+	Deferrable bool
+}
+
+// Analyzer caches per-definition classifications for a program.
+type Analyzer struct {
+	prog *sem.Program
+	aggs map[*ast.AggDef]*AggAnalysis
+	acts map[*ast.ActDef]*ActAnalysis
+	// Categorical is the set of schema columns eligible for equality
+	// partitioning (the paper's player and unit type).
+	categorical map[int]bool
+}
+
+// NewAnalyzer builds an analyzer. categoricalAttrs names the low-volatility
+// attributes used for partitioning (e.g. "player", "unittype"); names not
+// in the schema are ignored.
+func NewAnalyzer(prog *sem.Program, categoricalAttrs []string) *Analyzer {
+	cat := map[int]bool{}
+	for _, name := range categoricalAttrs {
+		if col, ok := prog.Schema.Col(name); ok {
+			cat[col] = true
+		}
+	}
+	return &Analyzer{
+		prog:        prog,
+		aggs:        map[*ast.AggDef]*AggAnalysis{},
+		acts:        map[*ast.ActDef]*ActAnalysis{},
+		categorical: cat,
+	}
+}
+
+// Agg returns the (cached) classification of an aggregate definition.
+func (an *Analyzer) Agg(def *ast.AggDef) *AggAnalysis {
+	if a, ok := an.aggs[def]; ok {
+		return a
+	}
+	a := an.analyzeAgg(def)
+	an.aggs[def] = a
+	return a
+}
+
+// Act returns the (cached) classification of an action definition.
+func (an *Analyzer) Act(def *ast.ActDef) *ActAnalysis {
+	if a, ok := an.acts[def]; ok {
+		return a
+	}
+	a := an.analyzeAct(def)
+	an.acts[def] = a
+	return a
+}
+
+// refKind classifies which row variables a term mentions.
+type refKind struct {
+	usesU, usesE, usesParam, usesRandom bool
+}
+
+func (an *Analyzer) termRefs(t ast.Term, unitName string, params []string) refKind {
+	var r refKind
+	var walk func(t ast.Term)
+	walk = func(t ast.Term) {
+		switch n := t.(type) {
+		case *ast.VarRef:
+			for _, p := range params[1:] {
+				if p == n.Name {
+					r.usesParam = true
+				}
+			}
+		case *ast.FieldRef:
+			if n.Base == "e" {
+				r.usesE = true
+			} else if n.Base == unitName {
+				r.usesU = true
+			}
+		case *ast.Field:
+			walk(n.X)
+		case *ast.Pair:
+			walk(n.X)
+			walk(n.Y)
+		case *ast.Neg:
+			walk(n.X)
+		case *ast.Binary:
+			walk(n.X)
+			walk(n.Y)
+		case *ast.Call:
+			if n.Name == "Random" || n.Name == "random" {
+				r.usesRandom = true
+			}
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(t)
+	return r
+}
+
+func (an *Analyzer) condRefs(c ast.Cond, unitName string, params []string) refKind {
+	var r refKind
+	var walk func(c ast.Cond)
+	walk = func(c ast.Cond) {
+		switch n := c.(type) {
+		case *ast.Not:
+			walk(n.X)
+		case *ast.And:
+			walk(n.X)
+			walk(n.Y)
+		case *ast.Or:
+			walk(n.X)
+			walk(n.Y)
+		case *ast.Compare:
+			for _, t := range []ast.Term{n.X, n.Y} {
+				tr := an.termRefs(t, unitName, params)
+				r.usesU = r.usesU || tr.usesU
+				r.usesE = r.usesE || tr.usesE
+				r.usesParam = r.usesParam || tr.usesParam
+				r.usesRandom = r.usesRandom || tr.usesRandom
+			}
+		}
+	}
+	walk(c)
+	return r
+}
+
+// bareEAttr returns the column if t is exactly e.Attr.
+func (an *Analyzer) bareEAttr(t ast.Term) (int, bool) {
+	fr, ok := t.(*ast.FieldRef)
+	if !ok || fr.Base != "e" {
+		return 0, false
+	}
+	col, ok := an.prog.Schema.Col(fr.Field)
+	return col, ok
+}
+
+// classifyConjunct sorts one conjunct into the analysis buckets shared by
+// aggregates and actions. Returns false if the conjunct is residual.
+func (an *Analyzer) classifyConjunct(
+	c ast.Cond, unitName string, params []string,
+	uOnly, eOnly *[]ast.Cond, eqs *[]EqCond, bounds *[]Bound,
+) bool {
+	refs := an.condRefs(c, unitName, params)
+	if refs.usesRandom {
+		return false // nondeterministic predicates are never indexed
+	}
+	if !refs.usesE {
+		*uOnly = append(*uOnly, c)
+		return true
+	}
+	if !refs.usesU && !refs.usesParam {
+		*eOnly = append(*eOnly, c)
+		return true
+	}
+
+	// Mixed conjunct: must be a comparison with a bare e-attribute on one
+	// side and a u/param/const term on the other.
+	cmp, ok := c.(*ast.Compare)
+	if !ok {
+		return false
+	}
+	lhsCol, lhsIsE := an.bareEAttr(cmp.X)
+	rhsCol, rhsIsE := an.bareEAttr(cmp.Y)
+	var col int
+	var op ast.CmpOp
+	var other ast.Term
+	switch {
+	case lhsIsE && !an.termRefs(cmp.Y, unitName, params).usesE:
+		col, op, other = lhsCol, cmp.Op, cmp.Y
+	case rhsIsE && !an.termRefs(cmp.X, unitName, params).usesE:
+		// Mirror: t op e.A  ⇒  e.A op' t.
+		col, other = rhsCol, cmp.X
+		switch cmp.Op {
+		case ast.Lt:
+			op = ast.Gt
+		case ast.Le:
+			op = ast.Ge
+		case ast.Gt:
+			op = ast.Lt
+		case ast.Ge:
+			op = ast.Le
+		default:
+			op = cmp.Op
+		}
+	default:
+		return false
+	}
+
+	switch op {
+	case ast.Eq:
+		*eqs = append(*eqs, EqCond{Col: col, Term: other})
+	case ast.Ne:
+		*eqs = append(*eqs, EqCond{Col: col, Neq: true, Term: other})
+	case ast.Ge:
+		*bounds = append(*bounds, Bound{Col: col, Lower: true, Term: other})
+	case ast.Le:
+		*bounds = append(*bounds, Bound{Col: col, Lower: false, Term: other})
+	case ast.Gt, ast.Lt:
+		// Strict bounds are not produced by the range idiom the games use
+		// (the paper's aggregates are all ≥/≤); treat as residual rather
+		// than risk off-by-epsilon index probes.
+		return false
+	}
+	return true
+}
+
+func groupAxes(bounds []Bound) []RangeAxis {
+	var axes []RangeAxis
+	find := func(col int) *RangeAxis {
+		for i := range axes {
+			if axes[i].Col == col {
+				return &axes[i]
+			}
+		}
+		axes = append(axes, RangeAxis{Col: col})
+		return &axes[len(axes)-1]
+	}
+	for _, b := range bounds {
+		ax := find(b.Col)
+		if b.Lower {
+			ax.Lo = b.Term
+		} else {
+			ax.Hi = b.Term
+		}
+	}
+	return axes
+}
+
+func (an *Analyzer) analyzeAgg(def *ast.AggDef) *AggAnalysis {
+	a := &AggAnalysis{Def: def, Indexable: true}
+	var bounds []Bound
+	if def.Where != nil {
+		for _, c := range ast.Conjuncts(def.Where) {
+			if !an.classifyConjunct(c, def.Params[0], def.Params, &a.UOnly, &a.EOnly, &a.Eqs, &bounds) {
+				a.Residual = append(a.Residual, c)
+			}
+		}
+	}
+	a.Axes = groupAxes(bounds)
+
+	// Equality partitioning requires categorical attributes.
+	for _, eq := range a.Eqs {
+		if !an.categorical[eq.Col] {
+			a.Indexable = false
+		}
+	}
+	if len(a.Residual) > 0 || len(a.Axes) > 2 {
+		a.Indexable = false
+	}
+
+	a.OutClass = make([]OutputClass, len(def.Outputs))
+	for i, out := range def.Outputs {
+		a.OutClass[i] = an.classifyOutput(a, out)
+	}
+	return a
+}
+
+func (an *Analyzer) classifyOutput(a *AggAnalysis, out ast.AggOutput) OutputClass {
+	if !a.Indexable {
+		return ClassScan
+	}
+	// Output arguments may only reference e and constants if they are to
+	// be precomputed into index payloads.
+	if out.Arg != nil {
+		refs := an.termRefs(out.Arg, a.Def.Params[0], a.Def.Params)
+		if refs.usesU || refs.usesParam || refs.usesRandom {
+			return ClassScan
+		}
+	}
+	switch out.Func {
+	case ast.Count, ast.Sum, ast.Avg, ast.Stddev:
+		return ClassDivisible
+	case ast.Min, ast.Max, ast.ArgMin, ast.ArgMax:
+		if len(a.Axes) == 0 {
+			return ClassGlobal
+		}
+		// The sweep line needs a fully bounded window on every present
+		// axis; a one-sided range falls back to the partition scan.
+		for _, ax := range a.Axes {
+			if ax.Lo == nil || ax.Hi == nil {
+				return ClassScan
+			}
+		}
+		return ClassMinMax
+	case ast.NearestKey, ast.NearestDist, ast.NearestX, ast.NearestY:
+		// The kD-tree answers pure nearest-neighbour queries; a range-
+		// restricted nearest (square visibility window) is not the same
+		// as a radius-bounded NN, so it falls back to a scan.
+		if len(a.Axes) == 0 {
+			return ClassNearest
+		}
+		return ClassScan
+	default:
+		return ClassScan
+	}
+}
+
+func (an *Analyzer) analyzeAct(def *ast.ActDef) *ActAnalysis {
+	a := &ActAnalysis{Def: def}
+	var bounds []Bound
+	if def.Where != nil {
+		for _, c := range ast.Conjuncts(def.Where) {
+			if !an.classifyConjunct(c, def.Params[0], def.Params, &a.UOnly, &a.EOnly, &a.Eqs, &bounds) {
+				a.Residual = append(a.Residual, c)
+			}
+		}
+	}
+	a.Axes = groupAxes(bounds)
+
+	// Any conjunct of the form e.key = t makes the action a point lookup:
+	// the remaining conjuncts (whatever their shape — the d20 scripts put
+	// the attack-roll-vs-AC check here) are verified on the single
+	// candidate row, which costs O(1).
+	keyCol := an.prog.Schema.KeyCol()
+	for _, eq := range a.Eqs {
+		if eq.Col == keyCol && !eq.Neq {
+			a.Class = ActByKey
+			a.KeyTerm = eq.Term
+			return a
+		}
+	}
+
+	catsOK := true
+	for _, eq := range a.Eqs {
+		if !an.categorical[eq.Col] {
+			catsOK = false
+		}
+	}
+	if len(a.Residual) == 0 && catsOK && len(a.Axes) >= 1 && len(a.Axes) <= 2 {
+		a.Class = ActArea
+		a.Deferrable = true
+		for _, set := range def.Sets {
+			refs := an.termRefs(set.Value, def.Params[0], def.Params)
+			// A deferrable contribution must be a pure function of the
+			// performer: Random(i) is attributed to the *target* row, so
+			// its presence pins the action to the per-target path.
+			if refs.usesE || refs.usesRandom {
+				a.Deferrable = false
+			}
+		}
+		return a
+	}
+	a.Class = ActScan
+	return a
+}

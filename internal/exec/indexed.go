@@ -1,0 +1,960 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/epicscale/sgl/internal/geom"
+	"github.com/epicscale/sgl/internal/index/kdtree"
+	"github.com/epicscale/sgl/internal/index/rangetree"
+	"github.com/epicscale/sgl/internal/index/segtree"
+	"github.com/epicscale/sgl/internal/index/sweepline"
+	"github.com/epicscale/sgl/internal/rng"
+	"github.com/epicscale/sgl/internal/sgl/ast"
+	"github.com/epicscale/sgl/internal/sgl/interp"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/table"
+)
+
+// Indexed is the paper's optimized aggregate query evaluator (Section 5.3):
+// per-tick, per-definition index structures — layered range trees for
+// divisible aggregates, kD-trees for nearest-neighbour, sweep lines for
+// MIN/MAX — built over categorical partitions of E and probed per unit.
+//
+// Construct one Indexed per tick; indices are built lazily on first use of
+// each definition (the paper's two index-building phases fall out of this:
+// decision-phase aggregates trigger builds before probing, action-phase
+// structures are built when actions run). Indexed must agree exactly with
+// interp.Naive; the differential tests in this package enforce that.
+type Indexed struct {
+	prog  *sem.Program
+	an    *Analyzer
+	env   *table.Table
+	r     rng.TickSource
+	naive *interp.Naive
+
+	keyIndex map[int64]int
+	aggIdx   map[*ast.AggDef]*aggIndex
+	actIdx   map[*ast.ActDef]*actIndex
+
+	// argFold holds cross-partition arg-extremum state during one batch
+	// call; reset at the start of every EvalAggBatch.
+	argFold map[[2]int]argState
+
+	// Stats counts index builds and probes for the benchmark reports.
+	Stats Stats
+}
+
+// Stats counts the work the indexed evaluator performed in one tick.
+type Stats struct {
+	IndexBuilds int
+	TreeProbes  int
+	KDProbes    int
+	Sweeps      int
+	ScanProbes  int
+}
+
+var _ interp.Provider = (*Indexed)(nil)
+
+// NewIndexed returns an indexed provider for one tick. The analyzer is
+// shared across ticks (classification is per-program).
+func NewIndexed(an *Analyzer, env *table.Table, r rng.TickSource) *Indexed {
+	return &Indexed{
+		prog: an.prog, an: an, env: env, r: r,
+		naive:  interp.NewNaive(an.prog, env, r),
+		aggIdx: map[*ast.AggDef]*aggIndex{},
+		actIdx: map[*ast.ActDef]*actIndex{},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-definition aggregate indices
+
+// payloadSpec lays out the flattened per-point payload columns a range tree
+// carries: literal 1s (counts), argument terms, and squared argument terms.
+type payloadSpec struct {
+	terms   []ast.Term // nil entry = constant 1
+	squared []bool
+	index   map[string]int
+}
+
+func (ps *payloadSpec) col(t ast.Term, squared bool) int {
+	key := "1"
+	if t != nil {
+		key = t.String()
+	}
+	if squared {
+		key += "²"
+	}
+	if ps.index == nil {
+		ps.index = map[string]int{}
+	}
+	if i, ok := ps.index[key]; ok {
+		return i
+	}
+	ps.terms = append(ps.terms, t)
+	ps.squared = append(ps.squared, squared)
+	ps.index[key] = len(ps.terms) - 1
+	return len(ps.terms) - 1
+}
+
+// divCols records which payload columns serve one divisible output.
+type divCols struct {
+	cnt, sum, sumSq int // -1 when unused
+}
+
+type aggIndex struct {
+	a       *AggAnalysis
+	payload payloadSpec
+	div     []divCols // indexed by output position (unused entries zeroed)
+	// minPayCol is the payload column of each MinMax output's argument in
+	// the per-partition value arrays (separate from the range tree).
+	minArg []ast.Term
+	parts  map[string]*aggPart
+	order  []string // deterministic partition iteration order
+}
+
+type aggPart struct {
+	rows   []int // env row indexes
+	rt     *rangetree.Tree
+	kd     *kdtree.Tree
+	global []globalExt // per output: precomputed extremum (ClassGlobal)
+}
+
+type globalExt struct {
+	val float64
+	key int64
+	ok  bool
+}
+
+func (p *Indexed) partitionKey(row []float64, cols []int) string {
+	var b strings.Builder
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%g|", row[c])
+	}
+	return b.String()
+}
+
+// eqCols returns the sorted distinct columns of the analysis' eq conjuncts.
+func eqCols(eqs []EqCond) []int {
+	var cols []int
+	for _, eq := range eqs {
+		dup := false
+		for _, c := range cols {
+			if c == eq.Col {
+				dup = true
+			}
+		}
+		if !dup {
+			cols = append(cols, eq.Col)
+		}
+	}
+	return cols
+}
+
+// aggIndexFor builds (once per tick) the index structures for a definition.
+func (p *Indexed) aggIndexFor(def *ast.AggDef) *aggIndex {
+	if idx, ok := p.aggIdx[def]; ok {
+		return idx
+	}
+	a := p.an.Agg(def)
+	idx := &aggIndex{a: a, parts: map[string]*aggPart{}}
+
+	// Payload layout for divisible outputs.
+	idx.div = make([]divCols, len(def.Outputs))
+	idx.minArg = make([]ast.Term, len(def.Outputs))
+	needRT, needKD := false, false
+	anyGlobal := false
+	for i, out := range def.Outputs {
+		idx.div[i] = divCols{cnt: -1, sum: -1, sumSq: -1}
+		switch a.OutClass[i] {
+		case ClassDivisible:
+			needRT = true
+			switch out.Func {
+			case ast.Count:
+				idx.div[i].cnt = idx.payload.col(nil, false)
+			case ast.Sum:
+				idx.div[i].sum = idx.payload.col(out.Arg, false)
+			case ast.Avg:
+				idx.div[i].cnt = idx.payload.col(nil, false)
+				idx.div[i].sum = idx.payload.col(out.Arg, false)
+			case ast.Stddev:
+				idx.div[i].cnt = idx.payload.col(nil, false)
+				idx.div[i].sum = idx.payload.col(out.Arg, false)
+				idx.div[i].sumSq = idx.payload.col(out.Arg, true)
+			}
+		case ClassNearest:
+			needKD = true
+		case ClassGlobal:
+			anyGlobal = true
+			idx.minArg[i] = out.Arg
+		case ClassMinMax:
+			idx.minArg[i] = out.Arg
+		}
+	}
+
+	// Partition rows by the eq columns, applying e-only filters at build.
+	cols := eqCols(a.Eqs)
+	dl := interp.DefParams(def)
+	for i, row := range p.env.Rows {
+		passes := true
+		for _, c := range a.EOnly {
+			// e-only conjuncts: u/args are irrelevant; pass the row itself.
+			ok, err := interp.EvalDefCond(c, dl, row, nil, row, p.prog, p.r)
+			if err != nil {
+				panic("exec: " + err.Error())
+			}
+			if !ok {
+				passes = false
+				break
+			}
+		}
+		if !passes {
+			continue
+		}
+		key := p.partitionKey(row, cols)
+		part := idx.parts[key]
+		if part == nil {
+			part = &aggPart{}
+			idx.parts[key] = part
+			idx.order = append(idx.order, key)
+		}
+		part.rows = append(part.rows, i)
+	}
+
+	xCol, yCol := p.axisCols(a.Axes)
+	schema := p.prog.Schema
+	for _, key := range idx.order {
+		part := idx.parts[key]
+		if needRT {
+			pts := make([]rangetree.Point, len(part.rows))
+			w := len(idx.payload.terms)
+			vals := make([]float64, len(part.rows)*w)
+			for j, ri := range part.rows {
+				row := p.env.Rows[ri]
+				pts[j] = rangetree.Point{X: p.axisVal(row, xCol), Y: p.axisVal(row, yCol)}
+				for c, term := range idx.payload.terms {
+					v := 1.0
+					if term != nil {
+						var err error
+						v, err = interp.EvalDefTermWith(term, dl, row, nil, row, p.prog, p.r)
+						if err != nil {
+							panic("exec: " + err.Error())
+						}
+						if idx.payload.squared[c] {
+							v *= v
+						}
+					}
+					vals[j*w+c] = v
+				}
+			}
+			part.rt = rangetree.Build(pts, w, vals)
+			p.Stats.IndexBuilds++
+		}
+		if needKD {
+			xc, yc := schema.MustCol("posx"), schema.MustCol("posy")
+			pts := make([]kdtree.Point, len(part.rows))
+			for j, ri := range part.rows {
+				row := p.env.Rows[ri]
+				pts[j] = kdtree.Point{X: row[xc], Y: row[yc], Key: int64(row[schema.KeyCol()])}
+			}
+			part.kd = kdtree.Build(pts)
+			p.Stats.IndexBuilds++
+		}
+		if anyGlobal {
+			part.global = make([]globalExt, len(def.Outputs))
+			for i, out := range def.Outputs {
+				if a.OutClass[i] != ClassGlobal {
+					continue
+				}
+				ext := globalExt{}
+				isMin := out.Func == ast.Min || out.Func == ast.ArgMin
+				for _, ri := range part.rows {
+					row := p.env.Rows[ri]
+					v, err := interp.EvalDefTermWith(out.Arg, dl, row, nil, row, p.prog, p.r)
+					if err != nil {
+						panic("exec: " + err.Error())
+					}
+					k := int64(row[schema.KeyCol()])
+					if !ext.ok || (isMin && v < ext.val) || (!isMin && v > ext.val) ||
+						(v == ext.val && k < ext.key) {
+						ext = globalExt{val: v, key: k, ok: true}
+					}
+				}
+				part.global[i] = ext
+			}
+			p.Stats.IndexBuilds++
+		}
+	}
+	p.aggIdx[def] = idx
+	return idx
+}
+
+// axisCols maps the analysis' range axes to the (x, y) of the 2-d indices;
+// a missing axis contributes a constant 0 coordinate and ±Inf bounds.
+func (p *Indexed) axisCols(axes []RangeAxis) (int, int) {
+	xCol, yCol := -1, -1
+	if len(axes) >= 1 {
+		xCol = axes[0].Col
+	}
+	if len(axes) >= 2 {
+		yCol = axes[1].Col
+	}
+	return xCol, yCol
+}
+
+func (p *Indexed) axisVal(row []float64, col int) float64 {
+	if col < 0 {
+		return 0
+	}
+	return row[col]
+}
+
+// probeRect evaluates the axis bound terms for one probing unit.
+func (p *Indexed) probeRect(a *AggAnalysis, dl interp.DefLike, unit, args []float64) (geom.Rect, error) {
+	r := geom.Rect{MinX: math.Inf(-1), MinY: math.Inf(-1), MaxX: math.Inf(1), MaxY: math.Inf(1)}
+	evalBound := func(t ast.Term) (float64, error) {
+		return interp.EvalDefTermWith(t, dl, unit, args, unit, p.prog, p.r)
+	}
+	if len(a.Axes) >= 1 {
+		ax := a.Axes[0]
+		if ax.Lo != nil {
+			v, err := evalBound(ax.Lo)
+			if err != nil {
+				return r, err
+			}
+			r.MinX = v
+		}
+		if ax.Hi != nil {
+			v, err := evalBound(ax.Hi)
+			if err != nil {
+				return r, err
+			}
+			r.MaxX = v
+		}
+	}
+	if len(a.Axes) >= 2 {
+		ax := a.Axes[1]
+		if ax.Lo != nil {
+			v, err := evalBound(ax.Lo)
+			if err != nil {
+				return r, err
+			}
+			r.MinY = v
+		}
+		if ax.Hi != nil {
+			v, err := evalBound(ax.Hi)
+			if err != nil {
+				return r, err
+			}
+			r.MaxY = v
+		}
+	}
+	// A degenerate second axis (only one range attribute) keeps Y unbounded
+	// around the constant-0 coordinate: Inf bounds already cover it.
+	return r, nil
+}
+
+// matchParts returns the partitions consistent with the eq conjuncts for
+// one probing unit, in deterministic order.
+func (p *Indexed) matchParts(idx *aggIndex, dl interp.DefLike, eqs []EqCond, unit, args []float64) ([]*aggPart, error) {
+	type req struct {
+		col int
+		val float64
+		neq bool
+	}
+	reqs := make([]req, len(eqs))
+	for i, eq := range eqs {
+		v, err := interp.EvalDefTermWith(eq.Term, dl, unit, args, unit, p.prog, p.r)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = req{col: eq.Col, val: v, neq: eq.Neq}
+	}
+	var out []*aggPart
+	for _, key := range idx.order {
+		part := idx.parts[key]
+		if len(part.rows) == 0 {
+			continue
+		}
+		sample := p.env.Rows[part.rows[0]]
+		ok := true
+		for _, rq := range reqs {
+			if rq.neq {
+				if sample[rq.col] == rq.val {
+					ok = false
+				}
+			} else if sample[rq.col] != rq.val {
+				ok = false
+			}
+		}
+		if ok {
+			out = append(out, part)
+		}
+	}
+	return out, nil
+}
+
+// identityResults fills the empty-set identities for every output.
+func identityResults(def *ast.AggDef) []float64 {
+	out := make([]float64, len(def.Outputs))
+	for i, o := range def.Outputs {
+		switch o.Func {
+		case ast.Min:
+			out[i] = math.Inf(1)
+		case ast.Max:
+			out[i] = math.Inf(-1)
+		case ast.ArgMin, ast.ArgMax, ast.NearestKey:
+			out[i] = interp.NoKey
+		case ast.NearestDist:
+			out[i] = math.Inf(1)
+		case ast.NearestX, ast.NearestY:
+			out[i] = 0
+		default:
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// EvalAgg answers one probe. Divisible outputs are O(log n) range-tree
+// probes, nearest outputs are kD-tree descents, global extrema are O(1)
+// lookups; MinMax-class outputs fall back to a partition scan on this
+// single-probe path (the batch path in EvalAggBatch uses the sweep line).
+func (p *Indexed) EvalAgg(def *ast.AggDef, unit []float64, args []float64) []float64 {
+	return p.evalCore(def, unit, args, false)
+}
+
+func (p *Indexed) evalCore(def *ast.AggDef, unit []float64, args []float64, skipMinMax bool) []float64 {
+	a := p.an.Agg(def)
+	if !a.Indexable {
+		p.Stats.ScanProbes++
+		return p.naive.EvalAgg(def, unit, args)
+	}
+	dl := interp.DefParams(def)
+	// u-only conjuncts: false ⇒ empty set ⇒ identities.
+	for _, c := range a.UOnly {
+		ok, err := interp.EvalDefCond(c, dl, unit, args, unit, p.prog, p.r)
+		if err != nil {
+			panic("exec: " + err.Error())
+		}
+		if !ok {
+			return identityResults(def)
+		}
+	}
+	idx := p.aggIndexFor(def)
+	parts, err := p.matchParts(idx, dl, a.Eqs, unit, args)
+	if err != nil {
+		panic("exec: " + err.Error())
+	}
+	rect, err := p.probeRect(a, dl, unit, args)
+	if err != nil {
+		panic("exec: " + err.Error())
+	}
+
+	out := identityResults(def)
+	w := len(idx.payload.terms)
+	var payload []float64
+	if w > 0 {
+		payload = make([]float64, w)
+	}
+	needPayload := false
+	for i := range def.Outputs {
+		if a.OutClass[i] == ClassDivisible {
+			needPayload = true
+		}
+	}
+	if needPayload {
+		for _, part := range parts {
+			if part.rt != nil {
+				part.rt.Aggregate(rect, payload)
+				p.Stats.TreeProbes++
+			}
+		}
+	}
+
+	schema := p.prog.Schema
+	for i, o := range def.Outputs {
+		switch a.OutClass[i] {
+		case ClassDivisible:
+			d := idx.div[i]
+			switch o.Func {
+			case ast.Count:
+				out[i] = payload[d.cnt]
+			case ast.Sum:
+				out[i] = payload[d.sum]
+			case ast.Avg:
+				if payload[d.cnt] > 0 {
+					out[i] = payload[d.sum] / payload[d.cnt]
+				}
+			case ast.Stddev:
+				if cnt := payload[d.cnt]; cnt > 0 {
+					mean := payload[d.sum] / cnt
+					variance := payload[d.sumSq]/cnt - mean*mean
+					if variance < 0 {
+						variance = 0
+					}
+					out[i] = math.Sqrt(variance)
+				}
+			}
+		case ClassNearest:
+			best := kdtree.Result{DistSq: math.Inf(1)}
+			self := int64(unit[schema.KeyCol()])
+			for _, part := range parts {
+				if part.kd == nil {
+					continue
+				}
+				p.Stats.KDProbes++
+				r := part.kd.Nearest(unit[schema.MustCol("posx")], unit[schema.MustCol("posy")], self, math.Inf(1))
+				if r.Found && (!best.Found || r.DistSq < best.DistSq ||
+					(r.DistSq == best.DistSq && r.Key < best.Key)) {
+					best = r
+				}
+			}
+			if best.Found {
+				switch o.Func {
+				case ast.NearestKey:
+					out[i] = float64(best.Key)
+				case ast.NearestX:
+					out[i] = best.X
+				case ast.NearestY:
+					out[i] = best.Y
+				default:
+					out[i] = math.Sqrt(best.DistSq)
+				}
+			}
+		case ClassGlobal:
+			isMin := o.Func == ast.Min || o.Func == ast.ArgMin
+			ext := globalExt{}
+			for _, part := range parts {
+				if i >= len(part.global) || !part.global[i].ok {
+					continue
+				}
+				g := part.global[i]
+				if !ext.ok || (isMin && g.val < ext.val) || (!isMin && g.val > ext.val) ||
+					(g.val == ext.val && g.key < ext.key) {
+					ext = g
+				}
+			}
+			if ext.ok {
+				switch o.Func {
+				case ast.Min, ast.Max:
+					out[i] = ext.val
+				default:
+					out[i] = float64(ext.key)
+				}
+			}
+		case ClassMinMax:
+			if !skipMinMax {
+				out[i] = p.scanOutput(def, a, i, parts, rect, unit, args)
+			}
+		case ClassScan:
+			out[i] = p.scanOutput(def, a, i, parts, rect, unit, args)
+		}
+	}
+	return out
+}
+
+// scanOutput evaluates one output by scanning the matching partitions with
+// the axis bounds applied — the correct fallback for outputs the indices
+// cannot serve on the single-probe path.
+func (p *Indexed) scanOutput(def *ast.AggDef, a *AggAnalysis, outIdx int, parts []*aggPart, rect geom.Rect, unit, args []float64) float64 {
+	p.Stats.ScanProbes++
+	dl := interp.DefParams(def)
+	accs := interp.NewAggAccs(def, p.prog.Schema, unit)
+	acc := accs[outIdx]
+	xCol, yCol := p.axisCols(a.Axes)
+	for _, part := range parts {
+		for _, ri := range part.rows {
+			row := p.env.Rows[ri]
+			x, y := p.axisVal(row, xCol), p.axisVal(row, yCol)
+			if x < rect.MinX || x > rect.MaxX || y < rect.MinY || y > rect.MaxY {
+				continue
+			}
+			// Residual conjuncts cannot exist here (Indexable implies none).
+			acc.Add(row, func(t ast.Term) float64 {
+				v, err := interp.EvalDefTermWith(t, dl, unit, args, row, p.prog, p.r)
+				if err != nil {
+					panic("exec: " + err.Error())
+				}
+				return v
+			})
+		}
+	}
+	return acc.Result()
+}
+
+// ---------------------------------------------------------------------------
+// Batch evaluation (sweep line for MIN/MAX)
+
+// EvalAggBatch answers the same probe for many units at once. Divisible,
+// nearest and global outputs delegate to the per-probe path (already
+// O(log n) each); MinMax-class outputs are batched through the sweep line
+// of Section 5.3.1, grouping probes by their constant window height.
+func (p *Indexed) EvalAggBatch(def *ast.AggDef, units [][]float64, args [][]float64) [][]float64 {
+	a := p.an.Agg(def)
+	results := make([][]float64, len(units))
+	anyMinMax := false
+	for i := range def.Outputs {
+		if a.OutClass[i] == ClassMinMax {
+			anyMinMax = true
+		}
+	}
+	for i := range units {
+		var arg []float64
+		if args != nil {
+			arg = args[i]
+		}
+		if anyMinMax && a.Indexable {
+			results[i] = p.evalNonMinMax(def, a, units[i], arg)
+		} else {
+			results[i] = p.EvalAgg(def, units[i], arg)
+		}
+	}
+	if !anyMinMax || !a.Indexable {
+		return results
+	}
+	p.argFold = nil
+	p.evalMinMaxBatch(def, a, units, args, results)
+	return results
+}
+
+// evalNonMinMax computes every output except MinMax ones, which stay at
+// their identities for the sweep to overwrite.
+func (p *Indexed) evalNonMinMax(def *ast.AggDef, a *AggAnalysis, unit, args []float64) []float64 {
+	return p.evalCore(def, unit, args, true)
+}
+
+type sweepGroup struct {
+	height float64
+	probes []sweepline.Probe
+	rowIdx []int // result row per probe
+	rects  []geom.Rect
+}
+
+// evalMinMaxBatch fills the MinMax-class outputs of results via sweeps.
+func (p *Indexed) evalMinMaxBatch(def *ast.AggDef, a *AggAnalysis, units [][]float64, args [][]float64, results [][]float64) {
+	dl := interp.DefParams(def)
+	idx := p.aggIndexFor(def)
+	schema := p.prog.Schema
+
+	// Partition probes: each probe goes to the partitions its eq conjuncts
+	// select. Group by (partition, window height). To keep the grouping
+	// tractable we group first by height, then sweep each matching
+	// partition with the group's probes filtered per-partition.
+	type probeInfo struct {
+		row    int
+		rect   geom.Rect
+		parts  []*aggPart
+		active bool
+	}
+	infos := make([]probeInfo, len(units))
+	for i, unit := range units {
+		var arg []float64
+		if args != nil {
+			arg = args[i]
+		}
+		ok := true
+		for _, c := range a.UOnly {
+			pass, err := interp.EvalDefCond(c, dl, unit, arg, unit, p.prog, p.r)
+			if err != nil {
+				panic("exec: " + err.Error())
+			}
+			if !pass {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		rect, err := p.probeRect(a, dl, unit, arg)
+		if err != nil {
+			panic("exec: " + err.Error())
+		}
+		parts, err := p.matchParts(idx, dl, a.Eqs, unit, arg)
+		if err != nil {
+			panic("exec: " + err.Error())
+		}
+		infos[i] = probeInfo{row: i, rect: rect, parts: parts, active: true}
+	}
+
+	xCol, yCol := p.axisCols(a.Axes)
+	for outIdx, o := range def.Outputs {
+		if a.OutClass[outIdx] != ClassMinMax {
+			continue
+		}
+		op := segtree.Min
+		if o.Func == ast.Max || o.Func == ast.ArgMax {
+			op = segtree.Max
+		}
+		// Group (partition, height) → probes.
+		type groupKey struct {
+			part   *aggPart
+			height float64
+		}
+		groups := map[groupKey]*sweepGroup{}
+		var order []groupKey
+		for i := range infos {
+			if !infos[i].active {
+				continue
+			}
+			_, ryHalf := centerHalf(infos[i].rect.MinY, infos[i].rect.MaxY)
+			h := 2 * ryHalf
+			for _, part := range infos[i].parts {
+				gk := groupKey{part, h}
+				g := groups[gk]
+				if g == nil {
+					g = &sweepGroup{height: h}
+					groups[gk] = g
+					order = append(order, gk)
+				}
+				cx, rx := centerHalf(infos[i].rect.MinX, infos[i].rect.MaxX)
+				cy, _ := centerHalf(infos[i].rect.MinY, infos[i].rect.MaxY)
+				g.probes = append(g.probes, sweepline.Probe{
+					X: cx, Y: cy, RX: rx,
+					Exclude: sweepline.NoExclude,
+				})
+				g.rowIdx = append(g.rowIdx, infos[i].row)
+			}
+		}
+
+		for _, gk := range order {
+			g := groups[gk]
+			part := gk.part
+			pts := make([]sweepline.Point, len(part.rows))
+			for j, ri := range part.rows {
+				row := p.env.Rows[ri]
+				v, err := interp.EvalDefTermWith(o.Arg, dl, row, nil, row, p.prog, p.r)
+				if err != nil {
+					panic("exec: " + err.Error())
+				}
+				pts[j] = sweepline.Point{
+					X:     p.axisVal(row, xCol),
+					Y:     p.axisVal(row, yCol),
+					Value: v,
+					Key:   int64(row[schema.KeyCol()]),
+				}
+			}
+			p.Stats.Sweeps++
+			ry := g.height / 2
+			if math.IsInf(g.height, 1) {
+				ry = math.Inf(1)
+			}
+			res := sweepline.Sweep(pts, g.probes, ry, op)
+			for j, r := range res {
+				ri := g.rowIdx[j]
+				cur := results[ri][outIdx]
+				switch o.Func {
+				case ast.Min:
+					if r.Found && r.Value < cur {
+						results[ri][outIdx] = r.Value
+					}
+				case ast.Max:
+					if r.Found && r.Value > cur {
+						results[ri][outIdx] = r.Value
+					}
+				case ast.ArgMin, ast.ArgMax:
+					// Fold arg-extrema across partitions: track via a
+					// shadow value array.
+					p.foldArg(results, ri, outIdx, r, o.Func)
+				}
+			}
+		}
+	}
+}
+
+// foldArg folds an arg-extremum sweep result into the running answer. The
+// running value is stored as the key; to compare across partitions we keep
+// the winning value in a side map keyed by (row, out).
+type argState struct {
+	val float64
+	key int64
+	ok  bool
+}
+
+func (p *Indexed) foldArg(results [][]float64, row, out int, r sweepline.Result, f ast.AggFunc) {
+	if !r.Found {
+		return
+	}
+	if p.argFold == nil {
+		p.argFold = map[[2]int]argState{}
+	}
+	k := [2]int{row, out}
+	cur, ok := p.argFold[k]
+	isMin := f == ast.ArgMin
+	better := !ok ||
+		(isMin && r.Value < cur.val) || (!isMin && r.Value > cur.val) ||
+		(r.Value == cur.val && r.Key < cur.key)
+	if better {
+		p.argFold[k] = argState{val: r.Value, key: r.Key, ok: true}
+		results[row][out] = float64(r.Key)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Action target selection
+
+type actIndex struct {
+	a     *ActAnalysis
+	parts map[string]*actPart
+	order []string
+}
+
+type actPart struct {
+	rows []int
+	rt   *rangetree.Tree
+}
+
+func (p *Indexed) actIndexFor(def *ast.ActDef) *actIndex {
+	if idx, ok := p.actIdx[def]; ok {
+		return idx
+	}
+	a := p.an.Act(def)
+	idx := &actIndex{a: a, parts: map[string]*actPart{}}
+	cols := eqCols(a.Eqs)
+	dl := interp.DefParams(def)
+	for i, row := range p.env.Rows {
+		passes := true
+		for _, c := range a.EOnly {
+			ok, err := interp.EvalDefCond(c, dl, row, nil, row, p.prog, p.r)
+			if err != nil {
+				panic("exec: " + err.Error())
+			}
+			if !ok {
+				passes = false
+				break
+			}
+		}
+		if !passes {
+			continue
+		}
+		key := p.partitionKey(row, cols)
+		part := idx.parts[key]
+		if part == nil {
+			part = &actPart{}
+			idx.parts[key] = part
+			idx.order = append(idx.order, key)
+		}
+		part.rows = append(part.rows, i)
+	}
+	xCol, yCol := p.axisCols(a.Axes)
+	for _, key := range idx.order {
+		part := idx.parts[key]
+		pts := make([]rangetree.Point, len(part.rows))
+		for j, ri := range part.rows {
+			row := p.env.Rows[ri]
+			pts[j] = rangetree.Point{X: p.axisVal(row, xCol), Y: p.axisVal(row, yCol)}
+		}
+		part.rt = rangetree.Build(pts, 0, nil)
+		p.Stats.IndexBuilds++
+	}
+	p.actIdx[def] = idx
+	return idx
+}
+
+func (p *Indexed) keyLookup() map[int64]int {
+	if p.keyIndex == nil {
+		p.keyIndex = make(map[int64]int, p.env.Len())
+		kc := p.prog.Schema.KeyCol()
+		for i, row := range p.env.Rows {
+			p.keyIndex[int64(row[kc])] = i
+		}
+	}
+	return p.keyIndex
+}
+
+// SelectTargets visits the action's targets using the classified strategy:
+// key lookups are O(1), area actions are O(log n + k) range-tree reports,
+// everything else scans (matching the naive provider exactly).
+func (p *Indexed) SelectTargets(def *ast.ActDef, unit []float64, args []float64, visit func([]float64)) {
+	a := p.an.Act(def)
+	dl := interp.DefParams(def)
+	for _, c := range a.UOnly {
+		ok, err := interp.EvalDefCond(c, dl, unit, args, unit, p.prog, p.r)
+		if err != nil {
+			panic("exec: " + err.Error())
+		}
+		if !ok {
+			return
+		}
+	}
+	switch a.Class {
+	case ActByKey:
+		keyVal, err := interp.EvalDefTermWith(a.KeyTerm, dl, unit, args, unit, p.prog, p.r)
+		if err != nil {
+			panic("exec: " + err.Error())
+		}
+		if ri, ok := p.keyLookup()[int64(keyVal)]; ok {
+			row := p.env.Rows[ri]
+			if float64(int64(keyVal)) == row[p.prog.Schema.KeyCol()] {
+				// Verify the full WHERE clause on the one candidate: the
+				// classifier only guarantees the key conjunct.
+				pass, err := interp.EvalDefCond(def.Where, dl, unit, args, row, p.prog, p.r)
+				if err != nil {
+					panic("exec: " + err.Error())
+				}
+				if pass {
+					visit(row)
+				}
+			}
+		}
+	case ActArea:
+		idx := p.actIndexFor(def)
+		aggA := AggAnalysis{Def: nil, Axes: a.Axes} // reuse probeRect shape
+		rect, err := p.probeRect(&aggA, dl, unit, args)
+		if err != nil {
+			panic("exec: " + err.Error())
+		}
+		type req struct {
+			col int
+			val float64
+			neq bool
+		}
+		reqs := make([]req, len(a.Eqs))
+		for i, eq := range a.Eqs {
+			v, err := interp.EvalDefTermWith(eq.Term, dl, unit, args, unit, p.prog, p.r)
+			if err != nil {
+				panic("exec: " + err.Error())
+			}
+			reqs[i] = req{col: eq.Col, val: v, neq: eq.Neq}
+		}
+		for _, key := range idx.order {
+			part := idx.parts[key]
+			if len(part.rows) == 0 {
+				continue
+			}
+			sample := p.env.Rows[part.rows[0]]
+			ok := true
+			for _, rq := range reqs {
+				if rq.neq {
+					if sample[rq.col] == rq.val {
+						ok = false
+					}
+				} else if sample[rq.col] != rq.val {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			part.rt.Report(rect, func(j int) {
+				visit(p.env.Rows[part.rows[j]])
+			})
+		}
+	default:
+		p.Stats.ScanProbes++
+		p.naive.SelectTargets(def, unit, args, visit)
+	}
+}
+
+// centerHalf converts an interval to (center, half-extent). A doubly
+// unbounded interval maps to (0, +Inf) — which is only produced for an
+// absent index axis, where every point carries the constant coordinate 0.
+func centerHalf(lo, hi float64) (float64, float64) {
+	if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
+		return 0, math.Inf(1)
+	}
+	return (lo + hi) / 2, (hi - lo) / 2
+}

@@ -1,0 +1,13 @@
+package game
+
+import "testing"
+
+func TestCompileSmoke(t *testing.T) {
+	prog, err := Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Script.Aggs) != 12 || len(prog.Script.Acts) != 5 {
+		t.Fatalf("aggs=%d acts=%d", len(prog.Script.Aggs), len(prog.Script.Acts))
+	}
+}

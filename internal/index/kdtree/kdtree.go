@@ -1,0 +1,293 @@
+// Package kdtree implements the 2-d tree used for spatial aggregates such
+// as nearest-neighbour queries (paper Section 5.3.2, citing Bentley's
+// semidynamic k-d trees).
+//
+// The paper places kD-trees at the lowest level of a layered structure:
+// categorical selections (player, unit type, "whose armor we can
+// penetrate") are handled by building one tree per partition above this
+// package, then each probe is answered by the partition's tree. Queries
+// support an exclusion key (a unit is never its own nearest enemy) and an
+// optional maximum radius (visibility range).
+package kdtree
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is an indexed location with its unit key.
+type Point struct {
+	X, Y float64
+	Key  int64
+}
+
+// Tree is an immutable 2-d tree, rebuilt per tick like the other indices.
+// Safe for concurrent reads.
+type Tree struct {
+	pts []Point // points in tree layout order
+	// The tree is stored implicitly: node i covers pts[lo:hi] with the
+	// median at mid; children are the sub-slices. Recursion boundaries are
+	// recomputed during search, so no explicit node structs are needed.
+}
+
+// Build constructs a balanced 2-d tree in O(n log n). The input slice is
+// not modified.
+func Build(pts []Point) *Tree {
+	cp := append([]Point(nil), pts...)
+	build(cp, 0)
+	return &Tree{pts: cp}
+}
+
+// build recursively partitions pts around the median along the split axis
+// (0 = x, 1 = y, alternating by depth).
+func build(pts []Point, axis int) {
+	if len(pts) <= 1 {
+		return
+	}
+	mid := len(pts) / 2
+	nthElement(pts, mid, axis)
+	build(pts[:mid], 1-axis)
+	build(pts[mid+1:], 1-axis)
+}
+
+// nthElement partially sorts pts so pts[k] holds the k-th smallest element
+// along the axis, smaller elements before and larger after (quickselect
+// with median-of-three pivots; ties broken by the other axis then key for
+// determinism).
+func nthElement(pts []Point, k, axis int) {
+	lo, hi := 0, len(pts)-1
+	for lo < hi {
+		if hi-lo < 16 {
+			insertionSort(pts[lo:hi+1], axis)
+			return
+		}
+		p := medianOfThree(pts, lo, (lo+hi)/2, hi, axis)
+		pts[p], pts[hi] = pts[hi], pts[p]
+		store := lo
+		for i := lo; i < hi; i++ {
+			if less(pts[i], pts[hi], axis) {
+				pts[i], pts[store] = pts[store], pts[i]
+				store++
+			}
+		}
+		pts[store], pts[hi] = pts[hi], pts[store]
+		switch {
+		case store == k:
+			return
+		case store < k:
+			lo = store + 1
+		default:
+			hi = store - 1
+		}
+	}
+}
+
+func insertionSort(pts []Point, axis int) {
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && less(pts[j], pts[j-1], axis); j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+}
+
+func medianOfThree(pts []Point, a, b, c, axis int) int {
+	if less(pts[a], pts[b], axis) {
+		a, b = b, a
+	}
+	if less(pts[b], pts[c], axis) {
+		b = c
+	}
+	if less(pts[a], pts[b], axis) {
+		b = a
+	}
+	return b
+}
+
+func less(a, b Point, axis int) bool {
+	av, bv := coord(a, axis), coord(b, axis)
+	if av != bv {
+		return av < bv
+	}
+	ao, bo := coord(a, 1-axis), coord(b, 1-axis)
+	if ao != bo {
+		return ao < bo
+	}
+	return a.Key < b.Key
+}
+
+func coord(p Point, axis int) float64 {
+	if axis == 0 {
+		return p.X
+	}
+	return p.Y
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Result is a nearest-neighbour answer.
+type Result struct {
+	Key    int64
+	X, Y   float64
+	DistSq float64
+	Found  bool
+}
+
+// Nearest returns the point closest (Euclidean) to (x, y), excluding any
+// point whose key equals exclude (pass a negative key to exclude nothing),
+// and ignoring points farther than maxDist (pass +Inf for unbounded).
+// Ties break toward the smaller key so both evaluators agree.
+func (t *Tree) Nearest(x, y float64, exclude int64, maxDist float64) Result {
+	best := Result{DistSq: maxDist * maxDist}
+	if math.IsInf(maxDist, 1) {
+		best.DistSq = math.Inf(1)
+	}
+	t.search(t.pts, 0, x, y, exclude, &best)
+	return best
+}
+
+func (t *Tree) search(pts []Point, axis int, x, y float64, exclude int64, best *Result) {
+	if len(pts) == 0 {
+		return
+	}
+	mid := len(pts) / 2
+	p := pts[mid]
+	if p.Key != exclude {
+		dx, dy := p.X-x, p.Y-y
+		d := dx*dx + dy*dy
+		// Accept if strictly closer, or the first point found within the
+		// radius bound (inclusive), or an equidistant tie with smaller key.
+		if d < best.DistSq ||
+			(d == best.DistSq && best.Found && p.Key < best.Key) ||
+			(d <= best.DistSq && !best.Found) {
+			best.Key, best.X, best.Y, best.DistSq, best.Found = p.Key, p.X, p.Y, d, true
+		}
+	}
+	var diff float64
+	if axis == 0 {
+		diff = x - p.X
+	} else {
+		diff = y - p.Y
+	}
+	near, far := pts[:mid], pts[mid+1:]
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.search(near, 1-axis, x, y, exclude, best)
+	// Visit the far side only if the splitting plane is within the best
+	// radius; use <= so equidistant ties are found for determinism.
+	if diff*diff <= best.DistSq {
+		t.search(far, 1-axis, x, y, exclude, best)
+	}
+}
+
+// KNearest returns up to k points nearest to (x, y) (excluding the given
+// key), ordered by ascending distance with key tiebreak. It is used by
+// scripts that examine a small neighbourhood ("the three nearest healers").
+func (t *Tree) KNearest(x, y float64, exclude int64, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	h := &resultHeap{}
+	t.kSearch(t.pts, 0, x, y, exclude, k, h)
+	out := make([]Result, len(*h))
+	for i := len(*h) - 1; i >= 0; i-- {
+		out[i] = h.pop()
+	}
+	return out
+}
+
+func (t *Tree) kSearch(pts []Point, axis int, x, y float64, exclude int64, k int, h *resultHeap) {
+	if len(pts) == 0 {
+		return
+	}
+	mid := len(pts) / 2
+	p := pts[mid]
+	if p.Key != exclude {
+		dx, dy := p.X-x, p.Y-y
+		d := dx*dx + dy*dy
+		h.push(Result{Key: p.Key, X: p.X, Y: p.Y, DistSq: d, Found: true}, k)
+	}
+	var diff float64
+	if axis == 0 {
+		diff = x - p.X
+	} else {
+		diff = y - p.Y
+	}
+	near, far := pts[:mid], pts[mid+1:]
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.kSearch(near, 1-axis, x, y, exclude, k, h)
+	if len(*h) < k || diff*diff <= (*h)[0].DistSq {
+		t.kSearch(far, 1-axis, x, y, exclude, k, h)
+	}
+}
+
+// resultHeap is a max-heap by (DistSq, Key) holding the current k best.
+type resultHeap []Result
+
+func worse(a, b Result) bool {
+	if a.DistSq != b.DistSq {
+		return a.DistSq > b.DistSq
+	}
+	return a.Key > b.Key
+}
+
+func (h *resultHeap) push(r Result, k int) {
+	if len(*h) == k {
+		if !worse((*h)[0], r) {
+			return
+		}
+		(*h)[0] = r
+		h.siftDown(0)
+		return
+	}
+	*h = append(*h, r)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *resultHeap) pop() Result {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *resultHeap) siftDown(i int) {
+	n := len(*h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && worse((*h)[l], (*h)[largest]) {
+			largest = l
+		}
+		if r < n && worse((*h)[r], (*h)[largest]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+}
+
+// All returns the indexed points sorted by key, primarily for tests.
+func (t *Tree) All() []Point {
+	cp := append([]Point(nil), t.pts...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Key < cp[j].Key })
+	return cp
+}

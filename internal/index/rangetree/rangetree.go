@@ -1,0 +1,322 @@
+// Package rangetree implements the layered range tree of paper Section
+// 5.3.1: the index structure for *divisible* aggregates (count, sum, the
+// statistical moments, centroid components) over orthogonal range queries.
+//
+// The structure is a balanced binary tree over the x-sorted points. Every
+// node covers a contiguous x-interval and stores its points sorted by y,
+// but — this is the paper's Figure 8 — instead of placing the points at the
+// leaves of the y-structure, each y-position stores the *prefix aggregate*
+// of all points with smaller-or-equal y. Because divisible aggregates
+// satisfy agg(A\B) = f(agg(A), agg(B)) for B ⊆ A, the aggregate of any
+// y-interval is recovered from two prefix lookups.
+//
+// A query decomposes the x-range into O(log n) canonical nodes. With plain
+// binary search at each node a probe costs O(log² n); with fractional
+// cascading (bridge pointers from each node's y-list into its children's,
+// [Chazelle & Guibas 1986]) the y-position is located once at the root and
+// then followed down in O(1) per node, giving O(log n) probes and
+// O(n log n) probes-for-all-units per tick as the paper claims. Both query
+// paths are exposed so the benefit is benchmarkable (ablation A1/A5).
+//
+// The tree is static: it is rebuilt from scratch each tick, which the paper
+// argues is cheaper than dynamic maintenance for rapidly changing attributes
+// such as position ("we discard the index and build a new one from scratch").
+// Layering by low-volatility categorical attributes (player, unit type) is
+// done above this package by building one tree per partition, exactly like
+// the paper's "6 range trees — one for each player/unit type combination".
+package rangetree
+
+import (
+	"sort"
+
+	"github.com/epicscale/sgl/internal/geom"
+)
+
+// Point is an indexed location. The payload values live in a separate
+// flattened slice passed to Build.
+type Point struct {
+	X, Y float64
+}
+
+type node struct {
+	left, right *node
+	lo, hi      int       // x-rank interval [lo, hi) this node covers
+	ys          []float64 // y values of covered points, ascending
+	ids         []int32   // original point index per y-position
+	prefix      []float64 // (len(ys)+1) * width prefix aggregates
+	bl, br      []int32   // fractional-cascading bridges into children
+}
+
+// Tree is an immutable layered range tree. Build one per tick per
+// categorical partition; it is safe for concurrent reads.
+type Tree struct {
+	root  *node
+	xs    []float64 // x values in sorted order (rank → x)
+	width int
+}
+
+// Build constructs the tree over pts with a payload of `width` float64
+// values per point, flattened in vals (len(vals) == len(pts)*width, point
+// i owning vals[i*width : (i+1)*width]). Payloads are combined by addition;
+// a payload column of all 1s yields COUNT, a column of e.posx yields
+// SUM(posx), and so on. Build is O(n log n).
+func Build(pts []Point, width int, vals []float64) *Tree {
+	if width < 0 {
+		panic("rangetree: negative width")
+	}
+	if len(vals) != len(pts)*width {
+		panic("rangetree: vals length does not match points*width")
+	}
+	t := &Tree{width: width}
+	n := len(pts)
+	if n == 0 {
+		return t
+	}
+	// Sort point indexes by x; ties by y then index for determinism.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return order[a] < order[b]
+	})
+	t.xs = make([]float64, n)
+	for r, id := range order {
+		t.xs[r] = pts[id].X
+	}
+	t.root = t.build(pts, vals, order, 0, n)
+	return t
+}
+
+// build constructs the subtree over x-ranks [lo, hi), returning a node
+// whose y-list is the merge of its children's (mergesort over y, computing
+// cascading bridges in the same pass).
+func (t *Tree) build(pts []Point, vals []float64, order []int32, lo, hi int) *node {
+	nd := &node{lo: lo, hi: hi}
+	if hi-lo == 1 {
+		id := order[lo]
+		nd.ys = []float64{pts[id].Y}
+		nd.ids = []int32{id}
+		nd.prefix = make([]float64, 2*t.width)
+		copy(nd.prefix[t.width:], vals[int(id)*t.width:(int(id)+1)*t.width])
+		return nd
+	}
+	mid := (lo + hi) / 2
+	l := t.build(pts, vals, order, lo, mid)
+	r := t.build(pts, vals, order, mid, hi)
+	nd.left, nd.right = l, r
+
+	nl, nr := len(l.ys), len(r.ys)
+	nd.ys = make([]float64, 0, nl+nr)
+	nd.ids = make([]int32, 0, nl+nr)
+	i, j := 0, 0
+	for i < nl || j < nr {
+		takeLeft := j >= nr || (i < nl && (l.ys[i] < r.ys[j] || (l.ys[i] == r.ys[j] && l.ids[i] <= r.ids[j])))
+		if takeLeft {
+			nd.ys = append(nd.ys, l.ys[i])
+			nd.ids = append(nd.ids, l.ids[i])
+			i++
+		} else {
+			nd.ys = append(nd.ys, r.ys[j])
+			nd.ids = append(nd.ids, r.ids[j])
+			j++
+		}
+	}
+
+	// Prefix aggregates over the merged y-order.
+	w := t.width
+	nd.prefix = make([]float64, (len(nd.ys)+1)*w)
+	for p, id := range nd.ids {
+		base, prev := (p+1)*w, p*w
+		vbase := int(id) * w
+		for c := 0; c < w; c++ {
+			nd.prefix[base+c] = nd.prefix[prev+c] + vals[vbase+c]
+		}
+	}
+
+	// Bridges: bl[p] = lowerBound(l.ys, nd.ys[p]); computed by a monotone
+	// two-pointer walk since nd.ys is sorted. bl[len] = len(l.ys).
+	nd.bl = make([]int32, len(nd.ys)+1)
+	nd.br = make([]int32, len(nd.ys)+1)
+	li, ri := 0, 0
+	for p, y := range nd.ys {
+		for li < nl && l.ys[li] < y {
+			li++
+		}
+		for ri < nr && r.ys[ri] < y {
+			ri++
+		}
+		nd.bl[p], nd.br[p] = int32(li), int32(ri)
+	}
+	nd.bl[len(nd.ys)], nd.br[len(nd.ys)] = int32(nl), int32(nr)
+	return nd
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.xs) }
+
+// Width returns the payload width.
+func (t *Tree) Width() int { return t.width }
+
+func lowerBound(a []float64, v float64) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] >= v })
+}
+
+func upperBound(a []float64, v float64) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] > v })
+}
+
+// Aggregate adds the payload sum over all points inside r (boundary
+// inclusive) into out, which must have length Width(). This is the
+// fractional-cascading fast path: O(log n).
+func (t *Tree) Aggregate(r geom.Rect, out []float64) {
+	if len(out) != t.width {
+		panic("rangetree: out width mismatch")
+	}
+	if t.root == nil || r.Empty() {
+		return
+	}
+	xlo, xhi := lowerBound(t.xs, r.MinX), upperBound(t.xs, r.MaxX)
+	if xlo >= xhi {
+		return
+	}
+	plo, phi := lowerBound(t.root.ys, r.MinY), upperBound(t.root.ys, r.MaxY)
+	if plo >= phi {
+		return
+	}
+	t.aggCascade(t.root, xlo, xhi, plo, phi, out)
+}
+
+func (t *Tree) aggCascade(nd *node, xlo, xhi, plo, phi int, out []float64) {
+	if plo >= phi || xlo >= nd.hi || xhi <= nd.lo {
+		return
+	}
+	if xlo <= nd.lo && nd.hi <= xhi {
+		w := t.width
+		hiBase, loBase := phi*w, plo*w
+		for c := 0; c < w; c++ {
+			out[c] += nd.prefix[hiBase+c] - nd.prefix[loBase+c]
+		}
+		return
+	}
+	if nd.left == nil {
+		return
+	}
+	t.aggCascade(nd.left, xlo, xhi, int(nd.bl[plo]), int(nd.bl[phi]), out)
+	t.aggCascade(nd.right, xlo, xhi, int(nd.br[plo]), int(nd.br[phi]), out)
+}
+
+// AggregateNoCascade is Aggregate without fractional cascading: each
+// canonical node performs its own O(log n) binary searches, for O(log² n)
+// per probe. Kept as the ablation baseline for benchmark A5.
+func (t *Tree) AggregateNoCascade(r geom.Rect, out []float64) {
+	if len(out) != t.width {
+		panic("rangetree: out width mismatch")
+	}
+	if t.root == nil || r.Empty() {
+		return
+	}
+	xlo, xhi := lowerBound(t.xs, r.MinX), upperBound(t.xs, r.MaxX)
+	if xlo >= xhi {
+		return
+	}
+	t.aggSearch(t.root, xlo, xhi, r.MinY, r.MaxY, out)
+}
+
+func (t *Tree) aggSearch(nd *node, xlo, xhi int, ymin, ymax float64, out []float64) {
+	if xlo >= nd.hi || xhi <= nd.lo {
+		return
+	}
+	if xlo <= nd.lo && nd.hi <= xhi {
+		plo, phi := lowerBound(nd.ys, ymin), upperBound(nd.ys, ymax)
+		if plo >= phi {
+			return
+		}
+		w := t.width
+		hiBase, loBase := phi*w, plo*w
+		for c := 0; c < w; c++ {
+			out[c] += nd.prefix[hiBase+c] - nd.prefix[loBase+c]
+		}
+		return
+	}
+	if nd.left == nil {
+		return
+	}
+	t.aggSearch(nd.left, xlo, xhi, ymin, ymax, out)
+	t.aggSearch(nd.right, xlo, xhi, ymin, ymax, out)
+}
+
+// Report calls fn with the original index of every point inside r, in
+// canonical-node order. This is the classic O(log n + k) layered range
+// tree enumeration, used when a plan genuinely needs the qualifying rows
+// rather than an aggregate over them.
+func (t *Tree) Report(r geom.Rect, fn func(i int)) {
+	if t.root == nil || r.Empty() {
+		return
+	}
+	xlo, xhi := lowerBound(t.xs, r.MinX), upperBound(t.xs, r.MaxX)
+	if xlo >= xhi {
+		return
+	}
+	plo, phi := lowerBound(t.root.ys, r.MinY), upperBound(t.root.ys, r.MaxY)
+	if plo >= phi {
+		return
+	}
+	t.report(t.root, xlo, xhi, plo, phi, fn)
+}
+
+func (t *Tree) report(nd *node, xlo, xhi, plo, phi int, fn func(i int)) {
+	if plo >= phi || xlo >= nd.hi || xhi <= nd.lo {
+		return
+	}
+	if xlo <= nd.lo && nd.hi <= xhi {
+		for _, id := range nd.ids[plo:phi] {
+			fn(int(id))
+		}
+		return
+	}
+	if nd.left == nil {
+		return
+	}
+	t.report(nd.left, xlo, xhi, int(nd.bl[plo]), int(nd.bl[phi]), fn)
+	t.report(nd.right, xlo, xhi, int(nd.br[plo]), int(nd.br[phi]), fn)
+}
+
+// Count returns the number of points inside r without needing a payload
+// column: it reuses Report's canonical decomposition but sums interval
+// lengths instead of visiting points, so it is O(log n).
+func (t *Tree) Count(r geom.Rect) int {
+	if t.root == nil || r.Empty() {
+		return 0
+	}
+	xlo, xhi := lowerBound(t.xs, r.MinX), upperBound(t.xs, r.MaxX)
+	if xlo >= xhi {
+		return 0
+	}
+	plo, phi := lowerBound(t.root.ys, r.MinY), upperBound(t.root.ys, r.MaxY)
+	if plo >= phi {
+		return 0
+	}
+	return t.count(t.root, xlo, xhi, plo, phi)
+}
+
+func (t *Tree) count(nd *node, xlo, xhi, plo, phi int) int {
+	if plo >= phi || xlo >= nd.hi || xhi <= nd.lo {
+		return 0
+	}
+	if xlo <= nd.lo && nd.hi <= xhi {
+		return phi - plo
+	}
+	if nd.left == nil {
+		return 0
+	}
+	return t.count(nd.left, xlo, xhi, int(nd.bl[plo]), int(nd.bl[phi])) +
+		t.count(nd.right, xlo, xhi, int(nd.br[plo]), int(nd.br[phi]))
+}

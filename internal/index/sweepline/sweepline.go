@@ -1,0 +1,151 @@
+// Package sweepline implements the paper's sweep-line technique for MIN and
+// MAX aggregates (Section 5.3.1, Figure 9). MIN/MAX are not divisible, so
+// the prefix-aggregate trick of the layered range tree does not apply; but
+// when the query range has a constant size along one axis — true in games,
+// where all units of a type share the same weapon and visibility range —
+// the aggregate for *every* unit can be computed in one sweep:
+//
+//   - choose the constant-size axis (y here, matching the paper: "we sweep
+//     in the Y direction") with half-extent ry;
+//   - keep a binary tree ordered on the remaining axis x whose leaves are
+//     annotated with the default value (∞ for MIN, −∞ for MAX);
+//   - sweep a window of height 2·ry over the probes in ascending y: when a
+//     point enters the window, write its value at its x-leaf; when a probe
+//     reaches the window center, query the tree over the probe's x-range
+//     (O(log n)); when a point exits, restore the default value;
+//   - percolate every leaf change up the tree (the segtree package).
+//
+// Each point enters and exits exactly once and each probe costs one range
+// query, so the whole pass is O((n+m) log n) for n points and m probes —
+// the paper's O(n log^{d-1} n) with d = 2.
+//
+// Probes may carry different x half-extents (only the sweep axis must be
+// constant) and may exclude one key, so "the weakest *other* friendly unit
+// in my range" is expressible.
+package sweepline
+
+import (
+	"sort"
+
+	"github.com/epicscale/sgl/internal/index/segtree"
+)
+
+// Point is a unit being aggregated over: a location, the value entering the
+// MIN/MAX (e.g. health), and the unit key reported as the arg-extremum.
+type Point struct {
+	X, Y  float64
+	Value float64
+	Key   int64
+}
+
+// Probe is one unit's query: its location, its x half-extent, and an
+// optional key to exclude from its own answer (negative to disable).
+type Probe struct {
+	X, Y    float64
+	RX      float64
+	Exclude int64
+}
+
+// Result is the answer for one probe, in probe input order.
+type Result struct {
+	Value float64 // the extremum (identity value if nothing in range)
+	Key   int64   // arg-extremum key, segtree.NoKey if nothing in range
+	Found bool
+}
+
+// NoExclude disables a probe's self-exclusion.
+const NoExclude int64 = -1
+
+// Sweep computes, for every probe, the op-extremum of Value over points
+// with |p.X−probe.X| ≤ probe.RX and |p.Y−probe.Y| ≤ ry. All boundaries are
+// inclusive, matching the paper's SQL range conditions. ry must be the same
+// for all probes — the precondition the sweep technique requires; the
+// planner only selects this operator when the script's range is a per-type
+// constant.
+func Sweep(points []Point, probes []Probe, ry float64, op segtree.Op) []Result {
+	results := make([]Result, len(probes))
+	if len(points) == 0 || len(probes) == 0 {
+		for i := range results {
+			results[i] = Result{Value: identity(op), Key: segtree.NoKey}
+		}
+		return results
+	}
+
+	// x-rank each point; ties broken by key for determinism.
+	byX := make([]int, len(points))
+	for i := range byX {
+		byX[i] = i
+	}
+	sort.Slice(byX, func(a, b int) bool {
+		pa, pb := points[byX[a]], points[byX[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Key < pb.Key
+	})
+	xs := make([]float64, len(points))
+	rank := make([]int, len(points)) // point index → x-rank
+	for r, i := range byX {
+		xs[r] = points[i].X
+		rank[i] = r
+	}
+
+	// Points sorted by y drive both the enter stream (at y−ry) and the
+	// exit stream (at y+ry): with constant ry both streams are the same
+	// order.
+	byY := make([]int, len(points))
+	copy(byY, byX) // start from a deterministic order
+	sort.SliceStable(byY, func(a, b int) bool { return points[byY[a]].Y < points[byY[b]].Y })
+
+	// Probes sorted by y; ties keep input order for determinism.
+	probeOrder := make([]int, len(probes))
+	for i := range probeOrder {
+		probeOrder[i] = i
+	}
+	sort.SliceStable(probeOrder, func(a, b int) bool { return probes[probeOrder[a]].Y < probes[probeOrder[b]].Y })
+
+	tree := segtree.New(len(points), op)
+	active := make(map[int64]int, len(points)) // key → point index, for exclusion
+	enter, exit := 0, 0
+	for _, pi := range probeOrder {
+		pr := probes[pi]
+		// Activate points whose window includes pr.Y: y−ry ≤ pr.Y.
+		for enter < len(byY) && points[byY[enter]].Y-ry <= pr.Y {
+			pt := points[byY[enter]]
+			tree.Set(rank[byY[enter]], pt.Value, pt.Key)
+			active[pt.Key] = byY[enter]
+			enter++
+		}
+		// Deactivate points that have fallen behind: y+ry < pr.Y.
+		for exit < len(byY) && points[byY[exit]].Y+ry < pr.Y {
+			pt := points[byY[exit]]
+			tree.Clear(rank[byY[exit]])
+			delete(active, pt.Key)
+			exit++
+		}
+
+		lo := sort.SearchFloat64s(xs, pr.X-pr.RX)
+		hi := sort.Search(len(xs), func(i int) bool { return xs[i] > pr.X+pr.RX })
+
+		// Self-exclusion: temporarily blank the excluded unit's leaf.
+		var restored bool
+		var exIdx int
+		if pr.Exclude >= 0 {
+			if idx, ok := active[pr.Exclude]; ok {
+				tree.Clear(rank[idx])
+				restored, exIdx = true, idx
+			}
+		}
+		v, k := tree.Query(lo, hi)
+		if restored {
+			pt := points[exIdx]
+			tree.Set(rank[exIdx], pt.Value, pt.Key)
+		}
+		results[pi] = Result{Value: v, Key: k, Found: k != segtree.NoKey}
+	}
+	return results
+}
+
+func identity(op segtree.Op) float64 {
+	return segtree.New(0, op).Identity()
+}

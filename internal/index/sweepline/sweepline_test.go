@@ -1,0 +1,232 @@
+package sweepline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/epicscale/sgl/internal/index/segtree"
+	"github.com/epicscale/sgl/internal/rng"
+)
+
+// brute mirrors the contract of Sweep exactly, with tie-break on key.
+func brute(points []Point, probes []Probe, ry float64, op segtree.Op) []Result {
+	out := make([]Result, len(probes))
+	for i, pr := range probes {
+		best := Result{Value: identity(op), Key: segtree.NoKey}
+		for _, p := range points {
+			if p.Key == pr.Exclude {
+				continue
+			}
+			if math.Abs(p.X-pr.X) > pr.RX || math.Abs(p.Y-pr.Y) > ry {
+				continue
+			}
+			better := false
+			switch {
+			case !best.Found:
+				better = true
+			case op == segtree.Min && (p.Value < best.Value || (p.Value == best.Value && p.Key < best.Key)):
+				better = true
+			case op == segtree.Max && (p.Value > best.Value || (p.Value == best.Value && p.Key < best.Key)):
+				better = true
+			}
+			if better {
+				best = Result{Value: p.Value, Key: p.Key, Found: true}
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func randomScene(seed int64, nPts, nProbes int, side float64) ([]Point, []Probe) {
+	st := rng.NewStream(rng.New(uint64(seed)), 31)
+	pts := make([]Point, nPts)
+	for i := range pts {
+		pts[i] = Point{
+			X:     math.Floor(st.Float64() * side),
+			Y:     math.Floor(st.Float64() * side),
+			Value: math.Floor(st.Float64() * 100),
+			Key:   int64(i),
+		}
+	}
+	probes := make([]Probe, nProbes)
+	for i := range probes {
+		probes[i] = Probe{
+			X:       math.Floor(st.Float64() * side),
+			Y:       math.Floor(st.Float64() * side),
+			RX:      math.Floor(st.Float64() * side / 3),
+			Exclude: NoExclude,
+		}
+	}
+	return pts, probes
+}
+
+func TestEmptyInputs(t *testing.T) {
+	res := Sweep(nil, []Probe{{X: 0, Y: 0, RX: 5, Exclude: NoExclude}}, 5, segtree.Min)
+	if len(res) != 1 || res[0].Found {
+		t.Fatalf("no points: %+v", res)
+	}
+	if res := Sweep([]Point{{X: 1, Y: 1, Value: 2, Key: 3}}, nil, 5, segtree.Min); len(res) != 0 {
+		t.Fatalf("no probes: %+v", res)
+	}
+}
+
+func TestSinglePointInAndOut(t *testing.T) {
+	pts := []Point{{X: 5, Y: 5, Value: 42, Key: 9}}
+	probes := []Probe{
+		{X: 5, Y: 5, RX: 1, Exclude: NoExclude},  // dead center
+		{X: 6, Y: 6, RX: 1, Exclude: NoExclude},  // corner, boundary inclusive
+		{X: 8, Y: 5, RX: 1, Exclude: NoExclude},  // out of x range
+		{X: 5, Y: 8, RX: 10, Exclude: NoExclude}, // out of y range
+	}
+	res := Sweep(pts, probes, 1, segtree.Min)
+	if !res[0].Found || res[0].Value != 42 || res[0].Key != 9 {
+		t.Fatalf("center probe: %+v", res[0])
+	}
+	if !res[1].Found {
+		t.Fatalf("boundary probe should find the point: %+v", res[1])
+	}
+	if res[2].Found || res[3].Found {
+		t.Fatalf("out-of-range probes found the point: %+v %+v", res[2], res[3])
+	}
+}
+
+func TestExclusion(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0, Value: 10, Key: 1},
+		{X: 1, Y: 0, Value: 20, Key: 2},
+	}
+	probes := []Probe{
+		{X: 0, Y: 0, RX: 5, Exclude: 1},
+		{X: 0, Y: 0, RX: 5, Exclude: NoExclude},
+		{X: 0, Y: 0, RX: 5, Exclude: 99}, // excluding an absent key is a no-op
+	}
+	res := Sweep(pts, probes, 5, segtree.Min)
+	if res[0].Key != 2 || res[0].Value != 20 {
+		t.Fatalf("exclusion failed: %+v", res[0])
+	}
+	if res[1].Key != 1 || res[1].Value != 10 {
+		t.Fatalf("no-exclusion wrong: %+v", res[1])
+	}
+	if res[2].Key != 1 {
+		t.Fatalf("absent exclusion wrong: %+v", res[2])
+	}
+}
+
+func TestExclusionRestoresLeaf(t *testing.T) {
+	// Two probes at the same y, the first excluding the minimum: the
+	// second must still see it (the leaf must be restored).
+	pts := []Point{{X: 0, Y: 0, Value: 1, Key: 5}, {X: 1, Y: 0, Value: 9, Key: 6}}
+	probes := []Probe{
+		{X: 0, Y: 0, RX: 5, Exclude: 5},
+		{X: 0, Y: 0, RX: 5, Exclude: NoExclude},
+	}
+	res := Sweep(pts, probes, 5, segtree.Min)
+	if res[0].Key != 6 {
+		t.Fatalf("probe 0: %+v", res[0])
+	}
+	if res[1].Key != 5 || res[1].Value != 1 {
+		t.Fatalf("leaf not restored: %+v", res[1])
+	}
+}
+
+func TestMinAndMax(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0, Value: 5, Key: 1},
+		{X: 1, Y: 1, Value: 9, Key: 2},
+		{X: 2, Y: 0, Value: 2, Key: 3},
+	}
+	probe := []Probe{{X: 1, Y: 0, RX: 3, Exclude: NoExclude}}
+	if res := Sweep(pts, probe, 3, segtree.Min); res[0].Value != 2 || res[0].Key != 3 {
+		t.Fatalf("min: %+v", res[0])
+	}
+	if res := Sweep(pts, probe, 3, segtree.Max); res[0].Value != 9 || res[0].Key != 2 {
+		t.Fatalf("max: %+v", res[0])
+	}
+}
+
+func TestTieBreaksTowardSmallerKey(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0, Value: 7, Key: 30},
+		{X: 1, Y: 0, Value: 7, Key: 10},
+		{X: 2, Y: 0, Value: 7, Key: 20},
+	}
+	res := Sweep(pts, []Probe{{X: 1, Y: 0, RX: 5, Exclude: NoExclude}}, 5, segtree.Min)
+	if res[0].Key != 10 {
+		t.Fatalf("tie should pick smallest key, got %d", res[0].Key)
+	}
+}
+
+func TestVaryingRXConstantRY(t *testing.T) {
+	// Different probes may have different x half-extents; only ry is fixed.
+	pts := []Point{
+		{X: 0, Y: 0, Value: 1, Key: 1},
+		{X: 10, Y: 0, Value: 2, Key: 2},
+	}
+	probes := []Probe{
+		{X: 5, Y: 0, RX: 2, Exclude: NoExclude},  // neither in x-range
+		{X: 5, Y: 0, RX: 20, Exclude: NoExclude}, // both
+	}
+	res := Sweep(pts, probes, 1, segtree.Min)
+	if res[0].Found {
+		t.Fatalf("narrow probe found: %+v", res[0])
+	}
+	if !res[1].Found || res[1].Value != 1 {
+		t.Fatalf("wide probe: %+v", res[1])
+	}
+}
+
+func TestAgainstBruteRandom(t *testing.T) {
+	for _, op := range []segtree.Op{segtree.Min, segtree.Max} {
+		pts, probes := randomScene(3, 300, 200, 50)
+		// Give some probes an exclusion.
+		for i := range probes {
+			if i%3 == 0 {
+				probes[i].Exclude = int64(i % len(pts))
+			}
+		}
+		got := Sweep(pts, probes, 7, op)
+		want := brute(pts, probes, 7, op)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("op=%v probe %d: got %+v, want %+v", op, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Property: Sweep equals brute force on random scenes with random ry.
+func TestSweepProperty(t *testing.T) {
+	f := func(seed int64, nPts, nProbes, ryRaw uint8) bool {
+		pts, probes := randomScene(seed, int(nPts%50)+1, int(nProbes%30)+1, 20)
+		ry := float64(ryRaw % 15)
+		got := Sweep(pts, probes, ry, segtree.Min)
+		want := brute(pts, probes, ry, segtree.Min)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	pts, probes := randomScene(42, 10000, 10000, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sweep(pts, probes, 50, segtree.Min)
+	}
+}
+
+func BenchmarkBruteMin(b *testing.B) {
+	pts, probes := randomScene(42, 2000, 2000, 450)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		brute(pts, probes, 50, segtree.Min)
+	}
+}

@@ -1,0 +1,224 @@
+// Package metrics is the experiment harness: it regenerates every figure
+// and table of the paper's evaluation (Section 6) as machine-readable rows
+// and paper-style text tables.
+//
+//   - Figure 10: total time to simulate a fixed number of clock ticks as
+//     the unit count grows, grid sized for constant density, for both the
+//     naive and the indexed engine;
+//   - the 10-ticks-per-second capacity claim ("the naive system does not
+//     scale to 1100 units on this processor, while the indexed system
+//     scales to more than 12000");
+//   - the density experiment (unit count fixed, density varied);
+//   - the proportionality check ("proportional to the number of ticks
+//     simulated, to within one percent").
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/workload"
+)
+
+// Runner measures battle-simulation performance. Construct with NewRunner.
+type Runner struct {
+	prog *sem.Program
+	// Warmup ticks run before timing starts (index caches, branch
+	// predictors; also lets the armies engage so the workload is combat,
+	// not marching).
+	Warmup int
+}
+
+// NewRunner compiles the battle simulation once for all measurements.
+func NewRunner() (*Runner, error) {
+	prog, err := game.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{prog: prog, Warmup: 3}, nil
+}
+
+// Program exposes the compiled battle program (for explain tooling).
+func (r *Runner) Program() *sem.Program { return r.prog }
+
+// newEngine builds a fresh engine for one measurement.
+func (r *Runner) newEngine(mode engine.Mode, n int, density float64, seed uint64) (*engine.Engine, error) {
+	spec := workload.Spec{Units: n, Density: density, Seed: seed, Formation: workload.BattleLines}
+	return engine.New(r.prog, game.NewMechanics(), workload.Generate(spec), engine.Options{
+		Mode:         mode,
+		Categoricals: game.Categoricals(),
+		Seed:         seed,
+		Side:         spec.Side(),
+		MoveSpeed:    1,
+	})
+}
+
+// TickSeconds returns the measured wall-clock seconds per tick for the
+// given configuration, averaged over measureTicks ticks after warmup.
+func (r *Runner) TickSeconds(mode engine.Mode, n int, density float64, measureTicks int, seed uint64) (float64, error) {
+	e, err := r.newEngine(mode, n, density, seed)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.Run(r.Warmup); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := e.Run(measureTicks); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds() / float64(measureTicks), nil
+}
+
+// Fig10Row is one point of the Figure 10 series.
+type Fig10Row struct {
+	Units          int
+	Mode           string
+	SecondsPerTick float64
+	// Total500 scales to the paper's reporting unit: seconds of real time
+	// to simulate 500 clock ticks.
+	Total500 float64
+}
+
+// Fig10 measures both engines across the given unit counts at the given
+// density (the paper uses 1%). measureTicks trades accuracy for runtime.
+// naiveCap skips the naive engine above that many units (the paper's
+// figure also stops the naive curve early; quadratic growth makes large
+// naive points prohibitively slow).
+func (r *Runner) Fig10(sizes []int, density float64, measureTicks, naiveCap int) ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, n := range sizes {
+		for _, mode := range []engine.Mode{engine.Naive, engine.Indexed} {
+			if mode == engine.Naive && naiveCap > 0 && n > naiveCap {
+				continue
+			}
+			s, err := r.TickSeconds(mode, n, density, measureTicks, 42)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig10Row{
+				Units: n, Mode: mode.String(),
+				SecondsPerTick: s, Total500: s * 500,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteFig10 renders the series as a paper-style table.
+func WriteFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintf(w, "%-8s %-8s %14s %16s\n", "units", "engine", "sec/tick", "sec/500 ticks")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-8d %-8s %14.6f %16.2f\n", row.Units, row.Mode, row.SecondsPerTick, row.Total500)
+	}
+}
+
+// DensityRow is one point of the density experiment.
+type DensityRow struct {
+	Units          int
+	Density        float64
+	Mode           string
+	SecondsPerTick float64
+}
+
+// Density fixes the unit count and varies occupancy, as in Section 6.1
+// "Varying Unit Density" (n=500, 0.5%–8%).
+func (r *Runner) Density(n int, densities []float64, measureTicks int) ([]DensityRow, error) {
+	var rows []DensityRow
+	for _, d := range densities {
+		for _, mode := range []engine.Mode{engine.Naive, engine.Indexed} {
+			s, err := r.TickSeconds(mode, n, d, measureTicks, 42)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, DensityRow{Units: n, Density: d, Mode: mode.String(), SecondsPerTick: s})
+		}
+	}
+	return rows, nil
+}
+
+// WriteDensity renders the density table.
+func WriteDensity(w io.Writer, rows []DensityRow) {
+	fmt.Fprintf(w, "%-8s %-9s %-8s %14s\n", "units", "density", "engine", "sec/tick")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-8d %-9.3f %-8s %14.6f\n", row.Units, row.Density, row.Mode, row.SecondsPerTick)
+	}
+}
+
+// Capacity binary-searches the largest unit count whose tick time stays
+// within budget (the paper's 10 ticks/second ⇒ 100 ms), between lo and hi.
+func (r *Runner) Capacity(mode engine.Mode, budget time.Duration, lo, hi, measureTicks int) (int, error) {
+	fits := func(n int) (bool, error) {
+		s, err := r.TickSeconds(mode, n, 0.01, measureTicks, 42)
+		if err != nil {
+			return false, err
+		}
+		return s <= budget.Seconds(), nil
+	}
+	ok, err := fits(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	for lo+lo/10+1 < hi { // ~10% resolution is plenty for a capacity claim
+		mid := (lo + hi) / 2
+		ok, err := fits(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// ProportionalityRow records total time vs tick count.
+type ProportionalityRow struct {
+	Ticks          int
+	TotalSeconds   float64
+	SecondsPerTick float64
+}
+
+// Proportionality checks that total time scales linearly with the number
+// of simulated ticks (the paper: "proportional … to within one percent").
+func (r *Runner) Proportionality(mode engine.Mode, n int, tickCounts []int) ([]ProportionalityRow, error) {
+	var rows []ProportionalityRow
+	for _, ticks := range tickCounts {
+		e, err := r.newEngine(mode, n, 0.01, 42)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Run(r.Warmup); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := e.Run(ticks); err != nil {
+			return nil, err
+		}
+		total := time.Since(start).Seconds()
+		rows = append(rows, ProportionalityRow{Ticks: ticks, TotalSeconds: total, SecondsPerTick: total / float64(ticks)})
+	}
+	return rows, nil
+}
+
+// Fig1Row is one point of the expressiveness/#NPC trade-off illustration
+// (paper Figure 1): the largest army each script tier sustains at 10
+// ticks/second under each engine.
+type Fig1Row struct {
+	Tier     string
+	Mode     string
+	MaxUnits int
+}
+
+// ScriptTiers orders the Figure 1 games from least to most expressive,
+// mapped onto scripted behavior levels our engine can actually run.
+var ScriptTiers = []string{"uniform", "reactive", "tactical", "individual"}

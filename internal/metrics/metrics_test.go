@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/epicscale/sgl/internal/engine"
+)
+
+func runner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Warmup = 1
+	return r
+}
+
+func TestTickSecondsPositive(t *testing.T) {
+	r := runner(t)
+	s, err := r.TickSeconds(engine.Indexed, 100, 0.01, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Fatalf("seconds per tick = %v", s)
+	}
+}
+
+func TestFig10ShapeTiny(t *testing.T) {
+	r := runner(t)
+	rows, err := r.Fig10([]int{100, 400}, 0.01, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Extract per-mode series.
+	times := map[string]map[int]float64{}
+	for _, row := range rows {
+		if times[row.Mode] == nil {
+			times[row.Mode] = map[int]float64{}
+		}
+		times[row.Mode][row.Units] = row.SecondsPerTick
+		if row.Total500 <= 0 || row.Total500 != row.SecondsPerTick*500 {
+			t.Fatalf("Total500 inconsistent: %+v", row)
+		}
+	}
+	// The naive engine must grow super-linearly: 4× units ⇒ well over 4×
+	// the time (quadratic predicts 16×; allow noise down to 6×).
+	naiveRatio := times["naive"][400] / times["naive"][100]
+	if naiveRatio < 6 {
+		t.Errorf("naive 400/100 ratio = %.1f, expected clearly super-linear", naiveRatio)
+	}
+	// The indexed engine must beat naive at 400 by a wide margin.
+	if times["indexed"][400] >= times["naive"][400]/3 {
+		t.Errorf("indexed %.6f vs naive %.6f at 400 units: no clear win", times["indexed"][400], times["naive"][400])
+	}
+	var buf bytes.Buffer
+	WriteFig10(&buf, rows)
+	if !strings.Contains(buf.String(), "sec/500 ticks") {
+		t.Error("table header missing")
+	}
+}
+
+func TestNaiveCapSkipsLargeNaivePoints(t *testing.T) {
+	r := runner(t)
+	rows, err := r.Fig10([]int{100, 300}, 0.01, 1, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Mode == "naive" && row.Units > 150 {
+			t.Fatalf("naive point above cap: %+v", row)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+}
+
+func TestDensityTiny(t *testing.T) {
+	r := runner(t)
+	rows, err := r.Density(80, []float64{0.01, 0.04}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	WriteDensity(&buf, rows)
+	if !strings.Contains(buf.String(), "density") {
+		t.Error("density header missing")
+	}
+}
+
+func TestCapacityFindsThreshold(t *testing.T) {
+	r := runner(t)
+	// A generous budget that even the naive engine meets at 50 units.
+	n, err := r.Capacity(engine.Indexed, 500*time.Millisecond, 50, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 50 {
+		t.Fatalf("capacity = %d, want ≥ 50", n)
+	}
+	// An impossible budget yields 0.
+	n, err = r.Capacity(engine.Naive, time.Nanosecond, 50, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("capacity under 1ns budget = %d, want 0", n)
+	}
+}
+
+func TestProportionality(t *testing.T) {
+	r := runner(t)
+	rows, err := r.Proportionality(engine.Indexed, 150, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.TotalSeconds <= 0 || row.SecondsPerTick <= 0 {
+			t.Fatalf("bad row %+v", row)
+		}
+	}
+}
+
+func TestTierProgramsCompile(t *testing.T) {
+	for _, tier := range ScriptTiers {
+		if _, err := TierProgram(tier); err != nil {
+			t.Errorf("tier %s: %v", tier, err)
+		}
+	}
+	if _, err := TierProgram("bogus"); err == nil {
+		t.Error("unknown tier should fail")
+	}
+}
+
+// Each tier must actually run under both engines and stay in agreement.
+func TestTiersRunDifferentially(t *testing.T) {
+	for _, tier := range ScriptTiers[:3] { // "individual" is covered by engine tests
+		prog, err := TierProgram(tier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &Runner{prog: prog, Warmup: 0}
+		naive, err := tr.newEngine(engine.Naive, 60, 0.02, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexed, err := tr.newEngine(engine.Indexed, 60, 0.02, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tick := 0; tick < 5; tick++ {
+			if err := naive.Tick(); err != nil {
+				t.Fatalf("tier %s naive: %v", tier, err)
+			}
+			if err := indexed.Tick(); err != nil {
+				t.Fatalf("tier %s indexed: %v", tier, err)
+			}
+			if !naive.Env().AlmostEqualContents(indexed.Env(), 1e-9) {
+				t.Fatalf("tier %s diverged at tick %d", tier, tick)
+			}
+		}
+	}
+}

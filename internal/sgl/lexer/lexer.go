@@ -1,0 +1,225 @@
+// Package lexer turns SGL source text into a token stream.
+//
+// Lexical structure: identifiers are letters/digits/underscores starting
+// with a letter; game constants start with an underscore (_TIME_RELOAD);
+// numbers are decimal with an optional fraction; `#` and `//` start line
+// comments; keywords are case-insensitive.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/epicscale/sgl/internal/sgl/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans SGL source text. Construct with New.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+// Tokenize scans the whole input, returning all tokens followed by an EOF
+// token, or the first lexical error.
+func Tokenize(src string) ([]token.Token, error) {
+	lx := New(src)
+	var toks []token.Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) || c == '_' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (token.Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: start}, nil
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		return l.identifier(start), nil
+	case c == '_':
+		return l.constant(start)
+	case isDigit(c):
+		return l.number(start)
+	}
+	l.advance()
+	simple := func(k token.Kind) (token.Token, error) {
+		return token.Token{Kind: k, Pos: start}, nil
+	}
+	switch c {
+	case '(':
+		return simple(token.LParen)
+	case ')':
+		return simple(token.RParen)
+	case '{':
+		return simple(token.LBrace)
+	case '}':
+		return simple(token.RBrace)
+	case ';':
+		return simple(token.Semi)
+	case ',':
+		return simple(token.Comma)
+	case '.':
+		return simple(token.Dot)
+	case '+':
+		return simple(token.Plus)
+	case '-':
+		return simple(token.Minus)
+	case '*':
+		return simple(token.Star)
+	case '%':
+		return simple(token.Percent)
+	case '/':
+		return simple(token.Slash)
+	case '=':
+		return simple(token.Assign)
+	case ':':
+		if l.peek() == '=' {
+			l.advance()
+			return simple(token.Define)
+		}
+		return token.Token{}, &Error{Pos: start, Msg: "expected '=' after ':'"}
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return simple(token.LessEq)
+		case '>':
+			l.advance()
+			return simple(token.NotEq)
+		}
+		return simple(token.Less)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return simple(token.GreatEq)
+		}
+		return simple(token.Greater)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return simple(token.NotEq) // accept C-style != as a courtesy
+		}
+		return token.Token{}, &Error{Pos: start, Msg: "expected '=' after '!'"}
+	}
+	return token.Token{}, &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.peek2() == '/':
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) skipLine() {
+	for l.off < len(l.src) && l.peek() != '\n' {
+		l.advance()
+	}
+}
+
+func (l *Lexer) identifier(start token.Pos) token.Token {
+	begin := l.off
+	for l.off < len(l.src) && isIdent(l.peek()) {
+		l.advance()
+	}
+	text := l.src[begin:l.off]
+	if k, ok := token.Keywords[strings.ToLower(text)]; ok {
+		return token.Token{Kind: k, Text: text, Pos: start}
+	}
+	return token.Token{Kind: token.Ident, Text: text, Pos: start}
+}
+
+func (l *Lexer) constant(start token.Pos) (token.Token, error) {
+	begin := l.off
+	l.advance() // leading underscore
+	if l.off >= len(l.src) || !isIdent(l.peek()) {
+		return token.Token{}, &Error{Pos: start, Msg: "bare underscore is not a constant name"}
+	}
+	for l.off < len(l.src) && isIdent(l.peek()) {
+		l.advance()
+	}
+	return token.Token{Kind: token.Const, Text: l.src[begin:l.off], Pos: start}, nil
+}
+
+func (l *Lexer) number(start token.Pos) (token.Token, error) {
+	begin := l.off
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.off < len(l.src) && l.peek() == '.' && isDigit(l.peek2()) {
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.off < len(l.src) && isLetter(l.peek()) {
+		return token.Token{}, &Error{Pos: start, Msg: "malformed number"}
+	}
+	return token.Token{Kind: token.Number, Text: l.src[begin:l.off], Pos: start}, nil
+}

@@ -1,0 +1,180 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/epicscale/sgl/internal/sgl/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func TestEmptyInput(t *testing.T) {
+	got := kinds(t, "")
+	if len(got) != 1 || got[0] != token.EOF {
+		t.Fatalf("empty input = %v", got)
+	}
+}
+
+func TestPunctuationAndOperators(t *testing.T) {
+	src := "( ) { } ; , . := = <> < <= > >= + - * / % !="
+	want := []token.Kind{
+		token.LParen, token.RParen, token.LBrace, token.RBrace, token.Semi,
+		token.Comma, token.Dot, token.Define, token.Assign, token.NotEq,
+		token.Less, token.LessEq, token.Greater, token.GreatEq,
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.NotEq, token.EOF,
+	}
+	got := kinds(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	got := kinds(t, "IF Then eLsE perform LET")
+	want := []token.Kind{token.KwIf, token.KwThen, token.KwElse, token.KwPerform, token.KwLet, token.EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIdentifiersAndConstants(t *testing.T) {
+	toks, err := Tokenize("posx _TIME_RELOAD CountEnemiesInRange x1_y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.Ident || toks[0].Text != "posx" {
+		t.Fatalf("tok0 = %v", toks[0])
+	}
+	if toks[1].Kind != token.Const || toks[1].Text != "_TIME_RELOAD" {
+		t.Fatalf("tok1 = %v", toks[1])
+	}
+	if toks[2].Kind != token.Ident || toks[2].Text != "CountEnemiesInRange" {
+		t.Fatalf("tok2 = %v", toks[2])
+	}
+	if toks[3].Kind != token.Ident || toks[3].Text != "x1_y" {
+		t.Fatalf("tok3 = %v", toks[3])
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Tokenize("12 3.5 0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"12", "3.5", "0.25"}
+	for i, w := range want {
+		if toks[i].Kind != token.Number || toks[i].Text != w {
+			t.Fatalf("tok%d = %v, want number %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "a # line comment\nb // another\nc"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[2].Pos.Line != 3 {
+		t.Fatalf("token c at line %d, want 3", toks[2].Pos.Line)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("if x\n  then")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (token.Pos{Line: 1, Col: 1}) {
+		t.Fatalf("if pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (token.Pos{Line: 1, Col: 4}) {
+		t.Fatalf("x pos = %v", toks[1].Pos)
+	}
+	if toks[2].Pos != (token.Pos{Line: 2, Col: 3}) {
+		t.Fatalf("then pos = %v", toks[2].Pos)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{"@", "unexpected character"},
+		{"12abc", "malformed number"},
+		{"_", "bare underscore"},
+		{":", "expected '='"},
+		{"!x", "expected '='"},
+	}
+	for _, c := range cases {
+		_, err := Tokenize(c.src)
+		if err == nil {
+			t.Errorf("Tokenize(%q): expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("Tokenize(%q) error = %v, want substring %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Tokenize("x\n  @")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if le.Pos != (token.Pos{Line: 2, Col: 3}) {
+		t.Fatalf("error pos = %v, want 2:3", le.Pos)
+	}
+}
+
+func TestPaperExampleLexes(t *testing.T) {
+	// The running example of paper Figure 3, adapted to this syntax.
+	src := `
+main(u) {
+  (let c = CountEnemiesInRange(u, u.range))
+  (let away_vector = (u.posx, u.posy) - CentroidOfEnemyUnits(u, u.range)) {
+    if (c > u.morale) then
+      perform MoveInDirection(u, away_vector);
+    else if (c > 0 and u.cooldown = 0) then
+      (let target_key = NearestEnemy(u).key) {
+        perform FireAt(u, target_key);
+      }
+  }
+}`
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) < 50 {
+		t.Fatalf("suspiciously few tokens: %d", len(toks))
+	}
+}

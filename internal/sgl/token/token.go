@@ -1,0 +1,125 @@
+// Package token defines the lexical tokens of SGL, the Scalable Games
+// Language of paper Section 4.
+//
+// SGL's surface syntax has three kinds of top-level declarations:
+//
+//   - `function` — action functions written in the imperative-looking
+//     grammar of Section 4.1 (let / if-then-else / perform / sequencing);
+//   - `aggregate` — aggregate function definitions, the SQL SELECT
+//     fragments of the paper's Figure 4, written here in an OVER/WHERE
+//     form equivalent to Eq. (5);
+//   - `action` — built-in action function definitions, the paper's
+//     Figure 5 fragments, written in an ON/WHERE/SET form equivalent to
+//     Eq. (4).
+package token
+
+import "fmt"
+
+// Kind identifies a token class.
+type Kind uint8
+
+// Token kinds.
+const (
+	Invalid Kind = iota
+	EOF
+	Ident  // main, u, posx, CountEnemiesInRange
+	Number // 12, 3.5
+	Const  // _TIME_RELOAD — underscore-prefixed game constants
+
+	// Punctuation.
+	LParen // (
+	RParen // )
+	LBrace // {
+	RBrace // }
+	Semi   // ;
+	Comma  // ,
+	Dot    // .
+	Define // :=
+
+	// Operators.
+	Assign  // =  (both let-binding and the SQL equality comparison)
+	NotEq   // <>
+	Less    // <
+	LessEq  // <=
+	Greater // >
+	GreatEq // >=
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+
+	// Keywords.
+	KwFunction
+	KwAggregate
+	KwAction
+	KwLet
+	KwIf
+	KwThen
+	KwElse
+	KwPerform
+	KwAnd
+	KwOr
+	KwNot
+	KwOver
+	KwOn
+	KwWhere
+	KwSet
+	KwAs
+	KwTrue
+	KwFalse
+)
+
+var kindNames = map[Kind]string{
+	Invalid: "invalid", EOF: "EOF", Ident: "identifier", Number: "number", Const: "constant",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", Semi: ";", Comma: ",", Dot: ".", Define: ":=",
+	Assign: "=", NotEq: "<>", Less: "<", LessEq: "<=", Greater: ">", GreatEq: ">=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	KwFunction: "function", KwAggregate: "aggregate", KwAction: "action", KwLet: "let",
+	KwIf: "if", KwThen: "then", KwElse: "else", KwPerform: "perform",
+	KwAnd: "and", KwOr: "or", KwNot: "not", KwOver: "over", KwOn: "on",
+	KwWhere: "where", KwSet: "set", KwAs: "as", KwTrue: "true", KwFalse: "false",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Keywords maps keyword spellings to kinds. SGL keywords are
+// case-insensitive, like SQL; the lexer lowercases before lookup.
+var Keywords = map[string]Kind{
+	"function": KwFunction, "aggregate": KwAggregate, "action": KwAction,
+	"let": KwLet, "if": KwIf, "then": KwThen, "else": KwElse,
+	"perform": KwPerform, "and": KwAnd, "or": KwOr, "not": KwNot,
+	"over": KwOver, "on": KwOn, "where": KwWhere, "set": KwSet, "as": KwAs,
+	"true": KwTrue, "false": KwFalse,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme with its position.
+type Token struct {
+	Kind Kind
+	Text string // original spelling for Ident/Number/Const
+	Pos  Pos
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Number, Const:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}

@@ -1,0 +1,151 @@
+// Package sgl is a scalable game-AI engine built on data-management
+// techniques: an implementation of "Scaling Games to Epic Proportions"
+// (White, Demers, Koch, Gehrke, Rajagopalan — SIGMOD 2007).
+//
+// Game AI for large numbers of non-player characters is treated as a query
+// processing problem. Per-unit behavior is written in SGL, a small
+// functional scripting language; scripts are compiled to a bag-algebra
+// plan, optimized with relational rewrite rules, and executed
+// set-at-a-time over per-tick index structures (layered range trees with
+// fractional cascading, kD-trees, sweep lines), turning an O(n²) tick into
+// O(n log n).
+//
+// # Quick start
+//
+//	prog, err := sgl.CompileScript(src, schema, consts)   // SGL → checked program
+//	eng, err := sgl.NewEngine(prog, mechanics, army, opts) // opts.Mode: Naive or Indexed
+//	err = eng.Run(500)                                     // simulate 500 clock ticks
+//
+// The battle simulation of the paper's Section 3.2 ships ready-made:
+//
+//	prog, _ := sgl.CompileBattle()
+//	army := sgl.GenerateArmy(sgl.ArmySpec{Units: 10000, Density: 0.01, Seed: 1})
+//	eng, _ := sgl.NewBattleEngine(prog, army, sgl.Indexed, 1)
+//	eng.Run(500)
+//
+// See the examples/ directory for runnable programs and cmd/ for the
+// sglc, battlesim and benchfig tools.
+package sgl
+
+import (
+	"github.com/epicscale/sgl/internal/algebra"
+	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/metrics"
+	"github.com/epicscale/sgl/internal/sgl/parser"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/table"
+	"github.com/epicscale/sgl/internal/workload"
+)
+
+// Core data-model types (see internal/table for full documentation).
+type (
+	// Schema is a typed environment schema E(K, A1…Ak) whose attributes
+	// carry the combination kinds const/sum/max/min.
+	Schema = table.Schema
+	// Attr is one schema attribute.
+	Attr = table.Attr
+	// Kind is an attribute's combination type.
+	Kind = table.Kind
+	// Table is a multiset relation over a Schema.
+	Table = table.Table
+	// Program is a parsed and semantically checked SGL script.
+	Program = sem.Program
+	// Plan is a compiled bag-algebra plan.
+	Plan = algebra.Plan
+	// Engine is the discrete simulation engine.
+	Engine = engine.Engine
+	// EngineOptions configure an engine run.
+	EngineOptions = engine.Options
+	// Mode selects the aggregate query evaluator.
+	Mode = engine.Mode
+	// Mechanics is the game-rules half of a simulation (the
+	// post-processing query and the respawn rule).
+	Mechanics = engine.Game
+	// ArmySpec describes a generated battle workload.
+	ArmySpec = workload.Spec
+	// Runner measures the paper's experiments.
+	Runner = metrics.Runner
+)
+
+// Attribute combination kinds (paper Section 4.2).
+const (
+	Const = table.Const
+	Sum   = table.Sum
+	Max   = table.Max
+	Min   = table.Min
+)
+
+// Evaluator modes: the paper's two pluggable aggregate query evaluators.
+const (
+	Naive   = engine.Naive
+	Indexed = engine.Indexed
+)
+
+// NewSchema builds an environment schema; exactly one Const attribute must
+// be named "key".
+func NewSchema(attrs ...Attr) (*Schema, error) { return table.NewSchema(attrs...) }
+
+// NewTable returns an empty environment table over the schema.
+func NewTable(s *Schema, capacity int) *Table { return table.New(s, capacity) }
+
+// CompileScript parses and type-checks SGL source against a schema and a
+// game-constant table.
+func CompileScript(src string, schema *Schema, consts map[string]float64) (*Program, error) {
+	script, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return sem.Check(script, schema, consts)
+}
+
+// CompilePlan translates a checked program into an optimized bag-algebra
+// plan (the engine does this internally; exposed for plan inspection).
+func CompilePlan(prog *Program) (*Plan, error) {
+	plan, err := algebra.Translate(prog)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Optimize(plan), nil
+}
+
+// NewEngine builds a simulation engine over an initial environment.
+func NewEngine(prog *Program, mech Mechanics, initial *Table, opts EngineOptions) (*Engine, error) {
+	return engine.New(prog, mech, initial, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Battle-simulation convenience layer (the paper's Section 3.2 case study)
+
+// BattleSchema returns the battle simulation's environment schema.
+func BattleSchema() *Schema { return game.Schema() }
+
+// BattleConsts returns the battle simulation's game constants.
+func BattleConsts() map[string]float64 { return game.Consts() }
+
+// BattleScript is the battle simulation's full SGL source.
+const BattleScript = game.Script
+
+// CompileBattle compiles the built-in battle simulation.
+func CompileBattle() (*Program, error) { return game.Compile() }
+
+// NewBattleMechanics returns the battle post-processor (d20 rules).
+func NewBattleMechanics() Mechanics { return game.NewMechanics() }
+
+// GenerateArmy builds an initial battle environment.
+func GenerateArmy(spec ArmySpec) *Table { return workload.Generate(spec) }
+
+// NewBattleEngine wires the battle program, mechanics and army together
+// with the standard options (world sized from the army's density spec).
+func NewBattleEngine(prog *Program, spec ArmySpec, mode Mode, seed uint64) (*Engine, error) {
+	return engine.New(prog, game.NewMechanics(), workload.Generate(spec), engine.Options{
+		Mode:         mode,
+		Categoricals: game.Categoricals(),
+		Seed:         seed,
+		Side:         spec.Side(),
+		MoveSpeed:    1,
+	})
+}
+
+// NewRunner builds the experiment harness over the battle simulation.
+func NewRunner() (*Runner, error) { return metrics.NewRunner() }

@@ -1,0 +1,93 @@
+package sgl
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/epicscale/sgl/internal/workload"
+)
+
+func TestCompileBattleAndPlan(t *testing.T) {
+	prog, err := CompileBattle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := CompilePlan(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.Explain()
+	for _, want := range []string{"act⊕", "σ", "π", "E"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan missing %q", want)
+		}
+	}
+}
+
+func TestCompileScriptErrorsSurface(t *testing.T) {
+	if _, err := CompileScript("function main(u) { perform Nope(u) }", BattleSchema(), BattleConsts()); err == nil {
+		t.Fatal("expected semantic error")
+	}
+	if _, err := CompileScript("function main(u) {", BattleSchema(), nil); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestNewSchemaThroughFacade(t *testing.T) {
+	s, err := NewSchema(
+		Attr{Name: "key", Kind: Const},
+		Attr{Name: "posx", Kind: Const},
+		Attr{Name: "posy", Kind: Const},
+		Attr{Name: "damage", Kind: Sum},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable(s, 1)
+	tbl.Append([]float64{1, 0, 0, 0})
+	if tbl.Len() != 1 {
+		t.Fatal("table append failed")
+	}
+}
+
+func TestBattleEngineEndToEnd(t *testing.T) {
+	prog, err := CompileBattle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ArmySpec{Units: 80, Density: 0.02, Seed: 5, Formation: workload.BattleLines}
+	eng, err := NewBattleEngine(prog, spec, Indexed, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Env().Len() != 80 {
+		t.Fatalf("population = %d", eng.Env().Len())
+	}
+	if eng.Stats.Moves == 0 {
+		t.Fatal("nothing moved")
+	}
+}
+
+func TestRunnerThroughFacade(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Warmup = 1
+	s, err := r.TickSeconds(Indexed, 60, 0.02, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Fatal("non-positive tick time")
+	}
+}
+
+func TestBattleScriptConstant(t *testing.T) {
+	if !strings.Contains(BattleScript, "aggregate CountEnemiesInSight") {
+		t.Fatal("BattleScript should expose the case-study source")
+	}
+}
