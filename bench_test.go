@@ -10,6 +10,7 @@
 package sgl
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -40,6 +41,10 @@ func newBattle(b *testing.B, mode Mode, n int, density float64, tweak func(*Engi
 		Seed:         42,
 		Side:         spec.Side(),
 		MoveSpeed:    1,
+		// Pin the serial path so the paper-reproduction benchmarks stay
+		// comparable to the single-threaded baseline on any machine;
+		// BenchmarkTickParallel overrides this per run.
+		Workers: 1,
 	}
 	if tweak != nil {
 		tweak(&opts)
@@ -352,4 +357,31 @@ func BenchmarkDecisionUnitAtATime(b *testing.B) {
 func BenchmarkEngineTickNaiveVsIndexed(b *testing.B) {
 	b.Run("naive-1000", func(b *testing.B) { benchTicks(b, Naive, 1000, 0.01) })
 	b.Run("indexed-1000", func(b *testing.B) { benchTicks(b, Indexed, 1000, 0.01) })
+}
+
+// ---------------------------------------------------------------------------
+// P1 — parallel sharded tick execution: throughput vs worker count. The
+// determinism tests prove every P produces bit-identical environments, so
+// this measures pure speedup. Worker counts above the machine's core count
+// measure goroutine overhead, not parallelism — on a multicore box the
+// Workers=4 rows should show the ≥ 2× gain over Workers=1 at 10k units.
+//
+//	go test -bench=TickParallel -benchtime=10x
+
+func BenchmarkTickParallel(b *testing.B) {
+	for _, n := range []int{2000, 10000} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				e := newBattle(b, Indexed, n, 0.01, func(o *EngineOptions) { o.Workers = w })
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := e.Tick(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n)/b.Elapsed().Seconds()*float64(b.N), "unit-ticks/s")
+			})
+		}
+	}
 }

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	battlesim -units 2000 -ticks 500 -mode indexed -density 0.01 -seed 42
+//	battlesim -units 10000 -workers 4   # sharded ticks, identical results
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "run seed")
 	formation := flag.String("formation", "lines", "lines or scattered")
 	report := flag.Int("report", 25, "progress report interval in ticks (0 = none)")
+	workers := flag.Int("workers", 0, "tick executor shards (0 = all cores, 1 = serial; results are identical)")
 	flag.Parse()
 
 	mode := engine.Indexed
@@ -52,13 +54,14 @@ func main() {
 		Seed:         *seed,
 		Side:         spec.Side(),
 		MoveSpeed:    1,
+		Workers:      *workers,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("battlesim: %d units, %.1f%% density (grid %.0f×%.0f), %s engine, %d ticks\n",
-		*units, *density*100, spec.Side(), spec.Side(), mode, *ticks)
+	fmt.Printf("battlesim: %d units, %.1f%% density (grid %.0f×%.0f), %s engine, %d ticks, %d workers\n",
+		*units, *density*100, spec.Side(), spec.Side(), mode, *ticks, e.Workers())
 	start := time.Now()
 	for done := 0; done < *ticks; {
 		step := *ticks - done

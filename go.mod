@@ -1,0 +1,3 @@
+module github.com/epicscale/sgl
+
+go 1.24

@@ -23,6 +23,19 @@ type Row struct {
 // Executor evaluates a plan over one tick's environment. Node results are
 // memoized, so the DAG sharing produced by translation (and improved by the
 // optimizer) directly becomes shared computation.
+//
+// Concurrency contract: one Executor per goroutine, snapshot shared. An
+// Executor owns mutable scratch state (the node memo cache and the batch
+// aggregate cache) and must never be shared between goroutines; the inputs
+// it closes over — the program, the plan, the environment table, and the
+// tick source — are all read-only during a tick and may be shared freely.
+// The provider must likewise be private to the goroutine (see
+// exec.Indexed.Fork) or stateless (interp.Naive).
+//
+// The parallel engine exploits this by giving every worker its own Executor
+// over a disjoint row range of the same frozen environment snapshot: plan
+// evaluation restricted to rows [lo, hi) while aggregates and target
+// selection still see the whole environment through the provider.
 type Executor struct {
 	prog  *sem.Program
 	plan  *Plan
@@ -34,15 +47,38 @@ type Executor struct {
 	// batchCache holds per-(aggregate call, row) results produced by
 	// batchExtend when the provider supports set-at-a-time evaluation.
 	batchCache map[*ast.Call]map[*Row]interp.Value
+	// lo/hi restrict the Base node to env.Rows[lo:hi) — the unit shard this
+	// executor is responsible for. hi < 0 means the full table.
+	lo, hi int
 }
 
 // NewExecutor binds a plan to an environment, provider, and tick source.
 func NewExecutor(prog *sem.Program, plan *Plan, env *table.Table, prov interp.Provider, r rng.TickSource) *Executor {
+	return NewExecutorRange(prog, plan, env, prov, r, 0, -1)
+}
+
+// NewExecutorRange is NewExecutor restricted to the unit shard
+// env.Rows[lo:hi): the plan's Base node produces only those rows, while
+// aggregates and action-target selection (which go through the provider)
+// still observe the entire environment. hi < 0 selects the full table.
+// Shard executors over disjoint ranges may run concurrently as long as each
+// has its own provider view (see the concurrency contract on Executor).
+func NewExecutorRange(prog *sem.Program, plan *Plan, env *table.Table, prov interp.Provider, r rng.TickSource, lo, hi int) *Executor {
 	return &Executor{
 		prog: prog, plan: plan, env: env, prov: prov, r: r,
 		ev:    interp.New(prog, env, prov, r),
 		cache: map[Node][]*Row{},
+		lo:    lo, hi: hi,
 	}
+}
+
+// baseRows returns the slice of environment rows this executor's Base node
+// produces.
+func (x *Executor) baseRows() [][]float64 {
+	if x.hi < 0 {
+		return x.env.Rows
+	}
+	return x.env.Rows[x.lo:x.hi]
 }
 
 // Effects evaluates the plan, emitting every effect row it produces. This
@@ -119,8 +155,9 @@ func (x *Executor) units(n Node) ([]*Row, error) {
 	var err error
 	switch v := n.(type) {
 	case *Base:
-		rows = make([]*Row, x.env.Len())
-		for i, u := range x.env.Rows {
+		base := x.baseRows()
+		rows = make([]*Row, len(base))
+		for i, u := range base {
 			rows[i] = &Row{Unit: u, Ext: make([]interp.Value, x.plan.Slots)}
 		}
 	case *Select:

@@ -122,6 +122,37 @@ type Plan struct {
 	labels []string
 }
 
+// Applies returns the plan's Apply nodes in deterministic walk order — the
+// order the engine's decision phase visits them. Every external walker
+// (serial or sharded) must process Apply nodes in exactly this order so
+// that effect folds happen in the same floating-point association on every
+// run. It errors on a malformed plan whose effect tree holds anything but
+// Combine and Apply nodes.
+func (p *Plan) Applies() ([]*Apply, error) {
+	var out []*Apply
+	var walk func(n Node) error
+	walk = func(n Node) error {
+		switch v := n.(type) {
+		case *Combine:
+			for _, k := range v.Kids {
+				if err := walk(k); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *Apply:
+			out = append(out, v)
+			return nil
+		default:
+			return fmt.Errorf("algebra: unexpected plan node %T in effect tree", n)
+		}
+	}
+	if err := walk(p.Root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // SlotName returns the let name that owns a slot (for Explain).
 func (p *Plan) SlotName(slot int) string {
 	if slot < len(p.labels) {

@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/geom"
+	"github.com/epicscale/sgl/internal/table"
+)
+
+func accSchema(t *testing.T) *table.Schema {
+	t.Helper()
+	return table.MustSchema(
+		table.Attr{Name: "key", Kind: table.Const},
+		table.Attr{Name: "hp", Kind: table.Const},
+		table.Attr{Name: "dmg", Kind: table.Sum},
+		table.Attr{Name: "aura", Kind: table.Max},
+		table.Attr{Name: "slow", Kind: table.Min},
+	)
+}
+
+// A fresh accumulator must hold every effect column's fold identity and
+// leave const columns at zero.
+func TestAccumulatorIdentities(t *testing.T) {
+	s := accSchema(t)
+	acc := newAccumulator(s, 3)
+	for i := 0; i < 3; i++ {
+		if got := acc.vals[i][s.MustCol("dmg")]; got != 0 {
+			t.Fatalf("sum identity: got %v, want 0", got)
+		}
+		if got := acc.vals[i][s.MustCol("aura")]; !math.IsInf(got, -1) {
+			t.Fatalf("max identity: got %v, want -Inf", got)
+		}
+		if got := acc.vals[i][s.MustCol("slow")]; !math.IsInf(got, 1) {
+			t.Fatalf("min identity: got %v, want +Inf", got)
+		}
+		for _, c := range []string{"key", "hp"} {
+			if got := acc.vals[i][s.MustCol(c)]; got != 0 {
+				t.Fatalf("const column %s initialized to %v", c, got)
+			}
+		}
+	}
+}
+
+// fold must combine with the column's tagged operator: + for Sum,
+// max/min selection for the nonstackable kinds.
+func TestAccumulatorFoldSemantics(t *testing.T) {
+	s := accSchema(t)
+	acc := newAccumulator(s, 1)
+	dmg, aura, slow := s.MustCol("dmg"), s.MustCol("aura"), s.MustCol("slow")
+
+	acc.fold(0, dmg, 3)
+	acc.fold(0, dmg, 4.5)
+	if got := acc.vals[0][dmg]; got != 7.5 {
+		t.Fatalf("sum fold: got %v, want 7.5", got)
+	}
+	acc.fold(0, aura, 2)
+	acc.fold(0, aura, 1) // lower value must not stack or win
+	if got := acc.vals[0][aura]; got != 2 {
+		t.Fatalf("max fold: got %v, want 2", got)
+	}
+	acc.fold(0, slow, 5)
+	acc.fold(0, slow, 9)
+	if got := acc.vals[0][slow]; got != 5 {
+		t.Fatalf("min fold: got %v, want 5", got)
+	}
+}
+
+// Folding into a const column is a programming error: const attributes
+// have no fold operator (⊕ groups on them), so the schema must reject the
+// attempt loudly rather than corrupt unit state.
+func TestAccumulatorConstFoldRejected(t *testing.T) {
+	s := accSchema(t)
+	acc := newAccumulator(s, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("folding into a const column must panic")
+		}
+	}()
+	acc.fold(0, s.MustCol("hp"), 1)
+}
+
+// foldRow folds every effect column at once and must leave const columns
+// (unit identity and state) untouched.
+func TestAccumulatorFoldRow(t *testing.T) {
+	s := accSchema(t)
+	acc := newAccumulator(s, 2)
+	eff := make([]float64, s.NumAttrs())
+	eff[s.MustCol("key")] = 42 // const columns of an effect row are ignored
+	eff[s.MustCol("dmg")] = 2
+	eff[s.MustCol("aura")] = 3
+	eff[s.MustCol("slow")] = 1
+	acc.foldRow(1, eff)
+	acc.foldRow(1, eff)
+	if got := acc.vals[1][s.MustCol("dmg")]; got != 4 {
+		t.Fatalf("dmg after two foldRows: got %v, want 4", got)
+	}
+	if got := acc.vals[1][s.MustCol("aura")]; got != 3 {
+		t.Fatalf("aura after two foldRows: got %v, want 3", got)
+	}
+	if got := acc.vals[1][s.MustCol("slow")]; got != 1 {
+		t.Fatalf("slow after two foldRows: got %v, want 1", got)
+	}
+	if got := acc.vals[1][s.MustCol("key")]; got != 0 {
+		t.Fatalf("const column mutated by foldRow: %v", got)
+	}
+	// Row 0 must be untouched (rows are slices of one flat backing array;
+	// a stride bug would bleed folds across rows).
+	if got := acc.vals[0][s.MustCol("dmg")]; got != 0 {
+		t.Fatalf("foldRow bled into neighbouring row: %v", got)
+	}
+}
+
+// Effects fold for every unit this tick — including units that die from
+// those very effects. Death is decided by the post-processing query
+// *after* accumulation, so a unit at 1 hp taking lethal damage still has
+// its full combined effect row, and the engine resurrects it afterwards.
+func TestFoldRowOnDyingUnits(t *testing.T) {
+	prog := battleProg(t)
+	e := newEngine(t, prog, 60, Indexed, 31, nil)
+	if err := e.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Deaths == 0 {
+		t.Skip("no deaths in 40 ticks; cannot exercise the dead-unit path")
+	}
+	// The resurrection rule keeps population constant and no corpse stays.
+	s := game.Schema()
+	if e.Env().Len() != 60 {
+		t.Fatalf("population drifted to %d", e.Env().Len())
+	}
+	for _, row := range e.Env().Rows {
+		if row[s.MustCol("health")] <= 0 {
+			t.Fatal("dead unit survived resurrection")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// movementPhase world-clamping edge cases
+
+// moveEngine builds a minimal battle-schema engine with units at explicit
+// positions, for driving movementPhase directly.
+func moveEngine(t *testing.T, side float64, pos [][2]float64) *Engine {
+	return moveEngineSpeed(t, side, 1, pos)
+}
+
+func moveEngineSpeed(t *testing.T, side, speed float64, pos [][2]float64) *Engine {
+	t.Helper()
+	prog := battleProg(t)
+	s := game.Schema()
+	env := table.New(s, len(pos))
+	for i, p := range pos {
+		row := make([]float64, s.NumAttrs())
+		row[s.MustCol("key")] = float64(i + 1)
+		row[s.MustCol("posx")], row[s.MustCol("posy")] = p[0], p[1]
+		row[s.MustCol("health")] = 10
+		row[s.MustCol("maxhealth")] = 10
+		env.Append(row)
+	}
+	e, err := New(prog, game.NewMechanics(), env, Options{
+		Mode:         Indexed,
+		Categoricals: game.Categoricals(),
+		Side:         side,
+		MoveSpeed:    speed,
+		Workers:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func unitPos(e *Engine, i int) (float64, float64) {
+	s := game.Schema()
+	row := e.Env().Rows[i]
+	return row[s.MustCol("posx")], row[s.MustCol("posy")]
+}
+
+// A move pushing past the world edge clamps onto it; the unit must never
+// leave [0, Side).
+func TestMovementClampsToWorld(t *testing.T) {
+	e := moveEngine(t, 8, [][2]float64{{0, 0}, {7, 7}})
+	dead := []bool{false, false}
+
+	// Unit 0 tries to leave through the origin corner: the clamped
+	// candidate is its own square, which always succeeds.
+	e.movementPhase([]geom.Vec{{X: -5, Y: -5}, {}}, dead)
+	if x, y := unitPos(e, 0); x != 0 || y != 0 {
+		t.Fatalf("unit 0 escaped low edge: %v,%v", x, y)
+	}
+
+	// Unit 1 tries to leave through the far corner: clamped to just under
+	// Side, still inside its square.
+	e.movementPhase([]geom.Vec{{}, {X: 5, Y: 5}}, dead)
+	x, y := unitPos(e, 1)
+	if x >= 8 || y >= 8 || x < 7 || y < 7 {
+		t.Fatalf("unit 1 not clamped to far edge: %v,%v", x, y)
+	}
+	if e.Stats.MovesBlocked != 0 {
+		t.Fatalf("edge clamping must not count as blocked, got %d", e.Stats.MovesBlocked)
+	}
+}
+
+// In a degenerate 1×1 world every candidate collapses to the only square.
+func TestMovementDegenerateWorld(t *testing.T) {
+	e := moveEngine(t, 1, [][2]float64{{0, 0}})
+	e.movementPhase([]geom.Vec{{X: 3, Y: -2}}, []bool{false})
+	if x, y := unitPos(e, 0); math.Floor(x) != 0 || math.Floor(y) != 0 {
+		t.Fatalf("unit left the only square: %v,%v", x, y)
+	}
+}
+
+// A fully surrounded unit whose step and both slides are occupied is
+// blocked and stays put.
+func TestMovementBlockedBySlides(t *testing.T) {
+	// Mover at (1,1); occupiers at (2,2) (full step), (2,1) (x-slide),
+	// (1,2) (y-slide). MoveSpeed 2 keeps the diagonal step a full square.
+	e := moveEngineSpeed(t, 4, 2, [][2]float64{{1, 1}, {2, 2}, {2, 1}, {1, 2}})
+	moves := []geom.Vec{{X: 1, Y: 1}, {}, {}, {}}
+	dead := []bool{false, false, false, false}
+	e.movementPhase(moves, dead)
+	if x, y := unitPos(e, 0); x != 1 || y != 1 {
+		t.Fatalf("blocked unit moved to %v,%v", x, y)
+	}
+	if e.Stats.MovesBlocked != 1 {
+		t.Fatalf("MovesBlocked = %d, want 1", e.Stats.MovesBlocked)
+	}
+}
+
+// The slide fallback: full step occupied, x-slide free.
+func TestMovementSlidesAroundObstacle(t *testing.T) {
+	e := moveEngineSpeed(t, 4, 2, [][2]float64{{1, 1}, {2, 2}})
+	moves := []geom.Vec{{X: 1, Y: 1}, {}}
+	dead := []bool{false, false}
+	e.movementPhase(moves, dead)
+	x, y := unitPos(e, 0)
+	if !(x == 2 && y == 1) {
+		t.Fatalf("expected x-slide to (2,1), got (%v,%v)", x, y)
+	}
+	if e.Stats.Moves != 1 {
+		t.Fatalf("Moves = %d, want 1", e.Stats.Moves)
+	}
+}
+
+// Dead units never move, whatever their move vector says.
+func TestMovementSkipsDead(t *testing.T) {
+	e := moveEngine(t, 4, [][2]float64{{1, 1}})
+	e.movementPhase([]geom.Vec{{X: 1, Y: 0}}, []bool{true})
+	if x, y := unitPos(e, 0); x != 1 || y != 1 {
+		t.Fatalf("dead unit moved to %v,%v", x, y)
+	}
+	if e.Stats.Moves != 0 || e.Stats.MovesBlocked != 0 {
+		t.Fatal("dead unit counted in move stats")
+	}
+}
+
+// MoveSpeed clamps the step length, not each axis independently: a long
+// diagonal request shrinks to a unit-length vector.
+func TestMovementSpeedClamp(t *testing.T) {
+	e := moveEngine(t, 16, [][2]float64{{8, 8}})
+	e.movementPhase([]geom.Vec{{X: 30, Y: 40}}, []bool{false})
+	x, y := unitPos(e, 0)
+	dx, dy := x-8, y-8
+	if d := math.Hypot(dx, dy); d > 1+1e-9 {
+		t.Fatalf("moved %v > MoveSpeed 1", d)
+	}
+}

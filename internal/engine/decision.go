@@ -33,7 +33,7 @@ func (e *Engine) decideNaive(r rng.TickSource, acc *accumulator, keyIdx map[int6
 		err := ev.RunUnit(unit, func(row []float64) {
 			if idx, ok := keyIdx[int64(row[kc])]; ok {
 				acc.foldRow(idx, row)
-				e.Stats.EffectsApplied++
+				e.countEffect(0)
 			}
 		})
 		if err != nil {
@@ -47,69 +47,60 @@ func (e *Engine) decideNaive(r rng.TickSource, acc *accumulator, keyIdx map[int6
 // provider. Apply nodes with deferrable area actions are collected and
 // applied through the Section 5.4 effect index instead of per-performer
 // target enumeration.
+//
+// Both this serial path and decideIndexedParallel iterate Plan.Applies()
+// — sharing one traversal is what guarantees the parallel merge folds
+// effects in the same order the serial path does.
 func (e *Engine) decideIndexed(r rng.TickSource, acc *accumulator, keyIdx map[int64]int) error {
 	prov := exec.NewIndexed(e.an, e.env, r)
+	prov.SeedKeyIndex(keyIdx) // Tick already built the same map
 	x := algebra.NewExecutor(e.prog, e.plan, e.env, prov, r)
 	kc := e.prog.Schema.KeyCol()
 
 	deferred := map[*ast.ActDef][]performer{}
 	var deferredOrder []*ast.ActDef
 
-	var walk func(n algebra.Node) error
-	walk = func(n algebra.Node) error {
-		switch v := n.(type) {
-		case *algebra.Combine:
-			for _, k := range v.Kids {
-				if err := walk(k); err != nil {
-					return err
-				}
-			}
-			return nil
-		case *algebra.Apply:
-			rows, err := x.UnitsOf(v.In)
+	applies, err := e.plan.Applies()
+	if err != nil {
+		return err
+	}
+	for _, ap := range applies {
+		rows, err := x.UnitsOf(ap.In)
+		if err != nil {
+			return err
+		}
+		deferThis := e.an.Act(ap.Def).Deferrable && !e.opts.DisableAreaDefer
+		for _, row := range rows {
+			args, err := x.ApplyArgs(ap, row)
 			if err != nil {
 				return err
 			}
-			actA := e.an.Act(v.Def)
-			deferThis := actA.Deferrable && !e.opts.DisableAreaDefer
-			for _, row := range rows {
-				args, err := x.ApplyArgs(v, row)
-				if err != nil {
-					return err
+			if deferThis {
+				if _, seen := deferred[ap.Def]; !seen {
+					deferredOrder = append(deferredOrder, ap.Def)
 				}
-				if deferThis {
-					if _, seen := deferred[v.Def]; !seen {
-						deferredOrder = append(deferredOrder, v.Def)
-					}
-					deferred[v.Def] = append(deferred[v.Def], performer{unit: row.Unit, args: args})
-					continue
-				}
-				var applyErr error
-				prov.SelectTargets(v.Def, row.Unit, args, func(tgt []float64) {
-					if applyErr != nil {
-						return
-					}
-					eff, err := x.BuildEffectRow(v.Def, row.Unit, args, tgt)
-					if err != nil {
-						applyErr = err
-						return
-					}
-					if idx, ok := keyIdx[int64(eff[kc])]; ok {
-						acc.foldRow(idx, eff)
-						e.Stats.EffectsApplied++
-					}
-				})
-				if applyErr != nil {
-					return applyErr
-				}
+				deferred[ap.Def] = append(deferred[ap.Def], performer{unit: row.Unit, args: args})
+				continue
 			}
-			return nil
-		default:
-			return fmt.Errorf("engine: unexpected plan node %T", n)
+			var applyErr error
+			prov.SelectTargets(ap.Def, row.Unit, args, func(tgt []float64) {
+				if applyErr != nil {
+					return
+				}
+				eff, err := x.BuildEffectRow(ap.Def, row.Unit, args, tgt)
+				if err != nil {
+					applyErr = err
+					return
+				}
+				if idx, ok := keyIdx[int64(eff[kc])]; ok {
+					acc.foldRow(idx, eff)
+					e.countEffect(0)
+				}
+			})
+			if applyErr != nil {
+				return applyErr
+			}
 		}
-	}
-	if err := walk(e.plan.Root); err != nil {
-		return err
 	}
 
 	for _, def := range deferredOrder {
@@ -118,11 +109,7 @@ func (e *Engine) decideIndexed(r rng.TickSource, acc *accumulator, keyIdx map[in
 			return err
 		}
 	}
-	e.Stats.IndexStats.IndexBuilds += prov.Stats.IndexBuilds
-	e.Stats.IndexStats.TreeProbes += prov.Stats.TreeProbes
-	e.Stats.IndexStats.KDProbes += prov.Stats.KDProbes
-	e.Stats.IndexStats.Sweeps += prov.Stats.Sweeps
-	e.Stats.IndexStats.ScanProbes += prov.Stats.ScanProbes
+	e.Stats.IndexStats.Add(prov.Stats)
 	return nil
 }
 
@@ -246,21 +233,28 @@ func (e *Engine) applyDeferredArea(def *ast.ActDef, performers []performer, r rn
 		g.centers = append(g.centers, center{x: cx, y: cy, vals: vals})
 	}
 
-	// Target eligibility: e-only conjuncts, evaluated once per row.
+	// Target eligibility: e-only conjuncts, evaluated once per row. Pure
+	// per row, so the scan shards across the worker pool.
 	eligible := make([]bool, e.env.Len())
-	for i, row := range e.env.Rows {
-		ok := true
-		for _, c := range a.EOnly {
-			pass, err := interp.EvalDefCond(c, dl, row, nil, row, e.prog, r)
-			if err != nil {
-				return err
+	if err := runShardsErr(e.shards(e.env.Len()), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			row := e.env.Rows[i]
+			ok := true
+			for _, c := range a.EOnly {
+				pass, err := interp.EvalDefCond(c, dl, row, nil, row, e.prog, r)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					ok = false
+					break
+				}
 			}
-			if !pass {
-				ok = false
-				break
-			}
+			eligible[i] = ok
 		}
-		eligible[i] = ok
+		return nil
+	}); err != nil {
+		return err
 	}
 
 	for _, gk := range order {
@@ -304,22 +298,38 @@ func (e *Engine) applyDeferredArea(def *ast.ActDef, performers []performer, r rn
 				}
 				rt := rangetree.Build(pts, 1, vals)
 				e.Stats.IndexStats.IndexBuilds++
-				out := []float64{0}
-				for _, ti := range targets {
-					row := e.env.Rows[ti]
-					tx, ty := 0.0, 0.0
-					if c := axCol(0); c >= 0 {
-						tx = row[c]
+				// Each target folds into its own accumulator row exactly
+				// once here, and the tree is read-only, so the probe loop
+				// shards across the worker pool; per-shard counters merge
+				// after the barrier.
+				tb := shardBounds(len(targets), e.workers)
+				probeCnt := make([]int, len(tb))
+				appliedCnt := make([]int, len(tb))
+				runShards(tb, func(s, lo, hi int) {
+					out := []float64{0}
+					for _, ti := range targets[lo:hi] {
+						row := e.env.Rows[ti]
+						tx, ty := 0.0, 0.0
+						if c := axCol(0); c >= 0 {
+							tx = row[c]
+						}
+						if c := axCol(1); c >= 0 {
+							ty = row[c]
+						}
+						out[0] = 0
+						rt.Aggregate(reflectedRect(tx, ty, gk.offLoX, gk.offHiX, gk.offLoY, gk.offHiY), out)
+						probeCnt[s]++
+						if out[0] != 0 {
+							acc.fold(ti, col, out[0])
+							appliedCnt[s]++
+						}
 					}
-					if c := axCol(1); c >= 0 {
-						ty = row[c]
-					}
-					out[0] = 0
-					rt.Aggregate(reflectedRect(tx, ty, gk.offLoX, gk.offHiX, gk.offLoY, gk.offHiY), out)
-					e.Stats.IndexStats.TreeProbes++
-					if out[0] != 0 {
-						acc.fold(ti, col, out[0])
-						e.Stats.EffectsApplied++
+				})
+				for s := range tb {
+					e.Stats.IndexStats.TreeProbes += probeCnt[s]
+					e.Stats.EffectsApplied += appliedCnt[s]
+					if s < len(e.Stats.EffectsByWorker) {
+						e.Stats.EffectsByWorker[s] += appliedCnt[s]
 					}
 				}
 			default: // Max or Min: one sweep over the group's centers
@@ -354,7 +364,7 @@ func (e *Engine) applyDeferredArea(def *ast.ActDef, performers []performer, r rn
 				for j, rres := range res {
 					if rres.Found {
 						acc.fold(targets[j], col, rres.Value)
-						e.Stats.EffectsApplied++
+						e.countEffect(0)
 					}
 				}
 			}

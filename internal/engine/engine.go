@@ -20,6 +20,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/epicscale/sgl/internal/algebra"
 	"github.com/epicscale/sgl/internal/exec"
@@ -55,6 +56,13 @@ type Game interface {
 	// column; untouched effect columns hold their fold identities) into the
 	// unit row, mutating state columns in place. It returns the unit's
 	// desired movement for the movement phase and whether it survives.
+	//
+	// ApplyEffects must be safe for concurrent calls on distinct rows:
+	// with Options.Workers > 1 (the default resolves to all cores) the
+	// engine invokes it from several goroutines at once, each for a
+	// disjoint row range. Implementations must not keep mutable state
+	// across calls (scratch buffers, counters, logs) unless it is
+	// synchronized. Respawn, by contrast, is always called serially.
 	ApplyEffects(row []float64, effects []float64) (move geom.Vec, alive bool)
 
 	// Respawn re-rolls a dead unit's state in place. The engine assigns a
@@ -82,9 +90,19 @@ type Options struct {
 	DisableAreaDefer bool
 	// DisableOptimizer skips the algebraic rewrites (ablation).
 	DisableOptimizer bool
+	// Workers is the number of shards the tick's effect query runs across.
+	// 0 picks runtime.GOMAXPROCS(0); 1 is the serial path. Because the
+	// state-effect pattern freezes the environment for the whole decision
+	// phase and effects combine with commutative/associative folds merged
+	// in a fixed order, the resulting environment is bit-identical for any
+	// Workers value.
+	Workers int
 }
 
-// Engine simulates one battle. Not safe for concurrent use.
+// Engine simulates one battle. The Engine itself is not safe for
+// concurrent use (one Tick at a time), but a Tick internally fans the
+// decision phase, effect accumulation, and post-processing out across
+// Options.Workers goroutines.
 type Engine struct {
 	prog *sem.Program
 	game Game
@@ -99,6 +117,7 @@ type Engine struct {
 
 	posX, posY int // schema columns
 	fxCols     []int
+	workers    int // resolved Options.Workers (>= 1)
 
 	// Stats accumulates counters across ticks.
 	Stats RunStats
@@ -112,6 +131,9 @@ type RunStats struct {
 	MovesBlocked   int
 	Deaths         int
 	IndexStats     exec.Stats
+	// EffectsByWorker splits EffectsApplied by the worker shard that
+	// produced each effect row (all in slot 0 on the serial path).
+	EffectsByWorker []int
 }
 
 // New builds an engine over an initial environment. The environment's
@@ -129,17 +151,23 @@ func New(prog *sem.Program, game Game, initial *table.Table, opts Options) (*Eng
 	if !ok {
 		return nil, fmt.Errorf("engine: schema needs posy")
 	}
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
 	e := &Engine{
-		prog: prog,
-		game: game,
-		opts: opts,
-		env:  initial.Clone(),
-		src:  rng.New(opts.Seed),
-		an:   exec.NewAnalyzer(prog, opts.Categoricals),
-		posX: px,
-		posY: py,
+		prog:    prog,
+		game:    game,
+		opts:    opts,
+		env:     initial.Clone(),
+		src:     rng.New(opts.Seed),
+		an:      exec.NewAnalyzer(prog, opts.Categoricals),
+		posX:    px,
+		posY:    py,
+		workers: w,
 	}
 	e.fxCols = prog.Schema.EffectCols()
+	e.Stats.EffectsByWorker = make([]int, w)
 	plan, err := algebra.Translate(prog)
 	if err != nil {
 		return nil, err
@@ -157,6 +185,10 @@ func (e *Engine) Env() *table.Table { return e.env }
 // TickCount returns the number of completed ticks.
 func (e *Engine) TickCount() int64 { return e.tick }
 
+// Workers returns the resolved worker count ticks run with (Options.
+// Workers after defaulting, always >= 1).
+func (e *Engine) Workers() int { return e.workers }
+
 // Plan returns the compiled plan (for explain tooling).
 func (e *Engine) Plan() *algebra.Plan { return e.plan }
 
@@ -173,17 +205,22 @@ func (e *Engine) Run(n int) error {
 // Tick advances one clock tick through all phases.
 func (e *Engine) Tick() error {
 	r := e.src.Tick(e.tick)
-	acc := newAccumulator(e.prog.Schema, e.env.Len())
-	keyIdx := make(map[int64]int, e.env.Len())
+	n := e.env.Len()
+	acc := newAccumulator(e.prog.Schema, n)
+	keyIdx := make(map[int64]int, n)
 	kc := e.prog.Schema.KeyCol()
 	for i, row := range e.env.Rows {
 		keyIdx[int64(row[kc])] = i
 	}
 
-	// Decision + action stages (query/decide/update of Section 2.2).
+	// Decision + action stages (query/decide/update of Section 2.2). With
+	// Workers > 1 the effect query runs sharded over the frozen snapshot
+	// and the per-shard effects merge at a barrier in serial fold order.
 	var err error
-	switch e.opts.Mode {
-	case Naive:
+	switch {
+	case e.workers > 1:
+		err = e.decideParallel(r, acc, keyIdx)
+	case e.opts.Mode == Naive:
 		err = e.decideNaive(r, acc, keyIdx)
 	default:
 		err = e.decideIndexed(r, acc, keyIdx)
@@ -193,15 +230,24 @@ func (e *Engine) Tick() error {
 	}
 
 	// Post-processing query (Example 4.1): combine effects into state.
-	moves := make([]geom.Vec, e.env.Len())
-	dead := make([]bool, e.env.Len())
-	for i, row := range e.env.Rows {
-		mv, alive := e.game.ApplyEffects(row, acc.vals[i])
-		moves[i] = mv
-		if !alive {
-			dead[i] = true
-			e.Stats.Deaths++
+	// Each row folds only its own accumulator slot, so the loop shards
+	// cleanly; per-shard death counts merge in shard order.
+	moves := make([]geom.Vec, n)
+	dead := make([]bool, n)
+	bounds := e.shards(n)
+	deaths := make([]int, len(bounds))
+	runShards(bounds, func(s, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mv, alive := e.game.ApplyEffects(e.env.Rows[i], acc.vals[i])
+			moves[i] = mv
+			if !alive {
+				dead[i] = true
+				deaths[s]++
+			}
 		}
+	})
+	for _, d := range deaths {
+		e.Stats.Deaths += d
 	}
 
 	// Movement phase: random order, collision detection, simple pathfinding.
@@ -213,6 +259,14 @@ func (e *Engine) Tick() error {
 	e.tick++
 	e.Stats.Ticks++
 	return nil
+}
+
+// countEffect records one applied effect attributed to a worker shard.
+func (e *Engine) countEffect(worker int) {
+	e.Stats.EffectsApplied++
+	if worker >= 0 && worker < len(e.Stats.EffectsByWorker) {
+		e.Stats.EffectsByWorker[worker]++
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -252,30 +306,57 @@ func (a *accumulator) foldRow(rowIdx int, effectRow []float64) {
 // ---------------------------------------------------------------------------
 // Movement and resurrection
 
+// movePlan is one mover's precomputed, world-clamped candidate squares:
+// full step, then the two axis-aligned slides ("very simple pathfinding").
+type movePlan struct {
+	cands  [3]geom.Point
+	active bool
+}
+
+// movementPhase runs in two stages. Candidate planning is pure per unit —
+// a mover's clamped step and slide candidates depend only on its own
+// frozen row and move vector, never on other units — so it runs sharded
+// across the worker pool. The claim sweep that follows stays serial by
+// design: each move in the random order observes the occupancy left by
+// every earlier move (a unit can step into a square vacated this very
+// tick), a sequential dependency chain the state-effect argument does not
+// cover. Since planning is order-independent and the sweep consumes plans
+// in the same permutation regardless of shard count, the phase is
+// bit-identical at any Workers value.
 func (e *Engine) movementPhase(moves []geom.Vec, dead []bool) {
-	occ := grid.NewOccupancy(e.env.Len())
+	n := e.env.Len()
+	plans := make([]movePlan, n)
+	runShards(e.shards(n), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if dead[i] || (moves[i].X == 0 && moves[i].Y == 0) {
+				continue
+			}
+			row := e.env.Rows[i]
+			mv := moves[i].Clamp(e.opts.MoveSpeed)
+			x, y := row[e.posX], row[e.posY]
+			plans[i] = movePlan{active: true, cands: [3]geom.Point{
+				e.clampToWorld(geom.Point{X: x + mv.X, Y: y + mv.Y}),
+				e.clampToWorld(geom.Point{X: x + mv.X, Y: y}),
+				e.clampToWorld(geom.Point{X: x, Y: y + mv.Y}),
+			}}
+		}
+	})
+
+	occ := grid.NewOccupancy(n)
 	kc := e.prog.Schema.KeyCol()
 	for _, row := range e.env.Rows {
 		occ.Place(row[e.posX], row[e.posY], int64(row[kc]))
 	}
 	st := rng.NewStream(e.src, 1_000_000+e.tick)
-	for _, i := range st.Perm(e.env.Len()) {
-		if dead[i] || (moves[i].X == 0 && moves[i].Y == 0) {
+	for _, i := range st.Perm(n) {
+		if !plans[i].active {
 			continue
 		}
 		row := e.env.Rows[i]
 		key := int64(row[kc])
-		mv := moves[i].Clamp(e.opts.MoveSpeed)
 		x, y := row[e.posX], row[e.posY]
-		// Very simple pathfinding: full step, then axis-aligned slides.
-		candidates := [3]geom.Point{
-			{X: x + mv.X, Y: y + mv.Y},
-			{X: x + mv.X, Y: y},
-			{X: x, Y: y + mv.Y},
-		}
 		moved := false
-		for _, cand := range candidates {
-			cand = e.clampToWorld(cand)
+		for _, cand := range plans[i].cands {
 			if occ.Move(x, y, cand.X, cand.Y, key) {
 				row[e.posX], row[e.posY] = cand.X, cand.Y
 				moved = true
@@ -306,13 +387,18 @@ func (e *Engine) resurrect(dead []bool) {
 			occ.Place(row[e.posX], row[e.posY], int64(row[kc]))
 		}
 	}
-	st := rng.NewStream(e.src, 2_000_000+e.tick)
 	for i, row := range e.env.Rows {
 		if !dead[i] {
 			continue
 		}
-		e.game.Respawn(row, st)
 		key := int64(row[kc])
+		// Each corpse draws from its own substream keyed by (tick, unit):
+		// the draw sequence is independent of resurrection order and of
+		// the worker count, so respawns stay bit-identical at any
+		// parallelism. (Square conflicts are still resolved serially in
+		// row order below.)
+		st := e.src.Substream(2_000_000+e.tick, key)
+		e.game.Respawn(row, st)
 		for tries := 0; ; tries++ {
 			x := float64(st.Intn(int(e.opts.Side)))
 			y := float64(st.Intn(int(e.opts.Side)))

@@ -221,7 +221,8 @@ func BenchmarkTickIndexed500(b *testing.B) { benchTick(b, Indexed, 500) }
 
 func benchTick(b *testing.B, mode Mode, n int) {
 	prog := battleProg(b)
-	e := newEngine(b, prog, n, mode, 42, nil)
+	// Serial pin: keep these baseline numbers machine-independent.
+	e := newEngine(b, prog, n, mode, 42, func(o *Options) { o.Workers = 1 })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Tick(); err != nil {

@@ -112,7 +112,9 @@ type ActAnalysis struct {
 	Deferrable bool
 }
 
-// Analyzer caches per-definition classifications for a program.
+// Analyzer caches per-definition classifications for a program. After
+// NewAnalyzer returns, an Analyzer is immutable and safe for concurrent
+// use.
 type Analyzer struct {
 	prog *sem.Program
 	aggs map[*ast.AggDef]*AggAnalysis
@@ -125,6 +127,11 @@ type Analyzer struct {
 // NewAnalyzer builds an analyzer. categoricalAttrs names the low-volatility
 // attributes used for partitioning (e.g. "player", "unittype"); names not
 // in the schema are ignored.
+//
+// Every definition of the program is classified eagerly here, so the memo
+// maps are never written after construction: Agg and Act are read-only and
+// safe to call from concurrent shard workers. (Classification is per-
+// program, not per-tick, so the eager cost is paid exactly once.)
 func NewAnalyzer(prog *sem.Program, categoricalAttrs []string) *Analyzer {
 	cat := map[int]bool{}
 	for _, name := range categoricalAttrs {
@@ -132,12 +139,19 @@ func NewAnalyzer(prog *sem.Program, categoricalAttrs []string) *Analyzer {
 			cat[col] = true
 		}
 	}
-	return &Analyzer{
+	an := &Analyzer{
 		prog:        prog,
 		aggs:        map[*ast.AggDef]*AggAnalysis{},
 		acts:        map[*ast.ActDef]*ActAnalysis{},
 		categorical: cat,
 	}
+	for _, def := range prog.Script.Aggs {
+		an.Agg(def)
+	}
+	for _, def := range prog.Script.Acts {
+		an.Act(def)
+	}
+	return an
 }
 
 // Agg returns the (cached) classification of an aggregate definition.

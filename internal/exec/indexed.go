@@ -27,6 +27,12 @@ import (
 // decision-phase aggregates trigger builds before probing, action-phase
 // structures are built when actions run). Indexed must agree exactly with
 // interp.Naive; the differential tests in this package enforce that.
+//
+// An Indexed is not safe for concurrent use: index builds and the Stats
+// counters mutate shared maps. For parallel tick execution, call Freeze
+// once to build every index the program can use, then give each worker its
+// own Fork — a view that shares the frozen read-only indexes but owns its
+// Stats and batch scratch.
 type Indexed struct {
 	prog  *sem.Program
 	an    *Analyzer
@@ -66,6 +72,61 @@ func NewIndexed(an *Analyzer, env *table.Table, r rng.TickSource) *Indexed {
 		aggIdx: map[*ast.AggDef]*aggIndex{},
 		actIdx: map[*ast.ActDef]*actIndex{},
 	}
+}
+
+// SeedKeyIndex installs a prebuilt key → row-index map (over the same
+// environment snapshot) so Freeze does not rebuild one the caller already
+// has. Ignored if a lookup was already built.
+func (p *Indexed) SeedKeyIndex(idx map[int64]int) {
+	if p.keyIndex == nil {
+		p.keyIndex = idx
+	}
+}
+
+// Freeze eagerly builds every index structure the program can demand this
+// tick: the key lookup table, one aggregate index per indexable aggregate
+// definition, and one spatial index per area action. After Freeze the
+// provider's shared state is only ever read, so Forked views may probe it
+// from concurrent goroutines. Build work lands on the receiver's Stats.
+//
+// Eagerness is the price of lock-free sharing: the lazy serial path skips
+// definitions a tick never probes, so a frozen provider may build more
+// indexes (and report higher Stats.IndexBuilds) than a serial tick over
+// the same environment. Game outcomes are unaffected.
+func (p *Indexed) Freeze() {
+	p.keyLookup()
+	for _, def := range p.prog.Script.Aggs {
+		if p.an.Agg(def).Indexable {
+			p.aggIndexFor(def)
+		}
+	}
+	for _, def := range p.prog.Script.Acts {
+		if p.an.Act(def).Class == ActArea {
+			p.actIndexFor(def)
+		}
+	}
+}
+
+// Fork returns a worker-private view of a frozen provider: it shares the
+// immutable per-tick indexes (and the environment snapshot) with the
+// receiver but owns its Stats counters and batch scratch state. Fork
+// without a prior Freeze is unsafe — a lazy index build in one fork would
+// race with reads in another.
+func (p *Indexed) Fork() *Indexed {
+	c := *p
+	c.Stats = Stats{}
+	c.argFold = nil
+	return &c
+}
+
+// Add folds another view's counters into s (used to merge per-worker
+// stats after a parallel tick).
+func (s *Stats) Add(o Stats) {
+	s.IndexBuilds += o.IndexBuilds
+	s.TreeProbes += o.TreeProbes
+	s.KDProbes += o.KDProbes
+	s.Sweeps += o.Sweeps
+	s.ScanProbes += o.ScanProbes
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,113 @@
+package exec
+
+// ZooProgram is one small SGL program exercising a single language or
+// optimizer feature. The zoo is exported (not test-only) so other
+// packages' differential suites can reuse it — notably the engine's
+// serial-vs-parallel determinism tests, which must hold for every program
+// shape, not just the battle simulation.
+type ZooProgram struct {
+	Name string
+	Src  string
+}
+
+// Zoo is the script zoo: each program runs for several ticks' worth of
+// random environments under every execution path (interpreter+naive,
+// plan+naive, plan+indexed, and the engine's sharded parallel executor).
+// Any divergence is a bug in translation, optimization, classification,
+// an index structure, or the parallel merge order.
+//
+// The scripts reference only attributes present in both this package's
+// test schema and the battle schema (key, player, unittype, posx, posy,
+// health, cooldown, damage), so they compile against either.
+var Zoo = []ZooProgram{
+	{"or-condition-residual", `
+aggregate Extremes(u) :=
+  count(*)
+  over e where (e.health <= 8 or e.health >= 25) and e.player <> u.player;
+action Tag(u, v) := on e where e.key = u.key set damage = v;
+function main(u) { perform Tag(u, Extremes(u)) }`},
+
+	{"asymmetric-range", `
+aggregate Ahead(u) :=
+  count(*) as n, sum(e.health) as hp
+  over e where e.posx >= u.posx and e.posx <= u.posx + 12
+    and e.posy >= u.posy - 3 and e.posy <= u.posy + 3
+    and e.player <> u.player;
+action Tag(u, v) := on e where e.key = u.key set damage = v;
+function main(u) { (let a = Ahead(u)) perform Tag(u, a.n + a.hp / 100) }`},
+
+	{"one-sided-minmax-falls-back", `
+aggregate WeakestEast(u) :=
+  min(e.health)
+  over e where e.posx >= u.posx and e.player <> u.player;
+action Tag(u, v) := on e where e.key = u.key set damage = v;
+function main(u) {
+  (let w = WeakestEast(u)) { if w < 100 then perform Tag(u, w) }
+}`},
+
+	{"neq-partition-area-action", `
+action Curse(u) :=
+  on e where e.player <> u.player
+    and e.posx >= u.posx - 5 and e.posx <= u.posx + 5
+    and e.posy >= u.posy - 5 and e.posy <= u.posy + 5
+  set damage = 1;
+function main(u) { if u.cooldown = 0 then perform Curse(u) }`},
+
+	{"mixed-output-classes", `
+aggregate Recon(u) :=
+  count(*) as n, argmin(e.health) as weak, avg(e.posx) as cx
+  over e where e.posx >= u.posx - 10 and e.posx <= u.posx + 10
+    and e.posy >= u.posy - 10 and e.posy <= u.posy + 10
+    and e.player <> u.player;
+action Hit(u, k) := on e where e.key = k and e.health > 0 set damage = 2;
+function main(u) {
+  (let r = Recon(u)) { if r.n > 0 and r.weak >= 0 then perform Hit(u, r.weak) }
+}`},
+
+	{"nested-aggregate-args", `
+aggregate Spread(u) :=
+  stddev(e.posx)
+  over e where e.player = u.player;
+aggregate Near(u, rad) :=
+  count(*)
+  over e where e.posx >= u.posx - rad and e.posx <= u.posx + rad
+    and e.posy >= u.posy - rad and e.posy <= u.posy + rad;
+action Tag(u, v) := on e where e.key = u.key set damage = v;
+function main(u) { perform Tag(u, Near(u, Spread(u) + 1)) }`},
+
+	{"u-only-guard", `
+aggregate CountAll(u) :=
+  count(*)
+  over e where u.cooldown = 0 and e.player <> u.player
+    and e.posx >= u.posx - 8 and e.posx <= u.posx + 8
+    and e.posy >= u.posy - 8 and e.posy <= u.posy + 8;
+action Tag(u, v) := on e where e.key = u.key set damage = v;
+function main(u) { perform Tag(u, CountAll(u)) }`},
+
+	{"random-in-action-value", `
+action Jolt(u, t) := on e where e.key = t set damage = Random(3) % 4;
+aggregate NearestFoe(u) := nearestkey() as key over e where e.player <> u.player;
+function main(u) {
+  (let t = NearestFoe(u)) { if t >= 0 then perform Jolt(u, t) }
+}`},
+
+	{"global-extrema", `
+aggregate Best(u) :=
+  max(e.health) as top, argmax(e.health) as who,
+  min(e.health) as low, argmin(e.health) as frail
+  over e where e.player <> u.player;
+action Hit(u, k) := on e where e.key = k set damage = 1;
+function main(u) {
+  (let b = Best(u)) {
+    if b.who >= 0 then perform Hit(u, b.who);
+    if b.frail >= 0 then perform Hit(u, b.frail)
+  }
+}`},
+
+	{"empty-world-guards", `
+aggregate Foes(u) :=
+  count(*)
+  over e where e.player <> u.player and e.unittype = 7;
+action Tag(u, v) := on e where e.key = u.key set damage = v;
+function main(u) { perform Tag(u, Foes(u)) }`},
+}

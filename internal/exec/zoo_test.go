@@ -8,112 +8,14 @@ import (
 	"github.com/epicscale/sgl/internal/sgl/interp"
 )
 
-// The script zoo: one small program per language/optimizer feature, each
-// run for several ticks' worth of random environments under all three
-// execution paths (interpreter+naive, plan+naive, plan+indexed). Any
-// divergence is a bug in translation, optimization, classification, or an
-// index structure.
-var zoo = []struct {
-	name string
-	src  string
-}{
-	{"or-condition-residual", `
-aggregate Extremes(u) :=
-  count(*)
-  over e where (e.health <= 8 or e.health >= 25) and e.player <> u.player;
-action Tag(u, v) := on e where e.key = u.key set damage = v;
-function main(u) { perform Tag(u, Extremes(u)) }`},
-
-	{"asymmetric-range", `
-aggregate Ahead(u) :=
-  count(*) as n, sum(e.health) as hp
-  over e where e.posx >= u.posx and e.posx <= u.posx + 12
-    and e.posy >= u.posy - 3 and e.posy <= u.posy + 3
-    and e.player <> u.player;
-action Tag(u, v) := on e where e.key = u.key set damage = v;
-function main(u) { (let a = Ahead(u)) perform Tag(u, a.n + a.hp / 100) }`},
-
-	{"one-sided-minmax-falls-back", `
-aggregate WeakestEast(u) :=
-  min(e.health)
-  over e where e.posx >= u.posx and e.player <> u.player;
-action Tag(u, v) := on e where e.key = u.key set damage = v;
-function main(u) {
-  (let w = WeakestEast(u)) { if w < 100 then perform Tag(u, w) }
-}`},
-
-	{"neq-partition-area-action", `
-action Curse(u) :=
-  on e where e.player <> u.player
-    and e.posx >= u.posx - 5 and e.posx <= u.posx + 5
-    and e.posy >= u.posy - 5 and e.posy <= u.posy + 5
-  set damage = 1;
-function main(u) { if u.cooldown = 0 then perform Curse(u) }`},
-
-	{"mixed-output-classes", `
-aggregate Recon(u) :=
-  count(*) as n, argmin(e.health) as weak, avg(e.posx) as cx
-  over e where e.posx >= u.posx - 10 and e.posx <= u.posx + 10
-    and e.posy >= u.posy - 10 and e.posy <= u.posy + 10
-    and e.player <> u.player;
-action Hit(u, k) := on e where e.key = k and e.health > 0 set damage = 2;
-function main(u) {
-  (let r = Recon(u)) { if r.n > 0 and r.weak >= 0 then perform Hit(u, r.weak) }
-}`},
-
-	{"nested-aggregate-args", `
-aggregate Spread(u) :=
-  stddev(e.posx)
-  over e where e.player = u.player;
-aggregate Near(u, rad) :=
-  count(*)
-  over e where e.posx >= u.posx - rad and e.posx <= u.posx + rad
-    and e.posy >= u.posy - rad and e.posy <= u.posy + rad;
-action Tag(u, v) := on e where e.key = u.key set damage = v;
-function main(u) { perform Tag(u, Near(u, Spread(u) + 1)) }`},
-
-	{"u-only-guard", `
-aggregate CountAll(u) :=
-  count(*)
-  over e where u.cooldown = 0 and e.player <> u.player
-    and e.posx >= u.posx - 8 and e.posx <= u.posx + 8
-    and e.posy >= u.posy - 8 and e.posy <= u.posy + 8;
-action Tag(u, v) := on e where e.key = u.key set damage = v;
-function main(u) { perform Tag(u, CountAll(u)) }`},
-
-	{"random-in-action-value", `
-action Jolt(u, t) := on e where e.key = t set damage = Random(3) % 4;
-aggregate NearestFoe(u) := nearestkey() as key over e where e.player <> u.player;
-function main(u) {
-  (let t = NearestFoe(u)) { if t >= 0 then perform Jolt(u, t) }
-}`},
-
-	{"global-extrema", `
-aggregate Best(u) :=
-  max(e.health) as top, argmax(e.health) as who,
-  min(e.health) as low, argmin(e.health) as frail
-  over e where e.player <> u.player;
-action Hit(u, k) := on e where e.key = k set damage = 1;
-function main(u) {
-  (let b = Best(u)) {
-    if b.who >= 0 then perform Hit(u, b.who);
-    if b.frail >= 0 then perform Hit(u, b.frail)
-  }
-}`},
-
-	{"empty-world-guards", `
-aggregate Foes(u) :=
-  count(*)
-  over e where e.player <> u.player and e.unittype = 7;
-action Tag(u, v) := on e where e.key = u.key set damage = v;
-function main(u) { perform Tag(u, Foes(u)) }`},
-}
+// The script zoo lives in zoo.go (exported as Zoo) so the engine's
+// serial-vs-parallel determinism suite can reuse it.
 
 func TestScriptZooDifferential(t *testing.T) {
-	for _, tc := range zoo {
+	for _, tc := range Zoo {
 		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			prog := compile(t, tc.src)
+		t.Run(tc.Name, func(t *testing.T) {
+			prog := compile(t, tc.Src)
 			an := NewAnalyzer(prog, categoricals())
 			for seed := uint64(1); seed <= 3; seed++ {
 				env := randomArmy(t, seed, 70, 25)
@@ -145,10 +47,10 @@ func TestScriptZooDifferential(t *testing.T) {
 // The zoo again, but through batch evaluation (the engine's hot path):
 // every aggregate of every zoo program answered per-probe and in batch.
 func TestScriptZooBatchAgreement(t *testing.T) {
-	for _, tc := range zoo {
+	for _, tc := range Zoo {
 		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			prog := compile(t, tc.src)
+		t.Run(tc.Name, func(t *testing.T) {
+			prog := compile(t, tc.Src)
 			an := NewAnalyzer(prog, categoricals())
 			env := randomArmy(t, 9, 60, 20)
 			r := rng.New(9).Tick(3)

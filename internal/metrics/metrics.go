@@ -31,6 +31,12 @@ type Runner struct {
 	// predictors; also lets the armies engage so the workload is combat,
 	// not marching).
 	Warmup int
+	// Workers is the engine worker count every measurement runs with. The
+	// default 1 reproduces the paper's single-threaded numbers; set it
+	// higher (or to runtime.GOMAXPROCS(0)) to measure the sharded
+	// executor. Results are bit-identical either way, so the comparison
+	// is pure throughput.
+	Workers int
 }
 
 // NewRunner compiles the battle simulation once for all measurements.
@@ -39,7 +45,7 @@ func NewRunner() (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{prog: prog, Warmup: 3}, nil
+	return &Runner{prog: prog, Warmup: 3, Workers: 1}, nil
 }
 
 // Program exposes the compiled battle program (for explain tooling).
@@ -54,7 +60,58 @@ func (r *Runner) newEngine(mode engine.Mode, n int, density float64, seed uint64
 		Seed:         seed,
 		Side:         spec.Side(),
 		MoveSpeed:    1,
+		Workers:      r.Workers,
 	})
+}
+
+// SpeedupRow is one point of the parallel-scaling experiment.
+type SpeedupRow struct {
+	Units          int
+	Workers        int
+	SecondsPerTick float64
+	Speedup        float64 // vs the Workers=1 row of the same unit count
+}
+
+// Speedup measures seconds per tick of the indexed engine across worker
+// counts, normalized to the serial run. Because the sharded executor is
+// bit-identical to the serial one, any deviation from 1.0 is pure
+// scheduling — there is no accuracy trade-off to report.
+func (r *Runner) Speedup(n int, workers []int, density float64, measureTicks int) ([]SpeedupRow, error) {
+	if len(workers) == 0 {
+		return nil, nil
+	}
+	saved := r.Workers
+	defer func() { r.Workers = saved }()
+	var rows []SpeedupRow
+	for _, w := range workers {
+		r.Workers = w
+		s, err := r.TickSeconds(engine.Indexed, n, density, measureTicks, 42)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SpeedupRow{Units: n, Workers: w, SecondsPerTick: s})
+	}
+	// Normalize against the Workers=1 row (the first row if the caller
+	// did not measure serial).
+	base := rows[0].SecondsPerTick
+	for _, row := range rows {
+		if row.Workers == 1 {
+			base = row.SecondsPerTick
+			break
+		}
+	}
+	for i := range rows {
+		rows[i].Speedup = base / rows[i].SecondsPerTick
+	}
+	return rows, nil
+}
+
+// WriteSpeedup renders the parallel-scaling series as a text table.
+func WriteSpeedup(w io.Writer, rows []SpeedupRow) {
+	fmt.Fprintf(w, "%-8s %-8s %14s %10s\n", "units", "workers", "sec/tick", "speedup")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-8d %-8d %14.6f %9.2fx\n", row.Units, row.Workers, row.SecondsPerTick, row.Speedup)
+	}
 }
 
 // TickSeconds returns the measured wall-clock seconds per tick for the

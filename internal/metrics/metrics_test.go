@@ -175,3 +175,32 @@ func TestTiersRunDifferentially(t *testing.T) {
 		}
 	}
 }
+
+// The parallel-scaling experiment must normalize against its first row
+// and produce identical game outcomes at every worker count (the engine
+// guarantees bit-identical environments, so only timing differs).
+func TestSpeedupRows(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Warmup = 1
+	rows, err := r.Speedup(60, []int{1, 2}, 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	if rows[0].Workers != 1 || rows[0].Speedup != 1 {
+		t.Fatalf("first row must be the Workers=1 baseline: %+v", rows[0])
+	}
+	if rows[1].SecondsPerTick <= 0 {
+		t.Fatalf("non-positive timing: %+v", rows[1])
+	}
+	var buf strings.Builder
+	WriteSpeedup(&buf, rows)
+	if !strings.Contains(buf.String(), "workers") {
+		t.Fatal("WriteSpeedup table missing header")
+	}
+}

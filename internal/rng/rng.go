@@ -126,6 +126,20 @@ func NewStream(s Source, purpose int64) *Stream {
 	return &Stream{state: mix64(s.seed ^ uint64(purpose)*0x9e3779b97f4a7c15)}
 }
 
+// Substream returns an independent sequential generator deterministically
+// derived from the source seed, a purpose label, and a stream index — a
+// unit key, a worker shard, or any other partition identifier. Distinct
+// (purpose, index) pairs yield statistically independent streams, and the
+// derivation does not depend on how many other substreams exist or in what
+// order they are created. This is the property the parallel engine relies
+// on: a consumer keyed by (tick, unit) draws exactly the same values
+// whether one worker or eight are running, so results stay bit-identical
+// at any worker count.
+func (s Source) Substream(purpose, index int64) *Stream {
+	h := mix64(s.seed ^ uint64(purpose)*0x9e3779b97f4a7c15)
+	return &Stream{state: mix64(h ^ uint64(index)*0xc2b2ae3d27d4eb4f)}
+}
+
 // Next returns the next 64-bit value in the stream.
 func (st *Stream) Next() uint64 {
 	st.state += 0x9e3779b97f4a7c15

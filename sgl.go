@@ -23,6 +23,29 @@
 //	eng, _ := sgl.NewBattleEngine(prog, army, sgl.Indexed, 1)
 //	eng.Run(500)
 //
+// # Parallel execution
+//
+// The state-effect pattern makes a tick a set-at-a-time query: scripts
+// only read the frozen tick snapshot and emit effects combined with
+// commutative/associative folds, so tick execution shards across cores.
+// EngineOptions.Workers sets the shard count (0 = all cores, 1 = serial):
+//
+//	eng, _ := sgl.NewEngine(prog, mech, army, sgl.EngineOptions{
+//		Mode: sgl.Indexed, Workers: 0, /* … */
+//	})
+//
+// The determinism contract is strict: for any program, any tick count,
+// and any Workers value, the environment is byte-identical to the serial
+// run. Three mechanisms make that hold — randomness is counter-based
+// (hashed from seed, tick, unit key, and draw index, so values do not
+// depend on evaluation order; sequential draws such as respawn placement
+// use per-unit substreams), shards are contiguous row ranges whose effect
+// buffers merge at a barrier in the serial fold order (plan-node major,
+// row minor), and every per-tick index is built once and then probed
+// read-only by all workers. Pick Workers = physical cores for throughput;
+// there is no accuracy trade-off to weigh, and per-worker effect counts
+// are reported in RunStats.EffectsByWorker.
+//
 // See the examples/ directory for runnable programs and cmd/ for the
 // sglc, battlesim and benchfig tools.
 package sgl
