@@ -366,22 +366,134 @@ func BenchmarkEngineTickNaiveVsIndexed(b *testing.B) {
 // measure goroutine overhead, not parallelism — on a multicore box the
 // Workers=4 rows should show the ≥ 2× gain over Workers=1 at 10k units.
 //
+// Each (n, w) point also runs in incremental mode (/incr): the battle is
+// a high-churn workload, so the incremental rows mostly measure the
+// threshold fallback's overhead plus whatever the per-definition column
+// masks still salvage (stationary melee lines leave position-keyed trees
+// clean). The dedicated low-churn measurement is BenchmarkTickIncrementalSentry.
+//
 //	go test -bench=TickParallel -benchtime=10x
 
 func BenchmarkTickParallel(b *testing.B) {
 	for _, n := range []int{2000, 10000} {
 		for _, w := range []int{1, 2, 4, 8} {
-			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
-				e := newBattle(b, Indexed, n, 0.01, func(o *EngineOptions) { o.Workers = w })
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if err := e.Tick(); err != nil {
-						b.Fatal(err)
-					}
+			for _, inc := range []bool{false, true} {
+				mode := "rebuild"
+				if inc {
+					mode = "incr"
 				}
-				b.ReportMetric(float64(n)/b.Elapsed().Seconds()*float64(b.N), "unit-ticks/s")
-			})
+				if inc && w != 1 && w != 4 {
+					continue // keep the matrix small: incr at w ∈ {1, 4}
+				}
+				b.Run(fmt.Sprintf("n%d/w%d/%s", n, w, mode), func(b *testing.B) {
+					e := newBattle(b, Indexed, n, 0.01, func(o *EngineOptions) {
+						o.Workers = w
+						o.Incremental = inc
+					})
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := e.Tick(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(n)/b.Elapsed().Seconds()*float64(b.N), "unit-ticks/s")
+				})
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// P2 — incremental index maintenance on a low-churn workload: a garrison
+// of knights and archers watches the opposing knight line (three
+// aggregate probes per unit per tick over trees partitioned by player and
+// unit type) while a small scout detachment — 1 unit in 25 — random-walks
+// the map. Rebuild mode reconstructs every tree from all n units each
+// tick; incremental mode rebuilds only the scouts' partitions and reuses
+// the rest, which is where the ≥ 1.3× tick speedup at 10k units comes
+// from (multicore or not — the win is build work removed, not
+// parallelism).
+//
+//	go test -bench=TickIncrementalSentry -benchtime=20x
+
+const sentryScript = `
+aggregate WatchEnemyKnights(u) :=
+  count(*) as n, sum(e.health) as hp, avg(e.posx) as cx
+  over e where e.posx >= u.posx - u.sight and e.posx <= u.posx + u.sight
+    and e.posy >= u.posy - u.sight and e.posy <= u.posy + u.sight
+    and e.player <> u.player and e.unittype = 0;
+
+aggregate OwnLine(u) :=
+  count(*) as n, avg(e.posx) as cx, avg(e.posy) as cy, stddev(e.posx) as sx
+  over e where e.player = u.player and e.unittype = 0;
+
+aggregate NearestScout(u) :=
+  nearestkey() as key
+  over e where e.player = u.player and e.unittype = 2;
+
+action Patrol(u, tx, ty) :=
+  on e where e.key = u.key
+  set movevect_x = tx - u.posx, movevect_y = ty - u.posy;
+
+function main(u) {
+  (let w = WatchEnemyKnights(u))
+  (let l = OwnLine(u)) {
+    if u.unittype = 2 then
+      perform Patrol(u, u.posx + Random(1) % 9 - 4, u.posy + Random(2) % 9 - 4);
+    else { if w.n + l.n + NearestScout(u) < -1 then perform Patrol(u, l.cx, l.cy) }
+  }
+}
+`
+
+func newSentry(b *testing.B, n int, workers int, inc bool) *Engine {
+	b.Helper()
+	prog, err := CompileScript(sentryScript, game.Schema(), game.Consts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := ArmySpec{Units: n, Density: 0.01, Seed: 42, Formation: workload.BattleLines, Mix: [3]int{20, 4, 1}}
+	eng, err := NewEngine(prog, NewBattleMechanics(), GenerateArmy(spec), EngineOptions{
+		Mode:         Indexed,
+		Categoricals: game.Categoricals(),
+		Seed:         42,
+		Side:         spec.Side(),
+		MoveSpeed:    1,
+		Workers:      workers,
+		Incremental:  inc,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Run(3); err != nil { // let maintenance engage (needs 2 ticks)
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func BenchmarkTickIncrementalSentry(b *testing.B) {
+	for _, n := range []int{2000, 10000} {
+		for _, w := range []int{1, 4} {
+			for _, inc := range []bool{false, true} {
+				mode := "rebuild"
+				if inc {
+					mode = "incr"
+				}
+				b.Run(fmt.Sprintf("n%d/w%d/%s", n, w, mode), func(b *testing.B) {
+					e := newSentry(b, n, w, inc)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := e.Tick(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(n)/b.Elapsed().Seconds()*float64(b.N), "unit-ticks/s")
+					if inc {
+						b.ReportMetric(float64(e.Stats.DirtyRows)/float64(e.Stats.Ticks), "dirty-rows/tick")
+					}
+				})
+			}
 		}
 	}
 }

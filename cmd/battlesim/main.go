@@ -27,6 +27,8 @@ func main() {
 	formation := flag.String("formation", "lines", "lines or scattered")
 	report := flag.Int("report", 25, "progress report interval in ticks (0 = none)")
 	workers := flag.Int("workers", 0, "tick executor shards (0 = all cores, 1 = serial; results are identical)")
+	incremental := flag.Bool("incremental", false, "patch per-tick indexes from the previous tick instead of rebuilding (identical results)")
+	incThreshold := flag.Float64("incthreshold", 0, "dirty-fraction rebuild fallback (0 = default)")
 	flag.Parse()
 
 	mode := engine.Indexed
@@ -49,12 +51,14 @@ func main() {
 	}
 	spec := workload.Spec{Units: *units, Density: *density, Seed: *seed, Formation: form}
 	e, err := engine.New(prog, game.NewMechanics(), workload.Generate(spec), engine.Options{
-		Mode:         mode,
-		Categoricals: game.Categoricals(),
-		Seed:         *seed,
-		Side:         spec.Side(),
-		MoveSpeed:    1,
-		Workers:      *workers,
+		Mode:                 mode,
+		Categoricals:         game.Categoricals(),
+		Seed:                 *seed,
+		Side:                 spec.Side(),
+		MoveSpeed:            1,
+		Workers:              *workers,
+		Incremental:          *incremental,
+		IncrementalThreshold: *incThreshold,
 	})
 	if err != nil {
 		fatal(err)
@@ -86,6 +90,12 @@ func main() {
 		s := e.Stats.IndexStats
 		fmt.Printf("index work: %d builds, %d tree probes, %d kd probes, %d sweeps, %d scan fallbacks\n",
 			s.IndexBuilds, s.TreeProbes, s.KDProbes, s.Sweeps, s.ScanProbes)
+		if *incremental {
+			fmt.Printf("maintenance: %d/%d ticks maintained, %.1f dirty rows/tick, %d reuses, %d patches, %d fallbacks\n",
+				e.Stats.MaintainTicks, e.Stats.Ticks,
+				float64(e.Stats.DirtyRows)/float64(max(1, e.Stats.MaintainTicks)),
+				s.IndexReuses, s.IndexPatches, s.MaintainFallbacks)
+		}
 	}
 }
 

@@ -1,0 +1,29 @@
+package sgl
+
+import (
+	"testing"
+
+	"github.com/epicscale/sgl/internal/exec"
+)
+
+// FuzzCompileScript asserts the full front end — lexer, parser, semantic
+// checker — never panics on arbitrary source against the battle schema,
+// and that anything it accepts survives a print → recompile round trip
+// (the compiled form of the parser fuzz target's property).
+func FuzzCompileScript(f *testing.F) {
+	for _, zp := range exec.Zoo {
+		f.Add(zp.Src)
+	}
+	f.Add(BattleScript)
+	schema, consts := BattleSchema(), BattleConsts()
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := CompileScript(src, schema, consts)
+		if err != nil {
+			return
+		}
+		printed := prog.Script.String()
+		if _, err := CompileScript(printed, schema, consts); err != nil {
+			t.Fatalf("printed form of a valid program does not recompile: %v\n%s", err, printed)
+		}
+	})
+}

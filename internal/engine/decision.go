@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"github.com/epicscale/sgl/internal/algebra"
-	"github.com/epicscale/sgl/internal/exec"
 	"github.com/epicscale/sgl/internal/geom"
 	"github.com/epicscale/sgl/internal/index/rangetree"
 	"github.com/epicscale/sgl/internal/index/segtree"
@@ -52,8 +51,7 @@ func (e *Engine) decideNaive(r rng.TickSource, acc *accumulator, keyIdx map[int6
 // — sharing one traversal is what guarantees the parallel merge folds
 // effects in the same order the serial path does.
 func (e *Engine) decideIndexed(r rng.TickSource, acc *accumulator, keyIdx map[int64]int) error {
-	prov := exec.NewIndexed(e.an, e.env, r)
-	prov.SeedKeyIndex(keyIdx) // Tick already built the same map
+	prov := e.newIndexedProvider(r, keyIdx)
 	x := algebra.NewExecutor(e.prog, e.plan, e.env, prov, r)
 	kc := e.prog.Schema.KeyCol()
 

@@ -97,7 +97,24 @@ type Options struct {
 	// in a fixed order, the resulting environment is bit-identical for any
 	// Workers value.
 	Workers int
+	// Incremental turns on delta-driven index maintenance for the Indexed
+	// mode: each tick the engine records which rows changed and the next
+	// tick's indexes are patched from the previous tick's instead of
+	// rebuilt from scratch. Results are bit-identical to rebuilding
+	// (proved by TestIncrementalMatchesRebuild); the only trade-off is
+	// memory for the previous tick's structures and snapshot.
+	Incremental bool
+	// IncrementalThreshold is the per-definition dirty-row fraction above
+	// which maintenance falls back to a from-scratch rebuild (patching
+	// most of an index costs more than rebuilding it). 0 means
+	// DefaultIncrementalThreshold; negative means rebuild whenever
+	// anything relevant changed; values ≥ 1 always maintain.
+	IncrementalThreshold float64
 }
+
+// DefaultIncrementalThreshold is the dirty-fraction fallback cutoff used
+// when Options.IncrementalThreshold is zero.
+const DefaultIncrementalThreshold = 0.3
 
 // Engine simulates one battle. The Engine itself is not safe for
 // concurrent use (one Tick at a time), but a Tick internally fans the
@@ -119,6 +136,18 @@ type Engine struct {
 	fxCols     []int
 	workers    int // resolved Options.Workers (>= 1)
 
+	// Incremental-maintenance state (Options.Incremental, Indexed mode):
+	// the provider the current tick used, the provider and delta to
+	// maintain the next tick's indexes from, and the flat row snapshot
+	// the delta is computed against.
+	tickProv *exec.Indexed
+	prevProv *exec.Indexed
+	incSnap  []float64
+	incDirty []int
+	incMasks []uint64
+	delta    exec.Delta
+	deltaOK  bool
+
 	// Stats accumulates counters across ticks.
 	Stats RunStats
 }
@@ -130,7 +159,12 @@ type RunStats struct {
 	Moves          int
 	MovesBlocked   int
 	Deaths         int
-	IndexStats     exec.Stats
+	// MaintainTicks counts the ticks whose indexes were patched from the
+	// previous tick's (Options.Incremental); DirtyRows accumulates the
+	// per-tick delta sizes those patches consumed.
+	MaintainTicks int
+	DirtyRows     int
+	IndexStats    exec.Stats
 	// EffectsByWorker splits EffectsApplied by the worker shard that
 	// produced each effect row (all in slot 0 on the serial path).
 	EffectsByWorker []int
@@ -255,6 +289,10 @@ func (e *Engine) Tick() error {
 
 	// Resurrection keeps the population constant (Section 6).
 	e.resurrect(dead)
+
+	// Record which rows this tick changed, so the next tick can patch the
+	// previous indexes instead of rebuilding them.
+	e.captureIncremental()
 
 	e.tick++
 	e.Stats.Ticks++

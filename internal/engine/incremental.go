@@ -1,0 +1,102 @@
+// Incremental per-tick index maintenance (the engine half; the structure
+// half lives in exec.MaintainFrom). Rather than instrumenting every
+// mutation site — effect application, movement, resurrection — the engine
+// keeps a flat snapshot of the previous tick's rows and diffs it at tick
+// end: O(n·width) bit-compares, trivial next to index construction, and
+// immune to new mutation paths silently bypassing delta capture. The diff
+// also yields a per-row changed-column mask, which is what lets
+// MaintainFrom tell a unit that merely cooled down apart from one that
+// moved.
+//
+// Timeline: the provider built at tick T reflects the environment after
+// tick T−1 (effects apply post-decision). The delta captured at the end
+// of tick T spans exactly that state to the state after T, so the
+// provider for tick T+1 is obtained by patching tick T's provider with
+// tick T's delta. The first two indexed ticks rebuild (no prior provider
+// with a matching snapshot exists yet); maintenance engages from the
+// third.
+package engine
+
+import (
+	"math"
+
+	"github.com/epicscale/sgl/internal/exec"
+	"github.com/epicscale/sgl/internal/rng"
+)
+
+// incThreshold resolves Options.IncrementalThreshold.
+func (e *Engine) incThreshold() float64 {
+	t := e.opts.IncrementalThreshold
+	switch {
+	case t == 0:
+		return DefaultIncrementalThreshold
+	case t < 0:
+		return 0
+	default:
+		return t
+	}
+}
+
+// newIndexedProvider builds the tick's indexed provider, patched from the
+// previous tick's structures when incremental maintenance is on and a
+// valid delta exists. decideIndexed probes it lazily; the parallel path
+// calls Freeze on it afterwards (which only builds what maintenance did
+// not install).
+func (e *Engine) newIndexedProvider(r rng.TickSource, keyIdx map[int64]int) *exec.Indexed {
+	prov := exec.NewIndexed(e.an, e.env, r)
+	prov.SeedKeyIndex(keyIdx)
+	if e.opts.Incremental && e.deltaOK && e.prevProv != nil {
+		if prov.MaintainFrom(e.prevProv, e.delta, e.incThreshold()) {
+			e.Stats.MaintainTicks++
+			e.Stats.DirtyRows += len(e.delta.Dirty)
+		}
+	}
+	e.tickProv = prov
+	return prov
+}
+
+// captureIncremental diffs the environment against the previous tick's
+// snapshot at tick end, producing the Delta the next tick's provider is
+// maintained with. Values are compared bit-for-bit (Float64bits): the
+// index build pipeline is a pure function of row bits, so bit equality is
+// exactly the "nothing this index consumed changed" predicate.
+func (e *Engine) captureIncremental() {
+	if !e.opts.Incremental || e.opts.Mode != Indexed {
+		return
+	}
+	n, w := e.env.Len(), e.prog.Schema.NumAttrs()
+	if len(e.incSnap) != n*w {
+		// First tick (or a population change): no usable baseline. Snapshot
+		// now; the delta becomes valid at the end of the next tick.
+		e.incSnap = make([]float64, n*w)
+		for i, row := range e.env.Rows {
+			copy(e.incSnap[i*w:(i+1)*w], row)
+		}
+		e.deltaOK = false
+		e.prevProv, e.tickProv = e.tickProv, nil
+		return
+	}
+	dirty, masks := e.incDirty[:0], e.incMasks[:0]
+	for i, row := range e.env.Rows {
+		base := e.incSnap[i*w : (i+1)*w]
+		var m uint64
+		for c, v := range row {
+			if math.Float64bits(v) != math.Float64bits(base[c]) {
+				b := c
+				if b > 63 {
+					b = 63 // alias wide schemas conservatively
+				}
+				m |= 1 << b
+			}
+		}
+		if m != 0 {
+			dirty = append(dirty, i)
+			masks = append(masks, m)
+			copy(base, row)
+		}
+	}
+	e.incDirty, e.incMasks = dirty, masks
+	e.delta = exec.Delta{Dirty: dirty, Masks: masks}
+	e.deltaOK = true
+	e.prevProv, e.tickProv = e.tickProv, nil
+}

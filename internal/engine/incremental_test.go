@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/epicscale/sgl/internal/exec"
+)
+
+// TestIncrementalMatchesRebuild is the differential harness for
+// incremental index maintenance: for every zoo program and for the battle
+// simulation, an engine that patches its indexes from the previous tick
+// must leave an environment byte-identical to one that rebuilds from
+// scratch — at every single tick (not just the end state), and at both
+// Workers = 1 and Workers = 4. The incremental engines run with threshold
+// 1 so maintenance engages regardless of churn: this is the hostile
+// setting, since high-churn ticks patch almost every partition.
+func TestIncrementalMatchesRebuild(t *testing.T) {
+	const units, ticks, seed = 64, 100, 7
+	mk := func(t *testing.T, progName, src string, battle bool, n int) {
+		t.Run(progName, func(t *testing.T) {
+			prog := battleProg(t)
+			if !battle {
+				prog = compileZoo(t, src)
+			}
+			alwaysMaintain := func(w int) *Engine {
+				return newEngine(t, prog, n, Indexed, seed, func(o *Options) {
+					o.Workers = w
+					o.Incremental = true
+					o.IncrementalThreshold = 1
+				})
+			}
+			oracle := newEngine(t, prog, n, Indexed, seed, func(o *Options) { o.Workers = 1 })
+			inc1, inc4 := alwaysMaintain(1), alwaysMaintain(4)
+			for tick := 0; tick < ticks; tick++ {
+				for _, e := range []*Engine{oracle, inc1, inc4} {
+					if err := e.Tick(); err != nil {
+						t.Fatalf("tick %d: %v", tick, err)
+					}
+				}
+				if !identicalTables(oracle.Env(), inc1.Env()) {
+					t.Fatalf("incremental w=1 diverged from rebuild at tick %d", tick)
+				}
+				if !identicalTables(oracle.Env(), inc4.Env()) {
+					t.Fatalf("incremental w=4 diverged from rebuild at tick %d", tick)
+				}
+			}
+			// Guard against the test passing vacuously. Some zoo programs
+			// legitimately have nothing to maintain (residual-only
+			// definitions force scans), and the serial engine's IndexBuilds
+			// also counts per-tick Section 5.4 effect indexes, so the
+			// engagement check is only sound on the frozen w=4 engine,
+			// where Freeze provably installs every indexable definition.
+			if is := inc4.Stats.IndexStats; is.IndexBuilds > 0 && inc4.Stats.MaintainTicks == 0 {
+				t.Error("index structures were built but maintenance never engaged")
+			}
+			if battle {
+				is := inc1.Stats.IndexStats
+				if is.IndexReuses == 0 || is.IndexPatches == 0 {
+					t.Errorf("battle maintenance should reuse and patch structures; got reuses=%d patches=%d",
+						is.IndexReuses, is.IndexPatches)
+				}
+			}
+		})
+	}
+	for _, zp := range exec.Zoo {
+		mk(t, zp.Name, zp.Src, false, units)
+	}
+	mk(t, "battle-sim", "", true, 90)
+}
+
+// The default threshold must fall back to rebuilding on high-churn
+// definitions without changing outcomes.
+func TestIncrementalThresholdFallback(t *testing.T) {
+	prog := battleProg(t)
+	oracle := newEngine(t, prog, 80, Indexed, 11, nil)
+	inc := newEngine(t, prog, 80, Indexed, 11, func(o *Options) {
+		o.Incremental = true // default threshold
+	})
+	tiny := newEngine(t, prog, 80, Indexed, 11, func(o *Options) {
+		o.Incremental = true
+		o.IncrementalThreshold = 1e-9 // everything relevant falls back
+	})
+	for tick := 0; tick < 30; tick++ {
+		for _, e := range []*Engine{oracle, inc, tiny} {
+			if err := e.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !identicalTables(oracle.Env(), inc.Env()) {
+			t.Fatalf("default-threshold incremental diverged at tick %d", tick)
+		}
+		if !identicalTables(oracle.Env(), tiny.Env()) {
+			t.Fatalf("tiny-threshold incremental diverged at tick %d", tick)
+		}
+	}
+	if tiny.Stats.IndexStats.MaintainFallbacks == 0 {
+		t.Error("tiny threshold should force fallbacks on a battle workload")
+	}
+}
+
+// Incremental must compose with the ablation options.
+func TestIncrementalComposesWithAblations(t *testing.T) {
+	prog := battleProg(t)
+	for _, tweak := range []struct {
+		name string
+		fn   func(*Options)
+	}{
+		{"no-area-defer", func(o *Options) { o.DisableAreaDefer = true }},
+		{"no-optimizer", func(o *Options) { o.DisableOptimizer = true }},
+	} {
+		t.Run(tweak.name, func(t *testing.T) {
+			oracle := newEngine(t, prog, 72, Indexed, 17, func(o *Options) { tweak.fn(o) })
+			inc := newEngine(t, prog, 72, Indexed, 17, func(o *Options) {
+				tweak.fn(o)
+				o.Incremental = true
+				o.IncrementalThreshold = 1
+			})
+			for tick := 0; tick < 25; tick++ {
+				if err := oracle.Tick(); err != nil {
+					t.Fatal(err)
+				}
+				if err := inc.Tick(); err != nil {
+					t.Fatal(err)
+				}
+				if !identicalTables(oracle.Env(), inc.Env()) {
+					t.Fatalf("%s: incremental diverged at tick %d", tweak.name, tick)
+				}
+			}
+		})
+	}
+}
+
+// The delta capture must see every mutation path: effects, movement,
+// death/respawn. Run a combat-heavy battle and check the recorded dirty
+// rows are plausible (some rows dirty, not all rows every tick would also
+// be fine — what matters is divergence, covered above — but a zero delta
+// under heavy combat means capture is broken).
+func TestDeltaCaptureSeesCombat(t *testing.T) {
+	prog := battleProg(t)
+	e := newEngine(t, prog, 90, Indexed, 3, func(o *Options) {
+		o.Incremental = true
+		o.IncrementalThreshold = 1
+	})
+	if err := e.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.MaintainTicks == 0 {
+		t.Fatal("maintenance never engaged")
+	}
+	if e.Stats.DirtyRows == 0 {
+		t.Fatal("battle ran 20 ticks with an empty delta — capture broken")
+	}
+}
+
+func BenchmarkTickIncremental500(b *testing.B) {
+	prog := battleProg(b)
+	for _, inc := range []bool{false, true} {
+		name := "rebuild"
+		if inc {
+			name = "incr"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := newEngine(b, prog, 500, Indexed, 42, func(o *Options) {
+				o.Workers = 1
+				o.Incremental = inc
+			})
+			if err := e.Run(3); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.Tick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -158,8 +158,7 @@ type shardDecision struct {
 // Section 5.4 effect index, concatenated in the exact order the serial
 // walk would have discovered them.
 func (e *Engine) decideIndexedParallel(r rng.TickSource, acc *accumulator, keyIdx map[int64]int) error {
-	master := exec.NewIndexed(e.an, e.env, r)
-	master.SeedKeyIndex(keyIdx) // Tick already built the same map
+	master := e.newIndexedProvider(r, keyIdx)
 	master.Freeze()
 	applies, err := e.plan.Applies()
 	if err != nil {

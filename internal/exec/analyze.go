@@ -82,7 +82,49 @@ type AggAnalysis struct {
 	// Indexable is false when residual conjuncts or >2 range axes force
 	// every output to a scan.
 	Indexable bool
+	// Deps records which schema columns each build-time index component
+	// reads; MaintainFrom consults it to decide what a dirty row actually
+	// invalidates.
+	Deps AggDeps
 }
+
+// depMask is a bitset over schema columns. Columns ≥ 63 alias into bit
+// 63, which is conservative: an aliased change can only force an extra
+// rebuild, never skip a needed one.
+type depMask uint64
+
+func colBit(col int) depMask {
+	if col > 63 {
+		col = 63
+	}
+	return 1 << col
+}
+
+// AggDeps are the per-component build-time column dependencies of an
+// indexable aggregate definition. Probe-time terms (axis bounds, eq
+// right-hand sides, u-only conjuncts, sweep/scan arguments) evaluate
+// against the live environment on every probe and so never appear here.
+type AggDeps struct {
+	Member depMask // partition membership: eq columns + e-only conjunct columns
+	Shape  depMask // range-tree sort keys: the range-axis columns
+	Vals   depMask // range-tree payload term columns (divisible outputs)
+	KD     depMask // kD-tree point columns (posx/posy) when any nearest output
+	Global depMask // global-extremum argument columns
+}
+
+// All returns the union of every component mask.
+func (d AggDeps) All() depMask {
+	return d.Member | d.Shape | d.Vals | d.KD | d.Global
+}
+
+// ActDeps are the build-time column dependencies of an area action index.
+type ActDeps struct {
+	Member depMask
+	Shape  depMask
+}
+
+// All returns the union of the component masks.
+func (d ActDeps) All() depMask { return d.Member | d.Shape }
 
 // ActClass says how an action's target set is computed.
 type ActClass uint8
@@ -106,6 +148,8 @@ type ActAnalysis struct {
 	Eqs      []EqCond
 	Axes     []RangeAxis
 	Residual []ast.Cond
+	// Deps mirrors AggAnalysis.Deps for ActArea index maintenance.
+	Deps ActDeps
 	// Deferrable reports the Section 5.4 condition: an ActArea whose SET
 	// values do not reference e, so the per-performer contribution can be
 	// computed once and applied to all targets through an effect index.
@@ -374,7 +418,95 @@ func (an *Analyzer) analyzeAgg(def *ast.AggDef) *AggAnalysis {
 	for i, out := range def.Outputs {
 		a.OutClass[i] = an.classifyOutput(a, out)
 	}
+	a.Deps = an.aggDeps(a)
 	return a
+}
+
+// termECols collects the schema columns of every e.Attr reference in t.
+func (an *Analyzer) termECols(t ast.Term) depMask {
+	var m depMask
+	var walk func(t ast.Term)
+	walk = func(t ast.Term) {
+		switch n := t.(type) {
+		case *ast.FieldRef:
+			if n.Base == "e" {
+				if col, ok := an.prog.Schema.Col(n.Field); ok {
+					m |= colBit(col)
+				}
+			}
+		case *ast.Field:
+			walk(n.X)
+		case *ast.Pair:
+			walk(n.X)
+			walk(n.Y)
+		case *ast.Neg:
+			walk(n.X)
+		case *ast.Binary:
+			walk(n.X)
+			walk(n.Y)
+		case *ast.Call:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(t)
+	return m
+}
+
+// condECols collects the schema columns of every e.Attr reference in c.
+func (an *Analyzer) condECols(c ast.Cond) depMask {
+	var m depMask
+	var walk func(c ast.Cond)
+	walk = func(c ast.Cond) {
+		switch n := c.(type) {
+		case *ast.Not:
+			walk(n.X)
+		case *ast.And:
+			walk(n.X)
+			walk(n.Y)
+		case *ast.Or:
+			walk(n.X)
+			walk(n.Y)
+		case *ast.Compare:
+			m |= an.termECols(n.X) | an.termECols(n.Y)
+		}
+	}
+	walk(c)
+	return m
+}
+
+// aggDeps computes the build-time column dependencies of an aggregate's
+// index structures from its (already computed) classification.
+func (an *Analyzer) aggDeps(a *AggAnalysis) AggDeps {
+	var d AggDeps
+	for _, eq := range a.Eqs {
+		d.Member |= colBit(eq.Col)
+	}
+	for _, c := range a.EOnly {
+		d.Member |= an.condECols(c)
+	}
+	for _, ax := range a.Axes {
+		d.Shape |= colBit(ax.Col)
+	}
+	for i, out := range a.Def.Outputs {
+		switch a.OutClass[i] {
+		case ClassDivisible:
+			if out.Arg != nil {
+				d.Vals |= an.termECols(out.Arg)
+			}
+		case ClassNearest:
+			if px, ok := an.prog.Schema.Col("posx"); ok {
+				d.KD |= colBit(px)
+			}
+			if py, ok := an.prog.Schema.Col("posy"); ok {
+				d.KD |= colBit(py)
+			}
+		case ClassGlobal:
+			d.Global |= an.termECols(out.Arg)
+		}
+	}
+	return d
 }
 
 func (an *Analyzer) classifyOutput(a *AggAnalysis, out ast.AggOutput) OutputClass {
@@ -450,6 +582,15 @@ func (an *Analyzer) analyzeAct(def *ast.ActDef) *ActAnalysis {
 	}
 	if len(a.Residual) == 0 && catsOK && len(a.Axes) >= 1 && len(a.Axes) <= 2 {
 		a.Class = ActArea
+		for _, eq := range a.Eqs {
+			a.Deps.Member |= colBit(eq.Col)
+		}
+		for _, c := range a.EOnly {
+			a.Deps.Member |= an.condECols(c)
+		}
+		for _, ax := range a.Axes {
+			a.Deps.Shape |= colBit(ax.Col)
+		}
 		a.Deferrable = true
 		for _, set := range def.Sets {
 			refs := an.termRefs(set.Value, def.Params[0], def.Params)

@@ -44,6 +44,13 @@ type Indexed struct {
 	aggIdx   map[*ast.AggDef]*aggIndex
 	actIdx   map[*ast.ActDef]*actIndex
 
+	// frozen is set by Freeze: every index the program can demand exists
+	// and the shared state is read-only from here on. forked marks a view
+	// returned by Fork; a fork must never build an index lazily (that
+	// would race with sibling forks), so the lazy builders panic on one.
+	frozen bool
+	forked bool
+
 	// argFold holds cross-partition arg-extremum state during one batch
 	// call; reset at the start of every EvalAggBatch.
 	argFold map[[2]int]argState
@@ -55,10 +62,18 @@ type Indexed struct {
 // Stats counts the work the indexed evaluator performed in one tick.
 type Stats struct {
 	IndexBuilds int
-	TreeProbes  int
-	KDProbes    int
-	Sweeps      int
-	ScanProbes  int
+	// IndexReuses counts index structures carried over unchanged from the
+	// previous tick by MaintainFrom, and IndexPatches counts range trees
+	// whose payload prefix aggregates were recomputed in place (shape
+	// reused). MaintainFallbacks counts definitions whose relevant dirty
+	// fraction exceeded the threshold, forcing a from-scratch rebuild.
+	IndexReuses       int
+	IndexPatches      int
+	MaintainFallbacks int
+	TreeProbes        int
+	KDProbes          int
+	Sweeps            int
+	ScanProbes        int
 }
 
 var _ interp.Provider = (*Indexed)(nil)
@@ -105,24 +120,42 @@ func (p *Indexed) Freeze() {
 			p.actIndexFor(def)
 		}
 	}
+	p.frozen = true
 }
 
 // Fork returns a worker-private view of a frozen provider: it shares the
 // immutable per-tick indexes (and the environment snapshot) with the
 // receiver but owns its Stats counters and batch scratch state. Fork
 // without a prior Freeze is unsafe — a lazy index build in one fork would
-// race with reads in another.
+// race with reads in another — and panics rather than racing silently.
 func (p *Indexed) Fork() *Indexed {
+	if !p.frozen {
+		panic("exec: Fork before Freeze — forked views share index state and must not build lazily")
+	}
 	c := *p
 	c.Stats = Stats{}
 	c.argFold = nil
+	c.forked = true
 	return &c
+}
+
+// guardLazyBuild panics when a forked view is about to build an index
+// structure lazily: every structure a fork can probe must already exist
+// (Freeze builds them all), so a cache miss here means shared mutable
+// state would be written from a worker goroutine.
+func (p *Indexed) guardLazyBuild(what string) {
+	if p.forked {
+		panic("exec: lazy " + what + " build on a forked view — Freeze must build every index before Fork")
+	}
 }
 
 // Add folds another view's counters into s (used to merge per-worker
 // stats after a parallel tick).
 func (s *Stats) Add(o Stats) {
 	s.IndexBuilds += o.IndexBuilds
+	s.IndexReuses += o.IndexReuses
+	s.IndexPatches += o.IndexPatches
+	s.MaintainFallbacks += o.MaintainFallbacks
 	s.TreeProbes += o.TreeProbes
 	s.KDProbes += o.KDProbes
 	s.Sweeps += o.Sweeps
@@ -174,6 +207,31 @@ type aggIndex struct {
 	minArg []ast.Term
 	parts  map[string]*aggPart
 	order  []string // deterministic partition iteration order
+	// Which per-partition structures this definition demands.
+	needRT, needKD, anyGlobal bool
+	// rowPart maps every environment row to its partition ordinal in
+	// order, or -1 when the e-only filter excludes it. MaintainFrom uses
+	// it to find the partition a dirty row used to live in.
+	rowPart []int32
+}
+
+// buildRowPart recomputes the row → partition-ordinal map from parts and
+// order (called after membership is final).
+func (idx *aggIndex) buildRowPart(n int) {
+	idx.rowPart = makeRowPart(n)
+	for ord, key := range idx.order {
+		for _, ri := range idx.parts[key].rows {
+			idx.rowPart[ri] = int32(ord)
+		}
+	}
+}
+
+func makeRowPart(n int) []int32 {
+	rp := make([]int32, n)
+	for i := range rp {
+		rp[i] = -1
+	}
+	return rp
 }
 
 type aggPart struct {
@@ -214,24 +272,38 @@ func eqCols(eqs []EqCond) []int {
 	return cols
 }
 
+// passesEOnly evaluates the e-only conjuncts against one row (u/args are
+// irrelevant; the row stands in for both).
+func (p *Indexed) passesEOnly(conds []ast.Cond, dl interp.DefLike, row []float64) bool {
+	for _, c := range conds {
+		ok, err := interp.EvalDefCond(c, dl, row, nil, row, p.prog, p.r)
+		if err != nil {
+			panic("exec: " + err.Error())
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // aggIndexFor builds (once per tick) the index structures for a definition.
 func (p *Indexed) aggIndexFor(def *ast.AggDef) *aggIndex {
 	if idx, ok := p.aggIdx[def]; ok {
 		return idx
 	}
+	p.guardLazyBuild("aggregate index")
 	a := p.an.Agg(def)
 	idx := &aggIndex{a: a, parts: map[string]*aggPart{}}
 
 	// Payload layout for divisible outputs.
 	idx.div = make([]divCols, len(def.Outputs))
 	idx.minArg = make([]ast.Term, len(def.Outputs))
-	needRT, needKD := false, false
-	anyGlobal := false
 	for i, out := range def.Outputs {
 		idx.div[i] = divCols{cnt: -1, sum: -1, sumSq: -1}
 		switch a.OutClass[i] {
 		case ClassDivisible:
-			needRT = true
+			idx.needRT = true
 			switch out.Func {
 			case ast.Count:
 				idx.div[i].cnt = idx.payload.col(nil, false)
@@ -246,9 +318,9 @@ func (p *Indexed) aggIndexFor(def *ast.AggDef) *aggIndex {
 				idx.div[i].sumSq = idx.payload.col(out.Arg, true)
 			}
 		case ClassNearest:
-			needKD = true
+			idx.needKD = true
 		case ClassGlobal:
-			anyGlobal = true
+			idx.anyGlobal = true
 			idx.minArg[i] = out.Arg
 		case ClassMinMax:
 			idx.minArg[i] = out.Arg
@@ -259,19 +331,7 @@ func (p *Indexed) aggIndexFor(def *ast.AggDef) *aggIndex {
 	cols := eqCols(a.Eqs)
 	dl := interp.DefParams(def)
 	for i, row := range p.env.Rows {
-		passes := true
-		for _, c := range a.EOnly {
-			// e-only conjuncts: u/args are irrelevant; pass the row itself.
-			ok, err := interp.EvalDefCond(c, dl, row, nil, row, p.prog, p.r)
-			if err != nil {
-				panic("exec: " + err.Error())
-			}
-			if !ok {
-				passes = false
-				break
-			}
-		}
-		if !passes {
+		if !p.passesEOnly(a.EOnly, dl, row) {
 			continue
 		}
 		key := p.partitionKey(row, cols)
@@ -283,73 +343,111 @@ func (p *Indexed) aggIndexFor(def *ast.AggDef) *aggIndex {
 		}
 		part.rows = append(part.rows, i)
 	}
+	idx.buildRowPart(p.env.Len())
 
-	xCol, yCol := p.axisCols(a.Axes)
-	schema := p.prog.Schema
 	for _, key := range idx.order {
-		part := idx.parts[key]
-		if needRT {
-			pts := make([]rangetree.Point, len(part.rows))
-			w := len(idx.payload.terms)
-			vals := make([]float64, len(part.rows)*w)
-			for j, ri := range part.rows {
-				row := p.env.Rows[ri]
-				pts[j] = rangetree.Point{X: p.axisVal(row, xCol), Y: p.axisVal(row, yCol)}
-				for c, term := range idx.payload.terms {
-					v := 1.0
-					if term != nil {
-						var err error
-						v, err = interp.EvalDefTermWith(term, dl, row, nil, row, p.prog, p.r)
-						if err != nil {
-							panic("exec: " + err.Error())
-						}
-						if idx.payload.squared[c] {
-							v *= v
-						}
-					}
-					vals[j*w+c] = v
-				}
-			}
-			part.rt = rangetree.Build(pts, w, vals)
-			p.Stats.IndexBuilds++
-		}
-		if needKD {
-			xc, yc := schema.MustCol("posx"), schema.MustCol("posy")
-			pts := make([]kdtree.Point, len(part.rows))
-			for j, ri := range part.rows {
-				row := p.env.Rows[ri]
-				pts[j] = kdtree.Point{X: row[xc], Y: row[yc], Key: int64(row[schema.KeyCol()])}
-			}
-			part.kd = kdtree.Build(pts)
-			p.Stats.IndexBuilds++
-		}
-		if anyGlobal {
-			part.global = make([]globalExt, len(def.Outputs))
-			for i, out := range def.Outputs {
-				if a.OutClass[i] != ClassGlobal {
-					continue
-				}
-				ext := globalExt{}
-				isMin := out.Func == ast.Min || out.Func == ast.ArgMin
-				for _, ri := range part.rows {
-					row := p.env.Rows[ri]
-					v, err := interp.EvalDefTermWith(out.Arg, dl, row, nil, row, p.prog, p.r)
-					if err != nil {
-						panic("exec: " + err.Error())
-					}
-					k := int64(row[schema.KeyCol()])
-					if !ext.ok || (isMin && v < ext.val) || (!isMin && v > ext.val) ||
-						(v == ext.val && k < ext.key) {
-						ext = globalExt{val: v, key: k, ok: true}
-					}
-				}
-				part.global[i] = ext
-			}
-			p.Stats.IndexBuilds++
-		}
+		p.buildAggPart(def, a, idx, idx.parts[key])
 	}
 	p.aggIdx[def] = idx
 	return idx
+}
+
+// buildAggPart (re)builds every structure the definition demands for one
+// partition from the current environment rows. The result is a pure
+// function of the member rows' values, which is what lets MaintainFrom
+// reuse a partition whose members did not change.
+func (p *Indexed) buildAggPart(def *ast.AggDef, a *AggAnalysis, idx *aggIndex, part *aggPart) {
+	if idx.needRT {
+		pts, vals := p.aggPartPayload(def, a, idx, part.rows)
+		part.rt = rangetree.Build(pts, len(idx.payload.terms), vals)
+		p.Stats.IndexBuilds++
+	}
+	if idx.needKD {
+		p.buildAggKD(part)
+		p.Stats.IndexBuilds++
+	}
+	if idx.anyGlobal {
+		p.buildAggGlobal(def, a, idx, part)
+		p.Stats.IndexBuilds++
+	}
+}
+
+// aggPartPayload evaluates the range-tree points and flattened payload
+// columns for one partition's rows, in row order.
+func (p *Indexed) aggPartPayload(def *ast.AggDef, a *AggAnalysis, idx *aggIndex, rows []int) ([]rangetree.Point, []float64) {
+	xCol, yCol := p.axisCols(a.Axes)
+	pts := make([]rangetree.Point, len(rows))
+	for j, ri := range rows {
+		row := p.env.Rows[ri]
+		pts[j] = rangetree.Point{X: p.axisVal(row, xCol), Y: p.axisVal(row, yCol)}
+	}
+	return pts, p.aggPartVals(def, idx, rows)
+}
+
+// aggPartVals evaluates only the flattened payload columns — what a
+// payload-preserving Repatch needs (the points are unchanged by
+// definition there).
+func (p *Indexed) aggPartVals(def *ast.AggDef, idx *aggIndex, rows []int) []float64 {
+	dl := interp.DefParams(def)
+	w := len(idx.payload.terms)
+	vals := make([]float64, len(rows)*w)
+	for j, ri := range rows {
+		row := p.env.Rows[ri]
+		for c, term := range idx.payload.terms {
+			v := 1.0
+			if term != nil {
+				var err error
+				v, err = interp.EvalDefTermWith(term, dl, row, nil, row, p.prog, p.r)
+				if err != nil {
+					panic("exec: " + err.Error())
+				}
+				if idx.payload.squared[c] {
+					v *= v
+				}
+			}
+			vals[j*w+c] = v
+		}
+	}
+	return vals
+}
+
+// buildAggKD builds the partition's kD-tree over unit positions.
+func (p *Indexed) buildAggKD(part *aggPart) {
+	schema := p.prog.Schema
+	xc, yc := schema.MustCol("posx"), schema.MustCol("posy")
+	pts := make([]kdtree.Point, len(part.rows))
+	for j, ri := range part.rows {
+		row := p.env.Rows[ri]
+		pts[j] = kdtree.Point{X: row[xc], Y: row[yc], Key: int64(row[schema.KeyCol()])}
+	}
+	part.kd = kdtree.Build(pts)
+}
+
+// buildAggGlobal precomputes the partition's per-output global extrema.
+func (p *Indexed) buildAggGlobal(def *ast.AggDef, a *AggAnalysis, idx *aggIndex, part *aggPart) {
+	dl := interp.DefParams(def)
+	schema := p.prog.Schema
+	part.global = make([]globalExt, len(def.Outputs))
+	for i, out := range def.Outputs {
+		if a.OutClass[i] != ClassGlobal {
+			continue
+		}
+		ext := globalExt{}
+		isMin := out.Func == ast.Min || out.Func == ast.ArgMin
+		for _, ri := range part.rows {
+			row := p.env.Rows[ri]
+			v, err := interp.EvalDefTermWith(out.Arg, dl, row, nil, row, p.prog, p.r)
+			if err != nil {
+				panic("exec: " + err.Error())
+			}
+			k := int64(row[schema.KeyCol()])
+			if !ext.ok || (isMin && v < ext.val) || (!isMin && v > ext.val) ||
+				(v == ext.val && k < ext.key) {
+				ext = globalExt{val: v, key: k, ok: true}
+			}
+		}
+		part.global[i] = ext
+	}
 }
 
 // axisCols maps the analysis' range axes to the (x, y) of the 2-d indices;
@@ -861,6 +959,17 @@ type actIndex struct {
 	a     *ActAnalysis
 	parts map[string]*actPart
 	order []string
+	// rowPart mirrors aggIndex.rowPart for maintenance.
+	rowPart []int32
+}
+
+func (idx *actIndex) buildRowPart(n int) {
+	idx.rowPart = makeRowPart(n)
+	for ord, key := range idx.order {
+		for _, ri := range idx.parts[key].rows {
+			idx.rowPart[ri] = int32(ord)
+		}
+	}
 }
 
 type actPart struct {
@@ -872,23 +981,13 @@ func (p *Indexed) actIndexFor(def *ast.ActDef) *actIndex {
 	if idx, ok := p.actIdx[def]; ok {
 		return idx
 	}
+	p.guardLazyBuild("action index")
 	a := p.an.Act(def)
 	idx := &actIndex{a: a, parts: map[string]*actPart{}}
 	cols := eqCols(a.Eqs)
 	dl := interp.DefParams(def)
 	for i, row := range p.env.Rows {
-		passes := true
-		for _, c := range a.EOnly {
-			ok, err := interp.EvalDefCond(c, dl, row, nil, row, p.prog, p.r)
-			if err != nil {
-				panic("exec: " + err.Error())
-			}
-			if !ok {
-				passes = false
-				break
-			}
-		}
-		if !passes {
+		if !p.passesEOnly(a.EOnly, dl, row) {
 			continue
 		}
 		key := p.partitionKey(row, cols)
@@ -900,23 +999,30 @@ func (p *Indexed) actIndexFor(def *ast.ActDef) *actIndex {
 		}
 		part.rows = append(part.rows, i)
 	}
-	xCol, yCol := p.axisCols(a.Axes)
+	idx.buildRowPart(p.env.Len())
 	for _, key := range idx.order {
-		part := idx.parts[key]
-		pts := make([]rangetree.Point, len(part.rows))
-		for j, ri := range part.rows {
-			row := p.env.Rows[ri]
-			pts[j] = rangetree.Point{X: p.axisVal(row, xCol), Y: p.axisVal(row, yCol)}
-		}
-		part.rt = rangetree.Build(pts, 0, nil)
-		p.Stats.IndexBuilds++
+		p.buildActPart(a, idx.parts[key])
 	}
 	p.actIdx[def] = idx
 	return idx
 }
 
+// buildActPart (re)builds one partition's spatial tree from the current
+// environment rows.
+func (p *Indexed) buildActPart(a *ActAnalysis, part *actPart) {
+	xCol, yCol := p.axisCols(a.Axes)
+	pts := make([]rangetree.Point, len(part.rows))
+	for j, ri := range part.rows {
+		row := p.env.Rows[ri]
+		pts[j] = rangetree.Point{X: p.axisVal(row, xCol), Y: p.axisVal(row, yCol)}
+	}
+	part.rt = rangetree.Build(pts, 0, nil)
+	p.Stats.IndexBuilds++
+}
+
 func (p *Indexed) keyLookup() map[int64]int {
 	if p.keyIndex == nil {
+		p.guardLazyBuild("key lookup")
 		p.keyIndex = make(map[int64]int, p.env.Len())
 		kc := p.prog.Schema.KeyCol()
 		for i, row := range p.env.Rows {

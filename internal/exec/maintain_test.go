@@ -1,0 +1,229 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"github.com/epicscale/sgl/internal/rng"
+	"github.com/epicscale/sgl/internal/table"
+)
+
+// mustPanic asserts fn panics.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s should panic", what)
+		}
+	}()
+	fn()
+}
+
+// Fork without Freeze was documented unsafe but previously raced
+// silently; now it must panic immediately.
+func TestForkBeforeFreezePanics(t *testing.T) {
+	prog := compile(t, kitchenSinkScript)
+	an := NewAnalyzer(prog, categoricals())
+	env := randomArmy(t, 1, 16, 20)
+	prov := NewIndexed(an, env, rng.New(1).Tick(0))
+	mustPanic(t, "Fork before Freeze", func() { prov.Fork() })
+
+	// After Freeze, Fork is fine and probes work.
+	prov.Freeze()
+	f := prov.Fork()
+	def := prog.Script.Agg("CountEnemiesInRange")
+	out := f.EvalAgg(def, env.Rows[0], []float64{8})
+	if len(out) != 1 {
+		t.Fatalf("forked probe returned %v", out)
+	}
+}
+
+// A forked view must refuse to build any index lazily, even if its cache
+// were somehow incomplete — the guard is the regression test's subject.
+func TestForkedLazyBuildPanics(t *testing.T) {
+	prog := compile(t, kitchenSinkScript)
+	an := NewAnalyzer(prog, categoricals())
+	env := randomArmy(t, 2, 16, 20)
+	prov := NewIndexed(an, env, rng.New(2).Tick(0))
+	// White-box: mark the view forked without freezing, the state a racy
+	// Fork used to produce.
+	view := *prov
+	view.forked = true
+	def := prog.Script.Agg("CountEnemiesInRange")
+	mustPanic(t, "lazy aggregate build on forked view", func() {
+		view.EvalAgg(def, env.Rows[0], []float64{8})
+	})
+	mustPanic(t, "lazy key lookup on forked view", func() {
+		view.keyLookup()
+	})
+}
+
+// mutateRows applies a synthetic "tick" to the environment: some units
+// move, some take damage, one dies and respawns across the map, one
+// changes nothing. Returns the delta a bit-compare would capture.
+func mutateRows(env *table.Table, snap [][]float64) Delta {
+	s := env.Schema
+	posx, posy := s.MustCol("posx"), s.MustCol("posy")
+	health, cd := s.MustCol("health"), s.MustCol("cooldown")
+	for i, row := range env.Rows {
+		switch i % 16 {
+		case 0: // moves
+			row[posx] += 1
+		case 1: // takes damage
+			row[health] -= 2
+		case 2: // cools down
+			if row[cd] > 0 {
+				row[cd]--
+			}
+		case 3: // dies and respawns far away
+			row[health] = row[s.MustCol("maxhealth")]
+			row[posx], row[posy] = float64(90+i), float64(90+i)
+		default: // untouched
+		}
+	}
+	var d Delta
+	for i, row := range env.Rows {
+		var m uint64
+		for c, v := range row {
+			if math.Float64bits(v) != math.Float64bits(snap[i][c]) {
+				b := c
+				if b > 63 {
+					b = 63
+				}
+				m |= 1 << b
+			}
+		}
+		if m != 0 {
+			d.Dirty = append(d.Dirty, i)
+			d.Masks = append(d.Masks, m)
+		}
+	}
+	return d
+}
+
+// TestMaintainFromMatchesFreshBuild is the exec-level differential: a
+// provider maintained from the previous tick's structures must answer
+// every aggregate probe, batch probe, and target selection exactly like a
+// freshly built provider over the same mutated environment.
+func TestMaintainFromMatchesFreshBuild(t *testing.T) {
+	prog := compile(t, kitchenSinkScript)
+	an := NewAnalyzer(prog, categoricals())
+	for _, seed := range []uint64{3, 4, 5} {
+		env := randomArmy(t, seed, 48, 24)
+		r0 := rng.New(seed).Tick(0)
+		prev := NewIndexed(an, env, r0)
+		prev.Freeze()
+
+		snap := make([][]float64, env.Len())
+		for i, row := range env.Rows {
+			snap[i] = append([]float64(nil), row...)
+		}
+		d := mutateRows(env, snap)
+		if len(d.Dirty) == 0 {
+			t.Fatal("mutation produced an empty delta")
+		}
+
+		r1 := rng.New(seed).Tick(1)
+		fresh := NewIndexed(an, env, r1)
+		fresh.Freeze()
+		maint := NewIndexed(an, env, r1)
+		if !maint.MaintainFrom(prev, d, 1) {
+			t.Fatal("MaintainFrom did not maintain anything")
+		}
+		maint.Freeze()
+		if maint.Stats.IndexReuses == 0 {
+			t.Error("expected some structures to be reused")
+		}
+
+		for _, def := range prog.Script.Aggs {
+			args := [][]float64{nil}
+			if len(def.Params) > 1 {
+				args[0] = []float64{8}
+			}
+			units := env.Rows
+			batchFresh := fresh.EvalAggBatch(def, units, repeatArgs(args[0], len(units)))
+			batchMaint := maint.EvalAggBatch(def, units, repeatArgs(args[0], len(units)))
+			for i := range units {
+				pf := fresh.EvalAgg(def, units[i], args[0])
+				pm := maint.EvalAgg(def, units[i], args[0])
+				for c := range pf {
+					if math.Float64bits(pf[c]) != math.Float64bits(pm[c]) {
+						t.Fatalf("seed %d %s unit %d out %d: fresh %v maintained %v",
+							seed, def.Name, i, c, pf[c], pm[c])
+					}
+					if math.Float64bits(batchFresh[i][c]) != math.Float64bits(batchMaint[i][c]) {
+						t.Fatalf("seed %d %s unit %d out %d (batch): fresh %v maintained %v",
+							seed, def.Name, i, c, batchFresh[i][c], batchMaint[i][c])
+					}
+				}
+			}
+		}
+
+		for _, def := range prog.Script.Acts {
+			for i, unit := range env.Rows {
+				args := make([]float64, len(def.Params)-1)
+				for j := range args {
+					args[j] = float64(i % 7)
+				}
+				var a, b [][]float64
+				fresh.SelectTargets(def, unit, args, func(row []float64) { a = append(a, row) })
+				maint.SelectTargets(def, unit, args, func(row []float64) { b = append(b, row) })
+				if len(a) != len(b) {
+					t.Fatalf("seed %d %s unit %d: fresh %d targets, maintained %d", seed, def.Name, i, len(a), len(b))
+				}
+				for j := range a {
+					if &a[j][0] != &b[j][0] {
+						t.Fatalf("seed %d %s unit %d: target %d differs", seed, def.Name, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func repeatArgs(arg []float64, n int) [][]float64 {
+	if arg == nil {
+		return nil
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = arg
+	}
+	return out
+}
+
+// A threshold of zero must push every definition with relevant churn to
+// the fallback path, leaving the provider to rebuild lazily — and the
+// fallback counter must say so.
+func TestMaintainFromThresholdFallback(t *testing.T) {
+	prog := compile(t, kitchenSinkScript)
+	an := NewAnalyzer(prog, categoricals())
+	env := randomArmy(t, 9, 32, 20)
+	prev := NewIndexed(an, env, rng.New(9).Tick(0))
+	prev.Freeze()
+	snap := make([][]float64, env.Len())
+	for i, row := range env.Rows {
+		snap[i] = append([]float64(nil), row...)
+	}
+	d := mutateRows(env, snap)
+
+	maint := NewIndexed(an, env, rng.New(9).Tick(1))
+	maint.MaintainFrom(prev, d, 0)
+	if maint.Stats.MaintainFallbacks == 0 {
+		t.Fatal("zero threshold should force fallbacks")
+	}
+}
+
+// MaintainFrom must reject a provider over a different population.
+func TestMaintainFromRejectsMismatch(t *testing.T) {
+	prog := compile(t, kitchenSinkScript)
+	an := NewAnalyzer(prog, categoricals())
+	envA := randomArmy(t, 6, 32, 20)
+	envB := randomArmy(t, 6, 16, 20)
+	prev := NewIndexed(an, envA, rng.New(6).Tick(0))
+	prev.Freeze()
+	cur := NewIndexed(an, envB, rng.New(6).Tick(1))
+	if cur.MaintainFrom(prev, Delta{}, 1) {
+		t.Fatal("MaintainFrom should reject mismatched populations")
+	}
+}

@@ -1,0 +1,129 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/epicscale/sgl/internal/geom"
+	"github.com/epicscale/sgl/internal/rng"
+)
+
+// gridModel is the brute-force reference for the dynamic grid.
+type gridModel struct {
+	pts  []geom.Point
+	vals [][]float64
+	live []bool
+}
+
+func (m *gridModel) inRect(i int, r geom.Rect) bool {
+	p := m.pts[i]
+	return m.live[i] && p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// TestDynamicOpsAgainstModel interleaves Insert/Remove/Patch (including
+// moves outside the built extent, which land in the overflow bucket) with
+// Aggregate/Count/Report probes against the model. Integer payloads keep
+// sums exact. Failures name the seed subtest to replay.
+func TestDynamicOpsAgainstModel(t *testing.T) {
+	for _, seed := range []uint64{5, 17, 42, 321} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			st := rng.NewStream(rng.New(seed), 31)
+			n := 10 + st.Intn(40)
+			m := &gridModel{}
+			var pts []geom.Point
+			var flat []float64
+			for i := 0; i < n; i++ {
+				p := geom.Point{X: float64(st.Intn(40)), Y: float64(st.Intn(40))}
+				v := []float64{float64(1 + st.Intn(5))}
+				pts = append(pts, p)
+				flat = append(flat, v...)
+				m.pts = append(m.pts, p)
+				m.vals = append(m.vals, v)
+				m.live = append(m.live, true)
+			}
+			g := Build(pts, 1, flat, 4)
+
+			check := func(op int) {
+				t.Helper()
+				for probe := 0; probe < 8; probe++ {
+					r := geom.RectAround(geom.Point{
+						X: float64(st.Intn(60)) - 10, Y: float64(st.Intn(60)) - 10,
+					}, float64(1+st.Intn(15)))
+					var wantSum float64
+					var wantIDs []int
+					for i := range m.pts {
+						if m.inRect(i, r) {
+							wantSum += m.vals[i][0]
+							wantIDs = append(wantIDs, i)
+						}
+					}
+					out := []float64{0}
+					g.Aggregate(r, out)
+					if out[0] != wantSum {
+						t.Fatalf("op %d: Aggregate = %v, want %v (rect %+v)", op, out[0], wantSum, r)
+					}
+					if cnt := g.Count(r); cnt != len(wantIDs) {
+						t.Fatalf("op %d: Count = %d, want %d", op, cnt, len(wantIDs))
+					}
+					var gotIDs []int
+					g.Report(r, func(i int) { gotIDs = append(gotIDs, i) })
+					sort.Ints(gotIDs)
+					if fmt.Sprint(gotIDs) != fmt.Sprint(wantIDs) {
+						t.Fatalf("op %d: Report %v, want %v", op, gotIDs, wantIDs)
+					}
+				}
+			}
+
+			liveIDs := func() []int {
+				var ids []int
+				for i, l := range m.live {
+					if l {
+						ids = append(ids, i)
+					}
+				}
+				return ids
+			}
+			check(-1)
+			for op := 0; op < 60; op++ {
+				switch st.Intn(3) {
+				case 0: // insert, sometimes far outside the built extent
+					p := geom.Point{X: float64(st.Intn(120)) - 40, Y: float64(st.Intn(120)) - 40}
+					v := []float64{float64(1 + st.Intn(5))}
+					id := g.Insert(p, v)
+					if id != len(m.pts) {
+						t.Fatalf("op %d: Insert id = %d, want %d", op, id, len(m.pts))
+					}
+					m.pts = append(m.pts, p)
+					m.vals = append(m.vals, v)
+					m.live = append(m.live, true)
+				case 1: // remove
+					ids := liveIDs()
+					if len(ids) == 0 {
+						continue
+					}
+					i := ids[st.Intn(len(ids))]
+					if !g.Remove(i) {
+						t.Fatalf("op %d: Remove(%d) failed", op, i)
+					}
+					if g.Remove(i) {
+						t.Fatalf("op %d: double Remove(%d) succeeded", op, i)
+					}
+					m.live[i] = false
+				case 2: // move between cells (possibly into/out of overflow)
+					ids := liveIDs()
+					if len(ids) == 0 {
+						continue
+					}
+					i := ids[st.Intn(len(ids))]
+					p := geom.Point{X: float64(st.Intn(120)) - 40, Y: float64(st.Intn(120)) - 40}
+					v := []float64{float64(1 + st.Intn(5))}
+					g.Patch(i, p, v)
+					m.pts[i] = p
+					copy(m.vals[i], v)
+				}
+				check(op)
+			}
+		})
+	}
+}

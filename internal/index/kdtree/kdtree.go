@@ -21,13 +21,26 @@ type Point struct {
 	Key  int64
 }
 
-// Tree is an immutable 2-d tree, rebuilt per tick like the other indices.
-// Safe for concurrent reads.
+// Tree is a 2-d tree, rebuilt per tick like the other indices and safe
+// for concurrent reads. In Bentley's semidynamic spirit it also absorbs
+// updates between rebuilds: Remove tombstones a point by key, Insert adds
+// the point to a young buffer scanned linearly by queries, and Patch
+// moves a point (remove + insert). Because nearest-neighbour answers are
+// a pure function of the live point set (ties break by key), query
+// results after any update sequence are identical to a fresh Build over
+// the same live points. The mutating methods are not concurrency-safe.
 type Tree struct {
 	pts []Point // points in tree layout order
 	// The tree is stored implicitly: node i covers pts[lo:hi] with the
 	// median at mid; children are the sub-slices. Recursion boundaries are
 	// recomputed during search, so no explicit node structs are needed.
+
+	// Dynamic state: tombstoned built keys, young points (with their own
+	// tombstones), and a lazily built key → liveness index.
+	deadBuilt map[int64]bool
+	young     []Point
+	youngDead []bool
+	builtKeys map[int64]bool // lazily built on first mutation
 }
 
 // Build constructs a balanced 2-d tree in O(n log n). The input slice is
@@ -143,7 +156,24 @@ func (t *Tree) Nearest(x, y float64, exclude int64, maxDist float64) Result {
 		best.DistSq = math.Inf(1)
 	}
 	t.search(t.pts, 0, x, y, exclude, &best)
+	for j, p := range t.young {
+		if t.youngDead[j] || p.Key == exclude {
+			continue
+		}
+		dx, dy := p.X-x, p.Y-y
+		d := dx*dx + dy*dy
+		if d < best.DistSq ||
+			(d == best.DistSq && best.Found && p.Key < best.Key) ||
+			(d <= best.DistSq && !best.Found) {
+			best.Key, best.X, best.Y, best.DistSq, best.Found = p.Key, p.X, p.Y, d, true
+		}
+	}
 	return best
+}
+
+// isDead reports whether a built point's key is tombstoned.
+func (t *Tree) isDead(key int64) bool {
+	return t.deadBuilt != nil && t.deadBuilt[key]
 }
 
 func (t *Tree) search(pts []Point, axis int, x, y float64, exclude int64, best *Result) {
@@ -152,7 +182,7 @@ func (t *Tree) search(pts []Point, axis int, x, y float64, exclude int64, best *
 	}
 	mid := len(pts) / 2
 	p := pts[mid]
-	if p.Key != exclude {
+	if p.Key != exclude && !t.isDead(p.Key) {
 		dx, dy := p.X-x, p.Y-y
 		d := dx*dx + dy*dy
 		// Accept if strictly closer, or the first point found within the
@@ -190,6 +220,13 @@ func (t *Tree) KNearest(x, y float64, exclude int64, k int) []Result {
 	}
 	h := &resultHeap{}
 	t.kSearch(t.pts, 0, x, y, exclude, k, h)
+	for j, p := range t.young {
+		if t.youngDead[j] || p.Key == exclude {
+			continue
+		}
+		dx, dy := p.X-x, p.Y-y
+		h.push(Result{Key: p.Key, X: p.X, Y: p.Y, DistSq: dx*dx + dy*dy, Found: true}, k)
+	}
 	out := make([]Result, len(*h))
 	for i := len(*h) - 1; i >= 0; i-- {
 		out[i] = h.pop()
@@ -203,7 +240,7 @@ func (t *Tree) kSearch(pts []Point, axis int, x, y float64, exclude int64, k int
 	}
 	mid := len(pts) / 2
 	p := pts[mid]
-	if p.Key != exclude {
+	if p.Key != exclude && !t.isDead(p.Key) {
 		dx, dy := p.X-x, p.Y-y
 		d := dx*dx + dy*dy
 		h.push(Result{Key: p.Key, X: p.X, Y: p.Y, DistSq: d, Found: true}, k)
@@ -285,9 +322,93 @@ func (h *resultHeap) siftDown(i int) {
 	}
 }
 
-// All returns the indexed points sorted by key, primarily for tests.
+// All returns the live indexed points sorted by key, primarily for tests.
 func (t *Tree) All() []Point {
-	cp := append([]Point(nil), t.pts...)
+	cp := make([]Point, 0, len(t.pts)+len(t.young))
+	for _, p := range t.pts {
+		if !t.isDead(p.Key) {
+			cp = append(cp, p)
+		}
+	}
+	for j, p := range t.young {
+		if !t.youngDead[j] {
+			cp = append(cp, p)
+		}
+	}
 	sort.Slice(cp, func(i, j int) bool { return cp[i].Key < cp[j].Key })
 	return cp
 }
+
+// ---------------------------------------------------------------------------
+// Incremental maintenance (Bentley's semidynamic scheme)
+
+// ensureKeys builds the built-point key set lazily on first mutation.
+func (t *Tree) ensureKeys() {
+	if t.builtKeys != nil {
+		return
+	}
+	t.builtKeys = make(map[int64]bool, len(t.pts))
+	for _, p := range t.pts {
+		t.builtKeys[p.Key] = true
+	}
+}
+
+// live reports whether key currently names a live point.
+func (t *Tree) live(key int64) bool {
+	t.ensureKeys()
+	if t.builtKeys[key] && !t.isDead(key) {
+		return true
+	}
+	for j, p := range t.young {
+		if p.Key == key && !t.youngDead[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds a point to the young buffer, scanned linearly by queries
+// (rebuild once the buffer grows past a few percent of the tree). It
+// panics if the key is already live — keys are unit identities.
+func (t *Tree) Insert(p Point) {
+	if t.live(p.Key) {
+		panic("kdtree: Insert of a live key")
+	}
+	t.young = append(t.young, p)
+	t.youngDead = append(t.youngDead, false)
+}
+
+// Remove deletes the point with the given key (tombstoning it, per the
+// semidynamic scheme). It returns false if no live point has that key.
+func (t *Tree) Remove(key int64) bool {
+	t.ensureKeys()
+	if t.builtKeys[key] && !t.isDead(key) {
+		if t.deadBuilt == nil {
+			t.deadBuilt = make(map[int64]bool)
+		}
+		t.deadBuilt[key] = true
+		return true
+	}
+	for j, p := range t.young {
+		if p.Key == key && !t.youngDead[j] {
+			t.youngDead[j] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Patch moves the point with the given key to a new position (remove +
+// young insert). It returns false if no live point has that key.
+func (t *Tree) Patch(key int64, x, y float64) bool {
+	if !t.Remove(key) {
+		return false
+	}
+	t.young = append(t.young, Point{X: x, Y: y, Key: key})
+	t.youngDead = append(t.youngDead, false)
+	return true
+}
+
+// Young returns the young-buffer size (including tombstoned entries), a
+// rebuild heuristic for callers.
+func (t *Tree) Young() int { return len(t.young) }

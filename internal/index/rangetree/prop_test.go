@@ -1,0 +1,203 @@
+package rangetree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/epicscale/sgl/internal/geom"
+	"github.com/epicscale/sgl/internal/rng"
+)
+
+// propModel is the brute-force reference: a flat list of live points with
+// payloads, mutated in lockstep with the tree under test.
+type propModel struct {
+	pts   []Point
+	vals  [][]float64
+	live  []bool
+	width int
+}
+
+func (m *propModel) aggregate(r geom.Rect) []float64 {
+	out := make([]float64, m.width)
+	for i, p := range m.pts {
+		if !m.live[i] || !r.Contains(geom.Point{X: p.X, Y: p.Y}) {
+			continue
+		}
+		for c := 0; c < m.width; c++ {
+			out[c] += m.vals[i][c]
+		}
+	}
+	return out
+}
+
+func (m *propModel) report(r geom.Rect) []int {
+	var ids []int
+	for i, p := range m.pts {
+		if m.live[i] && r.Contains(geom.Point{X: p.X, Y: p.Y}) {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// TestDynamicOpsAgainstModel drives random Insert/Remove/Patch
+// interleavings against the brute-force model and cross-checks Aggregate,
+// AggregateNoCascade, Count and Report after every operation batch.
+// Payloads are small integers so float sums are exact regardless of
+// association. Each seed is its own subtest, so a failure names the seed
+// to replay (`-run 'DynamicOps/seed=42'`).
+func TestDynamicOpsAgainstModel(t *testing.T) {
+	const width = 2
+	for _, seed := range []uint64{1, 7, 42, 99, 1234} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			st := rng.NewStream(rng.New(seed), 11)
+			n := 20 + st.Intn(40)
+			m := &propModel{width: width}
+			var vals []float64
+			var pts []Point
+			for i := 0; i < n; i++ {
+				p := Point{X: float64(st.Intn(30)), Y: float64(st.Intn(30))}
+				v := []float64{1, float64(st.Intn(9))}
+				pts = append(pts, p)
+				vals = append(vals, v...)
+				m.pts = append(m.pts, p)
+				m.vals = append(m.vals, v)
+				m.live = append(m.live, true)
+			}
+			tr := Build(pts, width, vals)
+
+			check := func(op int) {
+				t.Helper()
+				for probe := 0; probe < 8; probe++ {
+					r := geom.RectAround(geom.Point{
+						X: float64(st.Intn(30)), Y: float64(st.Intn(30)),
+					}, float64(1+st.Intn(12)))
+					want := m.aggregate(r)
+					got := make([]float64, width)
+					tr.Aggregate(r, got)
+					for c := range want {
+						if want[c] != got[c] {
+							t.Fatalf("op %d: Aggregate[%d] = %v, want %v (rect %+v)", op, c, got[c], want[c], r)
+						}
+					}
+					got2 := make([]float64, width)
+					tr.AggregateNoCascade(r, got2)
+					for c := range want {
+						if want[c] != got2[c] {
+							t.Fatalf("op %d: AggregateNoCascade[%d] = %v, want %v", op, c, got2[c], want[c])
+						}
+					}
+					wantIDs := m.report(r)
+					if cnt := tr.Count(r); cnt != len(wantIDs) {
+						t.Fatalf("op %d: Count = %d, want %d", op, cnt, len(wantIDs))
+					}
+					var gotIDs []int
+					tr.Report(r, func(i int) { gotIDs = append(gotIDs, i) })
+					sort.Ints(gotIDs)
+					if len(gotIDs) != len(wantIDs) {
+						t.Fatalf("op %d: Report %v, want %v", op, gotIDs, wantIDs)
+					}
+					for j := range gotIDs {
+						if gotIDs[j] != wantIDs[j] {
+							t.Fatalf("op %d: Report %v, want %v", op, gotIDs, wantIDs)
+						}
+					}
+				}
+			}
+
+			check(-1)
+			liveIDs := func() []int {
+				var ids []int
+				for i, l := range m.live {
+					if l {
+						ids = append(ids, i)
+					}
+				}
+				return ids
+			}
+			for op := 0; op < 60; op++ {
+				switch st.Intn(3) {
+				case 0: // insert
+					p := Point{X: float64(st.Intn(40)) - 5, Y: float64(st.Intn(40)) - 5}
+					v := []float64{1, float64(st.Intn(9))}
+					id := tr.Insert(p, v)
+					if id != len(m.pts) {
+						t.Fatalf("op %d: Insert id = %d, want %d", op, id, len(m.pts))
+					}
+					m.pts = append(m.pts, p)
+					m.vals = append(m.vals, v)
+					m.live = append(m.live, true)
+				case 1: // remove
+					ids := liveIDs()
+					if len(ids) == 0 {
+						continue
+					}
+					i := ids[st.Intn(len(ids))]
+					if !tr.Remove(i) {
+						t.Fatalf("op %d: Remove(%d) said already removed", op, i)
+					}
+					if tr.Remove(i) {
+						t.Fatalf("op %d: double Remove(%d) said live", op, i)
+					}
+					m.live[i] = false
+				case 2: // patch payload
+					ids := liveIDs()
+					if len(ids) == 0 {
+						continue
+					}
+					i := ids[st.Intn(len(ids))]
+					v := []float64{1, float64(st.Intn(9))}
+					tr.Patch(i, v)
+					copy(m.vals[i], v)
+				}
+				check(op)
+			}
+		})
+	}
+}
+
+// Repatch must be bit-identical to a fresh Build over the same points
+// with the new payloads — the property exec's tier-2 maintenance relies
+// on. Payloads here are adversarial floats, not integers: bit equality
+// must come from identical association, not exactness.
+func TestRepatchBitIdenticalToBuild(t *testing.T) {
+	for _, seed := range []uint64{3, 21, 77} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			st := rng.NewStream(rng.New(seed), 5)
+			n := 30 + st.Intn(50)
+			const width = 3
+			pts := make([]Point, n)
+			vals := make([]float64, n*width)
+			for i := range pts {
+				pts[i] = Point{X: st.Float64() * 100, Y: st.Float64() * 100}
+				for c := 0; c < width; c++ {
+					vals[i*width+c] = st.Float64()*1e3 - 500
+				}
+			}
+			tr := Build(pts, width, vals)
+
+			newVals := make([]float64, n*width)
+			for i := range newVals {
+				newVals[i] = st.Float64()*1e-3 + st.Float64()*1e6
+			}
+			tr.Repatch(newVals)
+			oracle := Build(pts, width, newVals)
+
+			for probe := 0; probe < 200; probe++ {
+				r := geom.RectAround(geom.Point{X: st.Float64() * 100, Y: st.Float64() * 100},
+					st.Float64()*40)
+				got := make([]float64, width)
+				want := make([]float64, width)
+				tr.Aggregate(r, got)
+				oracle.Aggregate(r, want)
+				for c := range want {
+					if math.Float64bits(got[c]) != math.Float64bits(want[c]) {
+						t.Fatalf("probe %d col %d: repatched %v, rebuilt %v", probe, c, got[c], want[c])
+					}
+				}
+			}
+		})
+	}
+}

@@ -47,12 +47,35 @@ type node struct {
 	bl, br      []int32   // fractional-cascading bridges into children
 }
 
-// Tree is an immutable layered range tree. Build one per tick per
-// categorical partition; it is safe for concurrent reads.
+// Tree is a layered range tree. Build one per tick per categorical
+// partition; it is safe for concurrent reads. Between rebuilds the tree
+// also absorbs small updates: Repatch recomputes every prefix aggregate
+// in place (bit-identical to a fresh Build when positions are unchanged),
+// Patch updates one point's payload, Remove tombstones a point, and
+// Insert adds "young" points held in a side buffer that queries scan
+// linearly. None of the mutating methods are safe for concurrent use.
 type Tree struct {
 	root  *node
 	xs    []float64 // x values in sorted order (rank → x)
 	width int
+
+	// Dynamic-maintenance state, materialized lazily on first mutation so
+	// the rebuild-every-tick path pays nothing for it. nBuilt is the
+	// number of points Build saw (xs is shared post-build state).
+	nBuilt   int
+	vals     []float64 // flattened payloads, indexed like Build's input
+	rankOf   []int32   // original point index → x-rank
+	removed  []bool    // tombstones (payload already zeroed), nil until used
+	nRemoved int
+	young    []youngPoint // points inserted since Build
+}
+
+// youngPoint is a point added after Build; ids continue past the built
+// points' indexes.
+type youngPoint struct {
+	pt      Point
+	vals    []float64
+	removed bool
 }
 
 // Build constructs the tree over pts with a payload of `width` float64
@@ -91,8 +114,33 @@ func Build(pts []Point, width int, vals []float64) *Tree {
 	for r, id := range order {
 		t.xs[r] = pts[id].X
 	}
+	t.nBuilt = n
 	t.root = t.build(pts, vals, order, 0, n)
 	return t
+}
+
+// ensureDynamic materializes the per-point rank map and payload copy the
+// mutating APIs need, reconstructing both from the leaves (a leaf's
+// x-rank is its lo, its payload is prefix[width:2·width]) so Build stays
+// allocation-free for the rebuild-every-tick path.
+func (t *Tree) ensureDynamic() {
+	if t.rankOf != nil || t.root == nil {
+		return
+	}
+	t.rankOf = make([]int32, t.nBuilt)
+	t.vals = make([]float64, t.nBuilt*t.width)
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.left != nil {
+			walk(nd.left)
+			walk(nd.right)
+			return
+		}
+		id := nd.ids[0]
+		t.rankOf[id] = int32(nd.lo)
+		copy(t.vals[int(id)*t.width:(int(id)+1)*t.width], nd.prefix[t.width:])
+	}
+	walk(t.root)
 }
 
 // build constructs the subtree over x-ranks [lo, hi), returning a node
@@ -175,23 +223,25 @@ func upperBound(a []float64, v float64) int {
 
 // Aggregate adds the payload sum over all points inside r (boundary
 // inclusive) into out, which must have length Width(). This is the
-// fractional-cascading fast path: O(log n).
+// fractional-cascading fast path: O(log n), plus a linear scan over any
+// young points added since Build.
 func (t *Tree) Aggregate(r geom.Rect, out []float64) {
 	if len(out) != t.width {
 		panic("rangetree: out width mismatch")
 	}
-	if t.root == nil || r.Empty() {
+	if r.Empty() {
 		return
 	}
-	xlo, xhi := lowerBound(t.xs, r.MinX), upperBound(t.xs, r.MaxX)
-	if xlo >= xhi {
-		return
+	if t.root != nil {
+		xlo, xhi := lowerBound(t.xs, r.MinX), upperBound(t.xs, r.MaxX)
+		if xlo < xhi {
+			plo, phi := lowerBound(t.root.ys, r.MinY), upperBound(t.root.ys, r.MaxY)
+			if plo < phi {
+				t.aggCascade(t.root, xlo, xhi, plo, phi, out)
+			}
+		}
 	}
-	plo, phi := lowerBound(t.root.ys, r.MinY), upperBound(t.root.ys, r.MaxY)
-	if plo >= phi {
-		return
-	}
-	t.aggCascade(t.root, xlo, xhi, plo, phi, out)
+	t.aggYoung(r, out)
 }
 
 func (t *Tree) aggCascade(nd *node, xlo, xhi, plo, phi int, out []float64) {
@@ -220,14 +270,16 @@ func (t *Tree) AggregateNoCascade(r geom.Rect, out []float64) {
 	if len(out) != t.width {
 		panic("rangetree: out width mismatch")
 	}
-	if t.root == nil || r.Empty() {
+	if r.Empty() {
 		return
 	}
-	xlo, xhi := lowerBound(t.xs, r.MinX), upperBound(t.xs, r.MaxX)
-	if xlo >= xhi {
-		return
+	if t.root != nil {
+		xlo, xhi := lowerBound(t.xs, r.MinX), upperBound(t.xs, r.MaxX)
+		if xlo < xhi {
+			t.aggSearch(t.root, xlo, xhi, r.MinY, r.MaxY, out)
+		}
 	}
-	t.aggSearch(t.root, xlo, xhi, r.MinY, r.MaxY, out)
+	t.aggYoung(r, out)
 }
 
 func (t *Tree) aggSearch(nd *node, xlo, xhi int, ymin, ymax float64, out []float64) {
@@ -254,22 +306,29 @@ func (t *Tree) aggSearch(nd *node, xlo, xhi int, ymin, ymax float64, out []float
 }
 
 // Report calls fn with the original index of every point inside r, in
-// canonical-node order. This is the classic O(log n + k) layered range
+// canonical-node order (young points follow, in insertion order, with
+// removed points skipped). This is the classic O(log n + k) layered range
 // tree enumeration, used when a plan genuinely needs the qualifying rows
 // rather than an aggregate over them.
 func (t *Tree) Report(r geom.Rect, fn func(i int)) {
-	if t.root == nil || r.Empty() {
+	if r.Empty() {
 		return
 	}
-	xlo, xhi := lowerBound(t.xs, r.MinX), upperBound(t.xs, r.MaxX)
-	if xlo >= xhi {
-		return
+	if t.root != nil {
+		xlo, xhi := lowerBound(t.xs, r.MinX), upperBound(t.xs, r.MaxX)
+		if xlo < xhi {
+			plo, phi := lowerBound(t.root.ys, r.MinY), upperBound(t.root.ys, r.MaxY)
+			if plo < phi {
+				t.report(t.root, xlo, xhi, plo, phi, fn)
+			}
+		}
 	}
-	plo, phi := lowerBound(t.root.ys, r.MinY), upperBound(t.root.ys, r.MaxY)
-	if plo >= phi {
-		return
+	for j := range t.young {
+		yp := &t.young[j]
+		if !yp.removed && r.Contains(geom.Point{X: yp.pt.X, Y: yp.pt.Y}) {
+			fn(t.nBuilt + j)
+		}
 	}
-	t.report(t.root, xlo, xhi, plo, phi, fn)
 }
 
 func (t *Tree) report(nd *node, xlo, xhi, plo, phi int, fn func(i int)) {
@@ -278,6 +337,9 @@ func (t *Tree) report(nd *node, xlo, xhi, plo, phi int, fn func(i int)) {
 	}
 	if xlo <= nd.lo && nd.hi <= xhi {
 		for _, id := range nd.ids[plo:phi] {
+			if t.removed != nil && t.removed[id] {
+				continue
+			}
 			fn(int(id))
 		}
 		return
@@ -291,8 +353,14 @@ func (t *Tree) report(nd *node, xlo, xhi, plo, phi int, fn func(i int)) {
 
 // Count returns the number of points inside r without needing a payload
 // column: it reuses Report's canonical decomposition but sums interval
-// lengths instead of visiting points, so it is O(log n).
+// lengths instead of visiting points, so it is O(log n). With tombstones
+// or young points present it falls back to enumeration.
 func (t *Tree) Count(r geom.Rect) int {
+	if t.nRemoved > 0 || len(t.young) > 0 {
+		n := 0
+		t.Report(r, func(int) { n++ })
+		return n
+	}
 	if t.root == nil || r.Empty() {
 		return 0
 	}
@@ -320,3 +388,159 @@ func (t *Tree) count(nd *node, xlo, xhi, plo, phi int) int {
 	return t.count(nd.left, xlo, xhi, int(nd.bl[plo]), int(nd.bl[phi])) +
 		t.count(nd.right, xlo, xhi, int(nd.br[plo]), int(nd.br[phi]))
 }
+
+// ---------------------------------------------------------------------------
+// Incremental maintenance
+//
+// The paper's trees are rebuilt from scratch each tick; the APIs below
+// let a caller amortize that cost when only part of the point set
+// changed. Repatch is the exact one: with unchanged positions it
+// reproduces a fresh Build bit for bit, because the prefix aggregates are
+// recomputed with the same left-to-right association over the same
+// y-order. Patch/Remove/Insert are the general dynamic operations; they
+// preserve query *values* (sums may associate differently, and young
+// points are enumerated after canonical nodes), so use them where value
+// equality — not bit equality with a rebuild — is the contract.
+
+// aggYoung folds the young points inside r into out.
+func (t *Tree) aggYoung(r geom.Rect, out []float64) {
+	for j := range t.young {
+		yp := &t.young[j]
+		if yp.removed || !r.Contains(geom.Point{X: yp.pt.X, Y: yp.pt.Y}) {
+			continue
+		}
+		for c := 0; c < t.width; c++ {
+			out[c] += yp.vals[c]
+		}
+	}
+}
+
+// Repatch replaces every built point's payload and recomputes all prefix
+// aggregates in place: O(n log n) additions, no sorting, no allocation.
+// vals is indexed exactly like Build's (point i owns
+// vals[i*width:(i+1)*width]). The resulting tree answers every query
+// bit-identically to Build over the same points with the new payloads.
+// Repatch requires that no Insert or Remove has occurred since Build.
+func (t *Tree) Repatch(vals []float64) {
+	if len(vals) != t.nBuilt*t.width {
+		panic("rangetree: Repatch vals length mismatch")
+	}
+	if t.nRemoved > 0 || len(t.young) > 0 {
+		panic("rangetree: Repatch after Insert/Remove")
+	}
+	if t.root == nil {
+		return
+	}
+	if t.vals == nil {
+		t.vals = make([]float64, len(vals))
+	}
+	copy(t.vals, vals)
+	t.repatch(t.root)
+}
+
+func (t *Tree) repatch(nd *node) {
+	t.recomputePrefix(nd, 0)
+	if nd.left != nil {
+		t.repatch(nd.left)
+		t.repatch(nd.right)
+	}
+}
+
+// recomputePrefix redoes nd's prefix aggregates from y-position q onward,
+// reading the payloads from t.vals.
+func (t *Tree) recomputePrefix(nd *node, q int) {
+	w := t.width
+	for p := q; p < len(nd.ids); p++ {
+		base, prev, vbase := (p+1)*w, p*w, int(nd.ids[p])*w
+		for c := 0; c < w; c++ {
+			nd.prefix[base+c] = nd.prefix[prev+c] + t.vals[vbase+c]
+		}
+	}
+}
+
+// Patch replaces one point's payload (its position is fixed) and repairs
+// the prefix aggregates along its root-to-leaf path. Worst case O(n) per
+// call (the root's suffix), still far below a rebuild's sort-and-allocate
+// cost. i is a Build index or an Insert id.
+func (t *Tree) Patch(i int, vals []float64) {
+	if len(vals) != t.width {
+		panic("rangetree: Patch vals width mismatch")
+	}
+	if i >= t.nBuilt {
+		yp := &t.young[i-t.nBuilt]
+		if yp.removed {
+			panic("rangetree: Patch of removed point")
+		}
+		copy(yp.vals, vals)
+		return
+	}
+	if t.removed != nil && t.removed[i] {
+		panic("rangetree: Patch of removed point")
+	}
+	t.ensureDynamic()
+	copy(t.vals[i*t.width:(i+1)*t.width], vals)
+	t.patchPath(t.root, int32(i), int(t.rankOf[i]))
+}
+
+func (t *Tree) patchPath(nd *node, id int32, rank int) {
+	q := 0
+	for ; q < len(nd.ids); q++ {
+		if nd.ids[q] == id {
+			break
+		}
+	}
+	t.recomputePrefix(nd, q)
+	if nd.left == nil {
+		return
+	}
+	if rank < nd.left.hi {
+		t.patchPath(nd.left, id, rank)
+	} else {
+		t.patchPath(nd.right, id, rank)
+	}
+}
+
+// Remove tombstones a point: its payload is zeroed (so aggregates no
+// longer see it) and Report/Count skip it. Returns false if the point was
+// already removed. i is a Build index or an Insert id.
+func (t *Tree) Remove(i int) bool {
+	if i >= t.nBuilt {
+		yp := &t.young[i-t.nBuilt]
+		if yp.removed {
+			return false
+		}
+		yp.removed = true
+		return true
+	}
+	if t.removed == nil {
+		t.removed = make([]bool, t.nBuilt)
+	}
+	if t.removed[i] {
+		return false
+	}
+	if t.width > 0 {
+		t.ensureDynamic()
+		zero := make([]float64, t.width)
+		copy(t.vals[i*t.width:(i+1)*t.width], zero)
+		t.patchPath(t.root, int32(i), int(t.rankOf[i]))
+	}
+	t.removed[i] = true
+	t.nRemoved++
+	return true
+}
+
+// Insert adds a point to the young buffer and returns its id (usable with
+// Patch and Remove). Young points cost O(1) to add and O(k) extra per
+// query; rebuild once the buffer grows past a few percent of the tree.
+func (t *Tree) Insert(pt Point, vals []float64) int {
+	if len(vals) != t.width {
+		panic("rangetree: Insert vals width mismatch")
+	}
+	id := t.nBuilt + len(t.young)
+	t.young = append(t.young, youngPoint{pt: pt, vals: append([]float64(nil), vals...)})
+	return id
+}
+
+// Young returns the number of points in the young buffer (including
+// removed ones), a rebuild heuristic for callers.
+func (t *Tree) Young() int { return len(t.young) }

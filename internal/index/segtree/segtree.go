@@ -108,6 +108,17 @@ func (t *Tree) Set(i int, value float64, key int64) {
 // actual value with the default value" when a unit exits the sweep region.
 func (t *Tree) Clear(i int) { t.Set(i, t.id, NoKey) }
 
+// Reset restores every position to the identity in O(n) — equivalent to n
+// Clear calls (or a fresh New) at a fraction of the cost. It lets a sweep
+// caller reuse one tree across many sweeps instead of allocating per
+// sweep.
+func (t *Tree) Reset() {
+	for i := range t.val {
+		t.val[i] = t.id
+		t.key[i] = NoKey
+	}
+}
+
 // Query returns the aggregate value and arg-key over positions [lo, hi).
 // An empty or out-of-bounds-clamped-to-empty interval yields the identity
 // and NoKey.

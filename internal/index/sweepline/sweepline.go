@@ -56,6 +56,77 @@ type Result struct {
 // NoExclude disables a probe's self-exclusion.
 const NoExclude int64 = -1
 
+// Order caches a point set's x-ordering (and the segment trees sweeping
+// it) so that consecutive sweeps over a slowly changing population do not
+// re-sort from scratch: Patch re-inserts only the displaced entry into
+// the sorted order, shifting its neighbours. An Order is not safe for
+// concurrent use.
+type Order struct {
+	pts   []Point
+	byX   []int     // x-rank → point index
+	xs    []float64 // x-rank → x value
+	rank  []int     // point index → x-rank
+	trees [2]*segtree.Tree
+}
+
+// NewOrder copies and x-sorts the points (ties broken by key, matching
+// Sweep's deterministic order).
+func NewOrder(points []Point) *Order {
+	return newOrder(append([]Point(nil), points...))
+}
+
+// newOrder builds an Order around the caller's slice without copying.
+func newOrder(points []Point) *Order {
+	o := &Order{pts: points}
+	o.byX = make([]int, len(points))
+	for i := range o.byX {
+		o.byX[i] = i
+	}
+	sort.Slice(o.byX, func(a, b int) bool { return xLess(points[o.byX[a]], points[o.byX[b]]) })
+	o.xs = make([]float64, len(points))
+	o.rank = make([]int, len(points))
+	for r, i := range o.byX {
+		o.xs[r] = points[i].X
+		o.rank[i] = r
+	}
+	return o
+}
+
+// xLess is the sweep's total x-order: by X, ties by key.
+func xLess(a, b Point) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Key < b.Key
+}
+
+// Len returns the number of points.
+func (o *Order) Len() int { return len(o.pts) }
+
+// Point returns point i's current value.
+func (o *Order) Point(i int) Point { return o.pts[i] }
+
+// Patch replaces point i and restores sortedness by shifting only the
+// entries the move displaced: O(d + 1) for displacement d, against
+// O(n log n) for a full re-sort. The resulting permutation is identical
+// to re-sorting from scratch (the order is total), so sweeps over a
+// patched Order match sweeps over a freshly built one exactly.
+func (o *Order) Patch(i int, p Point) {
+	o.pts[i] = p
+	r := o.rank[i]
+	for r > 0 && xLess(p, o.pts[o.byX[r-1]]) {
+		j := o.byX[r-1]
+		o.byX[r], o.rank[j], o.xs[r] = j, r, o.pts[j].X
+		r--
+	}
+	for r < len(o.byX)-1 && xLess(o.pts[o.byX[r+1]], p) {
+		j := o.byX[r+1]
+		o.byX[r], o.rank[j], o.xs[r] = j, r, o.pts[j].X
+		r++
+	}
+	o.byX[r], o.rank[i], o.xs[r] = i, r, p.X
+}
+
 // Sweep computes, for every probe, the op-extremum of Value over points
 // with |p.X−probe.X| ≤ probe.RX and |p.Y−probe.Y| ≤ ry. All boundaries are
 // inclusive, matching the paper's SQL range conditions. ry must be the same
@@ -63,6 +134,14 @@ const NoExclude int64 = -1
 // planner only selects this operator when the script's range is a per-type
 // constant.
 func Sweep(points []Point, probes []Probe, ry float64, op segtree.Op) []Result {
+	return newOrder(points).Sweep(probes, ry, op)
+}
+
+// Sweep runs one sweep over the ordered points, reusing the Order's
+// cached x-permutation and (Reset) segment tree. It is identical in
+// results and result order to the package-level Sweep.
+func (o *Order) Sweep(probes []Probe, ry float64, op segtree.Op) []Result {
+	points := o.pts
 	results := make([]Result, len(probes))
 	if len(points) == 0 || len(probes) == 0 {
 		for i := range results {
@@ -70,31 +149,13 @@ func Sweep(points []Point, probes []Probe, ry float64, op segtree.Op) []Result {
 		}
 		return results
 	}
-
-	// x-rank each point; ties broken by key for determinism.
-	byX := make([]int, len(points))
-	for i := range byX {
-		byX[i] = i
-	}
-	sort.Slice(byX, func(a, b int) bool {
-		pa, pb := points[byX[a]], points[byX[b]]
-		if pa.X != pb.X {
-			return pa.X < pb.X
-		}
-		return pa.Key < pb.Key
-	})
-	xs := make([]float64, len(points))
-	rank := make([]int, len(points)) // point index → x-rank
-	for r, i := range byX {
-		xs[r] = points[i].X
-		rank[i] = r
-	}
+	xs, rank := o.xs, o.rank
 
 	// Points sorted by y drive both the enter stream (at y−ry) and the
 	// exit stream (at y+ry): with constant ry both streams are the same
 	// order.
 	byY := make([]int, len(points))
-	copy(byY, byX) // start from a deterministic order
+	copy(byY, o.byX) // start from a deterministic order
 	sort.SliceStable(byY, func(a, b int) bool { return points[byY[a]].Y < points[byY[b]].Y })
 
 	// Probes sorted by y; ties keep input order for determinism.
@@ -104,7 +165,13 @@ func Sweep(points []Point, probes []Probe, ry float64, op segtree.Op) []Result {
 	}
 	sort.SliceStable(probeOrder, func(a, b int) bool { return probes[probeOrder[a]].Y < probes[probeOrder[b]].Y })
 
-	tree := segtree.New(len(points), op)
+	tree := o.trees[op]
+	if tree == nil || tree.Len() != len(points) {
+		tree = segtree.New(len(points), op)
+		o.trees[op] = tree
+	} else {
+		tree.Reset()
+	}
 	active := make(map[int64]int, len(points)) // key → point index, for exclusion
 	enter, exit := 0, 0
 	for _, pi := range probeOrder {

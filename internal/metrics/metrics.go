@@ -131,6 +131,87 @@ func (r *Runner) TickSeconds(mode engine.Mode, n int, density float64, measureTi
 	return time.Since(start).Seconds() / float64(measureTicks), nil
 }
 
+// MaintainRow is one point of the incremental-maintenance experiment:
+// the same battle measured with from-scratch index rebuilds and with
+// delta-driven maintenance. Both modes are bit-identical in outcome, so
+// the comparison is pure throughput plus the maintenance work counters.
+type MaintainRow struct {
+	Units          int
+	Incremental    bool
+	SecondsPerTick float64
+	// Maintenance accounting over the measured ticks (zero in rebuild
+	// mode): ticks that patched instead of rebuilt, average dirty rows
+	// per tick, and structure-level reuse/patch/build/fallback counts.
+	MaintainTicks int
+	DirtyPerTick  float64
+	Reuses        int
+	Patches       int
+	Builds        int
+	Fallbacks     int
+}
+
+// MaintainComparison measures the battle at n units with index rebuilding
+// vs incremental maintenance (Options.Incremental), returning one row per
+// mode. The battle is a high-churn workload, so expect the per-definition
+// threshold to push position-keyed definitions back to rebuilds during
+// the marching phase; the structure counters show exactly how much was
+// salvaged.
+func (r *Runner) MaintainComparison(n int, density float64, measureTicks int) ([]MaintainRow, error) {
+	var rows []MaintainRow
+	for _, inc := range []bool{false, true} {
+		spec := workload.Spec{Units: n, Density: density, Seed: 42, Formation: workload.BattleLines}
+		e, err := engine.New(r.prog, game.NewMechanics(), workload.Generate(spec), engine.Options{
+			Mode:         engine.Indexed,
+			Categoricals: game.Categoricals(),
+			Seed:         42,
+			Side:         spec.Side(),
+			MoveSpeed:    1,
+			Workers:      r.Workers,
+			Incremental:  inc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Run(r.Warmup); err != nil {
+			return nil, err
+		}
+		before := e.Stats
+		start := time.Now()
+		if err := e.Run(measureTicks); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Seconds()
+		row := MaintainRow{
+			Units:          n,
+			Incremental:    inc,
+			SecondsPerTick: elapsed / float64(measureTicks),
+			MaintainTicks:  e.Stats.MaintainTicks - before.MaintainTicks,
+			Reuses:         e.Stats.IndexStats.IndexReuses - before.IndexStats.IndexReuses,
+			Patches:        e.Stats.IndexStats.IndexPatches - before.IndexStats.IndexPatches,
+			Builds:         e.Stats.IndexStats.IndexBuilds - before.IndexStats.IndexBuilds,
+			Fallbacks:      e.Stats.IndexStats.MaintainFallbacks - before.IndexStats.MaintainFallbacks,
+		}
+		row.DirtyPerTick = float64(e.Stats.DirtyRows-before.DirtyRows) / float64(measureTicks)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteMaintain renders the rebuild-vs-maintain table.
+func WriteMaintain(w io.Writer, rows []MaintainRow) {
+	fmt.Fprintf(w, "%-8s %-8s %14s %10s %12s %9s %9s %9s %9s\n",
+		"units", "mode", "sec/tick", "maintained", "dirty/tick", "reuses", "patches", "builds", "fallbacks")
+	for _, row := range rows {
+		mode := "rebuild"
+		if row.Incremental {
+			mode = "incr"
+		}
+		fmt.Fprintf(w, "%-8d %-8s %14.6f %10d %12.1f %9d %9d %9d %9d\n",
+			row.Units, mode, row.SecondsPerTick, row.MaintainTicks, row.DirtyPerTick,
+			row.Reuses, row.Patches, row.Builds, row.Fallbacks)
+	}
+}
+
 // Fig10Row is one point of the Figure 10 series.
 type Fig10Row struct {
 	Units          int

@@ -204,3 +204,27 @@ func TestSpeedupRows(t *testing.T) {
 		t.Fatal("WriteSpeedup table missing header")
 	}
 }
+
+func TestMaintainComparison(t *testing.T) {
+	r := runner(t)
+	// Warmup 3 so maintenance has its two-tick runway before measuring.
+	r.Warmup = 3
+	rows, err := r.MaintainComparison(80, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Incremental || !rows[1].Incremental {
+		t.Fatalf("want [rebuild, incr] rows, got %+v", rows)
+	}
+	if rows[0].MaintainTicks != 0 {
+		t.Error("rebuild mode should report zero maintained ticks")
+	}
+	if rows[1].MaintainTicks == 0 {
+		t.Error("incremental mode never maintained")
+	}
+	var buf bytes.Buffer
+	WriteMaintain(&buf, rows)
+	if !strings.Contains(buf.String(), "rebuild") || !strings.Contains(buf.String(), "incr") {
+		t.Fatalf("table missing modes:\n%s", buf.String())
+	}
+}

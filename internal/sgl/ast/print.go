@@ -1,0 +1,114 @@
+// Source printing: every declaration form renders back to parseable SGL.
+// The printer is the other half of the fuzzing contract — for any script
+// the parser accepts, print → parse → print must be a fixed point (the
+// round-trip fuzz targets enforce it). To keep the grammar unambiguous
+// the printer is conservative: terms and conditions reuse their fully
+// parenthesized String() forms, and if/then/else bodies are always
+// braced, which sidesteps the dangling-else ambiguity entirely.
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the script as parseable SGL source: aggregate
+// definitions, then action definitions, then functions — the grouping the
+// parser reconstructs regardless of the original interleaving, so the
+// form is print-stable.
+func (s *Script) String() string {
+	var parts []string
+	for _, d := range s.Aggs {
+		parts = append(parts, d.String())
+	}
+	for _, d := range s.Acts {
+		parts = append(parts, d.String())
+	}
+	for _, d := range s.Funcs {
+		parts = append(parts, d.String())
+	}
+	return strings.Join(parts, "\n\n") + "\n"
+}
+
+func paramList(params []string) string { return strings.Join(params, ", ") }
+
+// String renders one aggregate definition.
+func (d *AggDef) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "aggregate %s(%s) :=\n  ", d.Name, paramList(d.Params))
+	for i, out := range d.Outputs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		arg := "*"
+		switch {
+		case out.Arg != nil:
+			arg = out.Arg.String()
+		case out.Func != Count:
+			arg = ""
+		}
+		fmt.Fprintf(&b, "%s(%s) as %s", out.Func, arg, out.As)
+	}
+	b.WriteString("\n  over e")
+	if d.Where != nil {
+		fmt.Fprintf(&b, " where %s", d.Where)
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
+// String renders one action definition.
+func (d *ActDef) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "action %s(%s) :=\n  on e", d.Name, paramList(d.Params))
+	if d.Where != nil {
+		fmt.Fprintf(&b, " where %s", d.Where)
+	}
+	b.WriteString("\n  set ")
+	for i, set := range d.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s = %s", set.Attr, set.Value)
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
+// String renders one function definition.
+func (d *FuncDef) String() string {
+	return fmt.Sprintf("function %s(%s) { %s }", d.Name, paramList(d.Params), printAction(d.Body))
+}
+
+// printAction renders an action in "prim" position (anything the parser's
+// primAction accepts): sequences brace themselves, so the result composes
+// under let and if without ambiguity.
+func printAction(a Action) string {
+	switch n := a.(type) {
+	case *Let:
+		return fmt.Sprintf("(let %s = %s) %s", n.Name, n.Value, printAction(n.Body))
+	case *Seq:
+		parts := make([]string, len(n.Acts))
+		for i, sub := range n.Acts {
+			parts[i] = printAction(sub)
+		}
+		return "{ " + strings.Join(parts, "; ") + " }"
+	case *If:
+		// Braced bodies keep else-binding unambiguous.
+		s := fmt.Sprintf("if %s then { %s }", n.Cond, printAction(n.Then))
+		if n.Else != nil {
+			s += fmt.Sprintf(" else { %s }", printAction(n.Else))
+		}
+		return s
+	case *Perform:
+		args := make([]string, len(n.Args))
+		for i, t := range n.Args {
+			args[i] = t.String()
+		}
+		return fmt.Sprintf("perform %s(%s)", n.Name, strings.Join(args, ", "))
+	case *Nop:
+		return "{ }"
+	default:
+		panic(fmt.Sprintf("ast: unknown action %T", a))
+	}
+}

@@ -1,0 +1,26 @@
+package lexer
+
+import "testing"
+
+// FuzzTokenize asserts the lexer never panics: any byte sequence either
+// tokenizes or reports a positioned error.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"aggregate A(u) := count(*) over e where e.posx >= u.posx - 5;",
+		"function main(u) { perform F(u, Random(1) % 20 + 1) }",
+		"action X(u) := on e where e.key = u.key set damage = 1;",
+		"# comment\n(let v = 1.5e3) { }",
+		"<> <= >= := = ( ) { } , ; . * / % + - _CONST",
+		"\"unterminated",
+		"\x00\xff\xfe",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err == nil && len(toks) == 0 {
+			t.Fatal("successful tokenize must at least yield EOF")
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package parser_test
+
+import (
+	"testing"
+
+	"github.com/epicscale/sgl/internal/exec"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/sgl/parser"
+)
+
+// FuzzParse asserts two properties over arbitrary input: the parser never
+// panics, and every script it accepts survives a print → reparse → print
+// round trip as a fixed point (so the ast printer emits exactly the
+// grammar the parser reads). The seed corpus is the whole script zoo plus
+// the battle simulation.
+func FuzzParse(f *testing.F) {
+	for _, zp := range exec.Zoo {
+		f.Add(zp.Src)
+	}
+	f.Add(game.Script)
+	f.Add("function main(u) { if u.posx = 0 then { } else perform F(u) }")
+	f.Add("aggregate A(u) := min(e.health) as m, nearestkey() as k over e;")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		printed := s.String()
+		s2, err := parser.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if again := s2.String(); again != printed {
+			t.Fatalf("print is not a fixed point\nfirst:\n%s\nsecond:\n%s", printed, again)
+		}
+	})
+}
+
+// The deterministic round-trip over the full corpus, so a printer
+// regression fails plain `go test` rather than only a fuzz run.
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := map[string]string{"battle": game.Script}
+	for _, zp := range exec.Zoo {
+		srcs[zp.Name] = zp.Src
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			s, err := parser.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			printed := s.String()
+			s2, err := parser.Parse(printed)
+			if err != nil {
+				t.Fatalf("printed form does not reparse: %v\n%s", err, printed)
+			}
+			if again := s2.String(); again != printed {
+				t.Fatalf("print not a fixed point:\n%s\n---\n%s", printed, again)
+			}
+			// The reprinted script must also be semantically intact: same
+			// declaration counts and names.
+			if len(s2.Aggs) != len(s.Aggs) || len(s2.Acts) != len(s.Acts) || len(s2.Funcs) != len(s.Funcs) {
+				t.Fatal("round trip changed declaration counts")
+			}
+		})
+	}
+}

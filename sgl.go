@@ -46,6 +46,34 @@
 // there is no accuracy trade-off to weigh, and per-worker effect counts
 // are reported in RunStats.EffectsByWorker.
 //
+// # Incremental index maintenance
+//
+// The paper rebuilds every per-tick index from scratch; between
+// consecutive ticks, though, only the units that moved, fought, or died
+// change the attributes the indexes key on. With
+// EngineOptions.Incremental the engine snapshots each tick's rows,
+// bit-diffs them at tick end into a per-row changed-column mask, and
+// patches the previous tick's structures instead of rebuilding: clean
+// categorical partitions are reused outright, partitions whose members
+// changed only payload attributes (health under a stationary melee line)
+// keep their sort order and recompute prefix aggregates in place, and
+// everything else rebuilds at partition granularity. A per-definition
+// threshold (EngineOptions.IncrementalThreshold, default
+// DefaultIncrementalThreshold) falls back to a from-scratch rebuild when
+// the relevant churn makes patching pointless.
+//
+// The determinism argument carries over: every value baked into an index
+// at build time is a pure function of the owning row's attributes (the
+// analyzer rejects Random there), so bit-unchanged rows contribute
+// bit-identical index content and a maintained provider answers every
+// probe exactly like a freshly built one. TestIncrementalMatchesRebuild
+// proves byte-identical environments across the whole script zoo and the
+// battle simulation, per tick, at Workers 1 and 4. On low-churn
+// workloads (a garrison watching a front while scouts patrol) ticks run
+// ≈2× faster at 10k units; on high-churn workloads the threshold keeps
+// the cost within noise of rebuilding. RunStats reports MaintainTicks,
+// DirtyRows, and the structure-level reuse/patch/fallback counters.
+//
 // See the examples/ directory for runnable programs and cmd/ for the
 // sglc, battlesim and benchfig tools.
 package sgl
@@ -104,6 +132,11 @@ const (
 	Naive   = engine.Naive
 	Indexed = engine.Indexed
 )
+
+// DefaultIncrementalThreshold is the per-definition dirty-row fraction
+// above which incremental index maintenance falls back to rebuilding
+// (EngineOptions.IncrementalThreshold = 0 selects it).
+const DefaultIncrementalThreshold = engine.DefaultIncrementalThreshold
 
 // NewSchema builds an environment schema; exactly one Const attribute must
 // be named "key".
