@@ -497,3 +497,49 @@ func BenchmarkTickIncrementalSentry(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// S1 — observation-query fan-out: per-query cost of serving spectators
+// against the live world. The /indexed rows share one frozen index build
+// per tick and probe in O(log n), so per-query cost is sublinear in army
+// size; the /scan rows pay the naive O(n) evaluation per query. The
+// first indexed iteration of each run amortizes the shared build.
+//
+//	go test -bench=QueryFanout -benchtime=1000x
+
+func BenchmarkQueryFanout(b *testing.B) {
+	src := `
+aggregate Zone(u, x, y, r) :=
+  count(*) as n, sum(e.health) as hp
+  over e where e.posx >= x - r and e.posx <= x + r
+    and e.posy >= y - r and e.posy <= y + r;`
+	q, err := CompileQuery(src, BattleSchema(), BattleConsts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{2000, 10000} {
+		e := newBattle(b, Indexed, n, 0.01, nil)
+		for _, scan := range []bool{false, true} {
+			mode := "indexed"
+			if scan {
+				mode = "scan"
+			}
+			b.Run(fmt.Sprintf("n%d/%s", n, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					x, y := float64(7*i%97), float64(13*i%89)
+					var err error
+					if scan {
+						_, err = e.QueryScan(q, x, y, 12)
+					} else {
+						_, err = e.Query(q, x, y, 12)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

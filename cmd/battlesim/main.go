@@ -1,15 +1,24 @@
 // Command battlesim runs the paper's battle simulation (Section 3.2) from
-// the command line under either engine.
+// the command line under either engine, as a session that can be
+// checkpointed and resumed.
 //
 // Usage:
 //
 //	battlesim -units 2000 -ticks 500 -mode indexed -density 0.01 -seed 42
-//	battlesim -units 10000 -workers 4   # sharded ticks, identical results
+//	battlesim -units 10000 -workers 4              # sharded ticks, identical results
+//	battlesim -ticks 500 -checkpoint world.ckpt -checkevery 100
+//	battlesim -ticks 500 -resume world.ckpt        # continue where it stopped
+//
+// A resumed run produces exactly the environment and counters the
+// uninterrupted run would have: checkpoints carry the tick counter, the
+// seed, the determinism-relevant options, and the cumulative
+// deaths/moves counters.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -18,88 +27,189 @@ import (
 	"github.com/epicscale/sgl/internal/workload"
 )
 
+// config is the parsed command line.
+type config struct {
+	units        int
+	ticks        int
+	mode         engine.Mode
+	density      float64
+	seed         uint64
+	formation    workload.Formation
+	report       int
+	workers      int
+	incremental  bool
+	incThreshold float64
+	checkpoint   string // write a checkpoint here every checkEvery ticks (and at the end)
+	checkEvery   int
+	resume       string // start from this checkpoint instead of a fresh army
+}
+
 func main() {
-	units := flag.Int("units", 1000, "number of units")
-	ticks := flag.Int("ticks", 100, "clock ticks to simulate")
-	modeName := flag.String("mode", "indexed", "naive or indexed")
-	density := flag.Float64("density", 0.01, "fraction of grid squares occupied")
-	seed := flag.Uint64("seed", 42, "run seed")
-	formation := flag.String("formation", "lines", "lines or scattered")
-	report := flag.Int("report", 25, "progress report interval in ticks (0 = none)")
-	workers := flag.Int("workers", 0, "tick executor shards (0 = all cores, 1 = serial; results are identical)")
-	incremental := flag.Bool("incremental", false, "patch per-tick indexes from the previous tick instead of rebuilding (identical results)")
-	incThreshold := flag.Float64("incthreshold", 0, "dirty-fraction rebuild fallback (0 = default)")
+	var cfg config
+	var modeName, formation string
+	flag.IntVar(&cfg.units, "units", 1000, "number of units")
+	flag.IntVar(&cfg.ticks, "ticks", 100, "clock ticks to simulate")
+	flag.StringVar(&modeName, "mode", "indexed", "naive or indexed")
+	flag.Float64Var(&cfg.density, "density", 0.01, "fraction of grid squares occupied")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "run seed")
+	flag.StringVar(&formation, "formation", "lines", "lines or scattered")
+	flag.IntVar(&cfg.report, "report", 25, "progress report interval in ticks (0 = none)")
+	flag.IntVar(&cfg.workers, "workers", 0, "tick executor shards (0 = all cores, 1 = serial; results are identical)")
+	flag.BoolVar(&cfg.incremental, "incremental", false, "patch per-tick indexes from the previous tick instead of rebuilding (identical results)")
+	flag.Float64Var(&cfg.incThreshold, "incthreshold", 0, "dirty-fraction rebuild fallback (0 = default)")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "write a checkpoint to this path every -checkevery ticks and at the end")
+	flag.IntVar(&cfg.checkEvery, "checkevery", 100, "checkpoint interval in ticks (with -checkpoint)")
+	flag.StringVar(&cfg.resume, "resume", "", "resume from a checkpoint written by -checkpoint (ignores -units/-density/-seed/-mode/-formation)")
 	flag.Parse()
 
-	mode := engine.Indexed
-	switch *modeName {
+	switch modeName {
 	case "indexed":
+		cfg.mode = engine.Indexed
 	case "naive":
-		mode = engine.Naive
+		cfg.mode = engine.Naive
 	default:
 		fmt.Fprintln(os.Stderr, "battlesim: -mode must be naive or indexed")
 		os.Exit(2)
 	}
-	form := workload.BattleLines
-	if *formation == "scattered" {
-		form = workload.Scattered
+	cfg.formation = workload.BattleLines
+	if formation == "scattered" {
+		cfg.formation = workload.Scattered
 	}
-
-	prog, err := game.Compile()
-	if err != nil {
-		fatal(err)
-	}
-	spec := workload.Spec{Units: *units, Density: *density, Seed: *seed, Formation: form}
-	e, err := engine.New(prog, game.NewMechanics(), workload.Generate(spec), engine.Options{
-		Mode:                 mode,
-		Categoricals:         game.Categoricals(),
-		Seed:                 *seed,
-		Side:                 spec.Side(),
-		MoveSpeed:            1,
-		Workers:              *workers,
-		Incremental:          *incremental,
-		IncrementalThreshold: *incThreshold,
-	})
-	if err != nil {
-		fatal(err)
-	}
-
-	fmt.Printf("battlesim: %d units, %.1f%% density (grid %.0f×%.0f), %s engine, %d ticks, %d workers\n",
-		*units, *density*100, spec.Side(), spec.Side(), mode, *ticks, e.Workers())
-	start := time.Now()
-	for done := 0; done < *ticks; {
-		step := *ticks - done
-		if *report > 0 && step > *report {
-			step = *report
-		}
-		if err := e.Run(step); err != nil {
-			fatal(err)
-		}
-		done += step
-		if *report > 0 {
-			elapsed := time.Since(start)
-			fmt.Printf("tick %5d  %8.2fs elapsed  %8.1f ticks/s  deaths=%d moves=%d blocked=%d\n",
-				done, elapsed.Seconds(), float64(done)/elapsed.Seconds(),
-				e.Stats.Deaths, e.Stats.Moves, e.Stats.MovesBlocked)
-		}
-	}
-	total := time.Since(start)
-	fmt.Printf("\ntotal: %.2fs for %d ticks (%.4fs/tick, %.1f ticks/s)\n",
-		total.Seconds(), *ticks, total.Seconds()/float64(*ticks), float64(*ticks)/total.Seconds())
-	if mode == engine.Indexed {
-		s := e.Stats.IndexStats
-		fmt.Printf("index work: %d builds, %d tree probes, %d kd probes, %d sweeps, %d scan fallbacks\n",
-			s.IndexBuilds, s.TreeProbes, s.KDProbes, s.Sweeps, s.ScanProbes)
-		if *incremental {
-			fmt.Printf("maintenance: %d/%d ticks maintained, %.1f dirty rows/tick, %d reuses, %d patches, %d fallbacks\n",
-				e.Stats.MaintainTicks, e.Stats.Ticks,
-				float64(e.Stats.DirtyRows)/float64(max(1, e.Stats.MaintainTicks)),
-				s.IndexReuses, s.IndexPatches, s.MaintainFallbacks)
-		}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "battlesim:", err)
+		os.Exit(1)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "battlesim:", err)
-	os.Exit(1)
+// run drives one battlesim invocation. It is main minus flag parsing and
+// process exit, so the checkpoint/resume smoke test can exercise the
+// exact code path users do.
+func run(cfg config, out io.Writer) error {
+	prog, err := game.Compile()
+	if err != nil {
+		return err
+	}
+	tune := engine.Options{
+		Workers:              cfg.workers,
+		Incremental:          cfg.incremental,
+		IncrementalThreshold: cfg.incThreshold,
+	}
+
+	var sess *engine.Session
+	if cfg.resume != "" {
+		f, err := os.Open(cfg.resume)
+		if err != nil {
+			return err
+		}
+		sess, err = engine.RestoreSession(f, prog, game.NewMechanics(), tune)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "battlesim: resumed %d units at tick %d from %s\n",
+			sess.Engine().Env().Len(), sess.Tick(), cfg.resume)
+	} else {
+		spec := workload.Spec{Units: cfg.units, Density: cfg.density, Seed: cfg.seed, Formation: cfg.formation}
+		opts := tune
+		opts.Mode = cfg.mode
+		opts.Categoricals = game.Categoricals()
+		opts.Seed = cfg.seed
+		opts.Side = spec.Side()
+		opts.MoveSpeed = 1
+		e, err := engine.New(prog, game.NewMechanics(), workload.Generate(spec), opts)
+		if err != nil {
+			return err
+		}
+		sess = engine.NewSession(e)
+		fmt.Fprintf(out, "battlesim: %d units, %.1f%% density (grid %.0f×%.0f), %s engine, %d ticks, %d workers\n",
+			cfg.units, cfg.density*100, spec.Side(), spec.Side(), cfg.mode, cfg.ticks, e.Workers())
+	}
+
+	start := time.Now()
+	startTick := sess.Tick()
+	if cfg.report > 0 {
+		endTick := startTick + int64(cfg.ticks)
+		sess.OnTick(func(tick int64, stats engine.RunStats) {
+			// Report on the interval and always on the final tick, so the
+			// run's end-state counters appear even when -ticks is not a
+			// multiple of -report.
+			if (tick-startTick)%int64(cfg.report) != 0 && tick != endTick {
+				return
+			}
+			elapsed := time.Since(start)
+			fmt.Fprintf(out, "tick %5d  %8.2fs elapsed  %8.1f ticks/s  deaths=%d moves=%d blocked=%d\n",
+				tick, elapsed.Seconds(), float64(tick-startTick)/elapsed.Seconds(),
+				stats.Deaths, stats.Moves, stats.MovesBlocked)
+		})
+	}
+
+	writeCheckpoint := func() error {
+		if cfg.checkpoint == "" {
+			return nil
+		}
+		tmp := cfg.checkpoint + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := sess.Checkpoint(f); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		// Flush to stable storage before the rename: without it a crash
+		// can commit the rename ahead of the data blocks, replacing the
+		// last good checkpoint with a truncated one.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		// Rename-into-place: a crash mid-write never corrupts the last
+		// good checkpoint.
+		if err := os.Rename(tmp, cfg.checkpoint); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "checkpoint: tick %d → %s\n", sess.Tick(), cfg.checkpoint)
+		return nil
+	}
+
+	for done := 0; done < cfg.ticks; {
+		step := cfg.ticks - done
+		if cfg.checkpoint != "" && cfg.checkEvery > 0 && step > cfg.checkEvery {
+			step = cfg.checkEvery
+		}
+		if err := sess.Step(step); err != nil {
+			return err
+		}
+		done += step
+		if done < cfg.ticks {
+			if err := writeCheckpoint(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeCheckpoint(); err != nil {
+		return err
+	}
+
+	total := time.Since(start)
+	stats := sess.Stats()
+	fmt.Fprintf(out, "\ntotal: %.2fs for %d ticks (%.4fs/tick, %.1f ticks/s)\n",
+		total.Seconds(), cfg.ticks, total.Seconds()/float64(cfg.ticks), float64(cfg.ticks)/total.Seconds())
+	if s := stats.IndexStats; s.IndexBuilds > 0 {
+		fmt.Fprintf(out, "index work: %d builds, %d tree probes, %d kd probes, %d sweeps, %d scan fallbacks\n",
+			s.IndexBuilds, s.TreeProbes, s.KDProbes, s.Sweeps, s.ScanProbes)
+		if cfg.incremental {
+			fmt.Fprintf(out, "maintenance: %d/%d ticks maintained, %.1f dirty rows/tick, %d reuses, %d patches, %d fallbacks\n",
+				stats.MaintainTicks, stats.Ticks,
+				float64(stats.DirtyRows)/float64(max(1, stats.MaintainTicks)),
+				s.IndexReuses, s.IndexPatches, s.MaintainFallbacks)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/workload"
+)
+
+func baseConfig() config {
+	return config{
+		units:     80,
+		ticks:     20,
+		mode:      engine.Indexed,
+		density:   0.02,
+		seed:      7,
+		formation: workload.BattleLines,
+	}
+}
+
+// finalEnv re-runs the straight simulation to read its end state.
+func finalEnv(t *testing.T, ticks int) *engine.Engine {
+	t.Helper()
+	prog, err := game.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig()
+	spec := workload.Spec{Units: cfg.units, Density: cfg.density, Seed: cfg.seed, Formation: cfg.formation}
+	e, err := engine.New(prog, game.NewMechanics(), workload.Generate(spec), engine.Options{
+		Mode:         cfg.mode,
+		Categoricals: game.Categoricals(),
+		Seed:         cfg.seed,
+		Side:         spec.Side(),
+		MoveSpeed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// The end-to-end smoke for -checkpoint/-resume: a run checkpointed
+// halfway and resumed must report exactly the death/move counters — and
+// reach exactly the environment — of the straight run.
+func TestCheckpointResumeSmoke(t *testing.T) {
+	straight := finalEnv(t, 20)
+
+	ckpt := filepath.Join(t.TempDir(), "world.ckpt")
+	var out bytes.Buffer
+
+	first := baseConfig()
+	first.ticks = 11
+	first.checkpoint = ckpt
+	first.checkEvery = 4 // several mid-run checkpoints; the last write wins
+	first.report = 0
+	if err := run(first, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "checkpoint: tick 11") {
+		t.Fatalf("missing final checkpoint line in output:\n%s", out.String())
+	}
+
+	second := baseConfig()
+	second.ticks = 9
+	second.resume = ckpt
+	second.workers = 4 // resume under different parallelism: still identical
+	second.report = 0
+	out.Reset()
+	if err := run(second, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "resumed 80 units at tick 11") {
+		t.Fatalf("missing resume line in output:\n%s", out.String())
+	}
+
+	// Reload the checkpoint the resumed run started from and replay it to
+	// compare states and counters against the straight run.
+	prog, err := game.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	resumed, err := engine.Restore(f, prog, game.NewMechanics(), engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Run(9); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stats.Deaths != straight.Stats.Deaths || resumed.Stats.Moves != straight.Stats.Moves {
+		t.Fatalf("resumed counters deaths=%d moves=%d, straight run deaths=%d moves=%d",
+			resumed.Stats.Deaths, resumed.Stats.Moves, straight.Stats.Deaths, straight.Stats.Moves)
+	}
+	a, b := straight.Env(), resumed.Env()
+	if a.Len() != b.Len() {
+		t.Fatalf("row counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Rows {
+		for c := range a.Rows[i] {
+			if math.Float64bits(a.Rows[i][c]) != math.Float64bits(b.Rows[i][c]) {
+				t.Fatalf("row %d col %d differs: resumed run not byte-identical", i, c)
+			}
+		}
+	}
+}
+
+// A fresh run with no checkpoint flags still works through the session
+// path (regression for the main-loop refactor).
+func TestPlainRun(t *testing.T) {
+	cfg := baseConfig()
+	cfg.report = 10
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"80 units", "total:", "index work:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// Resuming from a missing or corrupt file fails cleanly.
+func TestResumeErrors(t *testing.T) {
+	cfg := baseConfig()
+	cfg.resume = filepath.Join(t.TempDir(), "nope.ckpt")
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}

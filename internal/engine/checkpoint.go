@@ -1,0 +1,209 @@
+// Checkpoint/restore: pause a world, persist it, and resume it — on this
+// process or another — with the continuation byte-identical to the run
+// that never stopped.
+//
+// The contract is exact because the engine keeps no hidden sequential
+// state between ticks. Every random decision is counter-based on
+// (seed, tick, unit key, draw index), the movement permutation and the
+// respawn substreams are re-derived from (seed, tick) alone, and the
+// incremental-maintenance caches are a pure optimization proven
+// bit-identical to rebuilding. The complete resumable state is therefore:
+// the environment rows, the tick counter, the seed, and the handful of
+// options that change floating-point association (Mode, the ablation
+// switches, world geometry). Workers / Incremental / IncrementalThreshold
+// are deliberately NOT part of the format — a checkpoint taken at any
+// setting resumes identically at any other, which is what lets an
+// operator migrate a world onto different hardware.
+//
+// Format (version 1), little-endian, FNV-1a checksum over everything
+// before the trailer:
+//
+//	magic     "SGLCKPT\n"                     8 bytes
+//	version   u32                             currently 1
+//	seed      u64
+//	tick      i64
+//	mode      u8                              Naive / Indexed
+//	flags     u8                              bit0 DisableAreaDefer, bit1 DisableOptimizer
+//	side      f64 bits
+//	movespeed f64 bits
+//	cats      u32 count, then len-prefixed strings (categorical attributes)
+//	stats     7 × i64                         Ticks, EffectsApplied, Moves,
+//	                                          MovesBlocked, Deaths,
+//	                                          MaintainTicks, DirtyRows
+//	schema    table codec schema section
+//	rows      table codec row section
+//	checksum  u64                             FNV-1a of all preceding bytes
+//
+// The version number is bumped on ANY layout change; readers reject
+// versions they do not know. See ROADMAP.md for the compatibility policy.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/table"
+)
+
+// checkpointMagic identifies an SGL checkpoint stream.
+const checkpointMagic = "SGLCKPT\n"
+
+// CheckpointVersion is the format version this build writes (and the only
+// one it reads).
+const CheckpointVersion = 1
+
+// maxCategoricals bounds the categorical-attribute list a reader accepts;
+// real programs partition on a handful of attributes.
+const maxCategoricals = 1 << 10
+
+// Checkpoint serializes the engine's resumable state to w. It must be
+// called between ticks (never concurrently with Tick); a Session
+// serializes this automatically. The stream is self-describing and ends
+// in a checksum, so Restore detects truncation and corruption.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	cw := table.NewWriter(w)
+	cw.Bytes([]byte(checkpointMagic))
+	cw.U32(CheckpointVersion)
+	cw.U64(e.opts.Seed)
+	cw.I64(e.tick)
+	cw.U8(uint8(e.opts.Mode))
+	var flags uint8
+	if e.opts.DisableAreaDefer {
+		flags |= 1
+	}
+	if e.opts.DisableOptimizer {
+		flags |= 2
+	}
+	cw.U8(flags)
+	cw.F64(e.opts.Side)
+	cw.F64(e.opts.MoveSpeed)
+	cw.U32(uint32(len(e.opts.Categoricals)))
+	for _, c := range e.opts.Categoricals {
+		cw.Str(c)
+	}
+	for _, v := range []int{
+		e.Stats.Ticks, e.Stats.EffectsApplied, e.Stats.Moves,
+		e.Stats.MovesBlocked, e.Stats.Deaths,
+		e.Stats.MaintainTicks, e.Stats.DirtyRows,
+	} {
+		cw.I64(int64(v))
+	}
+	table.WriteSchema(cw, e.prog.Schema)
+	table.WriteRows(cw, e.env)
+	cw.U64(cw.Sum()) // trailer: checksum of everything above
+	if err := cw.Err(); err != nil {
+		return fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Restore reopens a checkpoint written by Checkpoint and returns an
+// engine positioned exactly where the writer stopped: same environment,
+// same tick counter, same seed and semantic options, with the cumulative
+// run counters (deaths, moves, …) carried over. Continuing the restored
+// engine produces environments byte-identical to the run that was never
+// interrupted.
+//
+// prog must be the same program the checkpointed engine ran (the
+// embedded schema is verified against prog's; the script itself is not
+// serialized — programs are code, checkpoints are state). Of tune, only
+// the determinism-neutral execution knobs are consulted — Workers,
+// Incremental, IncrementalThreshold — so a world checkpointed on one
+// machine can resume with a different parallelism or maintenance
+// strategy without changing a single output bit. Everything else (Mode,
+// Seed, Side, MoveSpeed, Categoricals, ablation switches) comes from the
+// checkpoint itself.
+//
+// Restored measurement state starts fresh where it is configuration-
+// dependent: RunStats.IndexStats and EffectsByWorker count work done by
+// *this* engine's evaluator and worker layout, so they restart at zero.
+func Restore(r io.Reader, prog *sem.Program, g Game, tune Options) (*Engine, error) {
+	cr := table.NewReader(r)
+	var magic [8]byte
+	cr.Bytes(magic[:])
+	if cr.Err() == nil && string(magic[:]) != checkpointMagic {
+		return nil, fmt.Errorf("engine: restore: not an SGL checkpoint (bad magic)")
+	}
+	version := cr.U32()
+	if cr.Err() == nil && version != CheckpointVersion {
+		return nil, fmt.Errorf("engine: restore: unsupported checkpoint version %d (this build reads %d)", version, CheckpointVersion)
+	}
+	seed := cr.U64()
+	tick := cr.I64()
+	mode := Mode(cr.U8())
+	flags := cr.U8()
+	side := cr.F64()
+	moveSpeed := cr.F64()
+	ncat := cr.U32()
+	if cr.Err() == nil && ncat > maxCategoricals {
+		return nil, fmt.Errorf("engine: restore: %d categorical attributes exceeds limit", ncat)
+	}
+	var cats []string
+	for i := uint32(0); i < ncat && cr.Err() == nil; i++ {
+		cats = append(cats, cr.Str(table.MaxNameLen))
+	}
+	var counters [7]int64
+	for i := range counters {
+		counters[i] = cr.I64()
+	}
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("engine: restore: %w", err)
+	}
+	if tick < 0 || mode > Indexed || flags > 3 {
+		return nil, fmt.Errorf("engine: restore: malformed header (tick %d, mode %d, flags %d)", tick, mode, flags)
+	}
+	// The world geometry must be usable: resurrection draws positions in
+	// [0, Side), so a degenerate or non-finite side would panic mid-tick.
+	if !(side >= 1) || math.IsInf(side, 0) || !(moveSpeed >= 0) || math.IsInf(moveSpeed, 0) {
+		return nil, fmt.Errorf("engine: restore: malformed world geometry (side %v, movespeed %v)", side, moveSpeed)
+	}
+
+	schema, err := table.ReadSchema(cr)
+	if err != nil {
+		return nil, fmt.Errorf("engine: restore: %w", err)
+	}
+	if !schema.Equal(prog.Schema) {
+		return nil, fmt.Errorf("engine: restore: checkpoint schema %v does not match program schema %v", schema, prog.Schema)
+	}
+	// Decode rows against prog's schema so the environment shares the
+	// program's schema object (pointer identity matters to plan operators).
+	env, err := table.ReadRows(cr, prog.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("engine: restore: %w", err)
+	}
+	sum := cr.Sum() // checksum of everything consumed so far
+	stored := cr.U64()
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("engine: restore: %w", err)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("engine: restore: checksum mismatch (stored %016x, computed %016x): corrupted checkpoint", stored, sum)
+	}
+
+	e, err := New(prog, g, env, Options{
+		Mode:                 mode,
+		Categoricals:         cats,
+		Seed:                 seed,
+		Side:                 side,
+		MoveSpeed:            moveSpeed,
+		DisableAreaDefer:     flags&1 != 0,
+		DisableOptimizer:     flags&2 != 0,
+		Workers:              tune.Workers,
+		Incremental:          tune.Incremental,
+		IncrementalThreshold: tune.IncrementalThreshold,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: restore: %w", err)
+	}
+	e.tick = tick
+	e.Stats.Ticks = int(counters[0])
+	e.Stats.EffectsApplied = int(counters[1])
+	e.Stats.Moves = int(counters[2])
+	e.Stats.MovesBlocked = int(counters[3])
+	e.Stats.Deaths = int(counters[4])
+	e.Stats.MaintainTicks = int(counters[5])
+	e.Stats.DirtyRows = int(counters[6])
+	return e, nil
+}

@@ -20,7 +20,9 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"sync"
 
 	"github.com/epicscale/sgl/internal/algebra"
 	"github.com/epicscale/sgl/internal/exec"
@@ -148,6 +150,12 @@ type Engine struct {
 	delta    exec.Delta
 	deltaOK  bool
 
+	// Observation-query state (see query.go): qmu guards the cached
+	// per-query analyzers and frozen providers, so any number of reader
+	// goroutines can share one index build per tick.
+	qmu     sync.Mutex
+	queries queryState
+
 	// Stats accumulates counters across ticks.
 	Stats RunStats
 }
@@ -184,6 +192,13 @@ func New(prog *sem.Program, game Game, initial *table.Table, opts Options) (*Eng
 	py, ok := prog.Schema.Col("posy")
 	if !ok {
 		return nil, fmt.Errorf("engine: schema needs posy")
+	}
+	// The resurrection phase draws positions with Intn(int(Side)), so a
+	// degenerate or non-finite side would panic mid-run; rejecting it here
+	// also keeps the write and read sides of the checkpoint format in
+	// agreement about what a valid world is.
+	if !(opts.Side >= 1) || math.IsInf(opts.Side, 0) {
+		return nil, fmt.Errorf("engine: world side must be a finite value >= 1, got %v", opts.Side)
 	}
 	w := opts.Workers
 	if w <= 0 {
@@ -293,6 +308,10 @@ func (e *Engine) Tick() error {
 	// Record which rows this tick changed, so the next tick can patch the
 	// previous indexes instead of rebuilding them.
 	e.captureIncremental()
+
+	// The environment mutated: every cached observation-query provider
+	// indexes a stale snapshot now.
+	e.invalidateQueries()
 
 	e.tick++
 	e.Stats.Ticks++

@@ -1,0 +1,383 @@
+// Ad-hoc observation queries over the live world: the read half of the
+// session API. A Query is a compiled, read-only SGL aggregate evaluated
+// against the engine's current environment — the same "game AI as query
+// processing" machinery the tick uses, opened up to spectators,
+// observers, and tooling.
+//
+// Execution reuses the indexed evaluator end to end: the first query
+// evaluated after a tick builds (and freezes) that query's per-partition
+// index structures over the current snapshot, and every subsequent
+// evaluation — including concurrent ones — probes the frozen structures
+// through a private exec.Indexed.Fork. N readers therefore share one
+// index build per tick, and each probe costs what a unit's own aggregate
+// costs inside a tick: O(log n) for divisible range aggregates, a
+// kD-descent for nearest-neighbour, O(1) for global extrema. The
+// QueryScan* variants evaluate the same query with the naive O(n) scan
+// provider; they are the semantics oracle the differential tests (and
+// the fan-out benchmark's baseline) use.
+//
+// Concurrency: Query/QueryAt/QueryUnit may be called from any number of
+// goroutines simultaneously, but never concurrently with Tick — the
+// Session facade enforces that with a reader/writer lock. Tick
+// invalidates all cached query providers (the environment mutated under
+// them).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/epicscale/sgl/internal/exec"
+	"github.com/epicscale/sgl/internal/sgl/ast"
+	"github.com/epicscale/sgl/internal/sgl/interp"
+	"github.com/epicscale/sgl/internal/sgl/parser"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/table"
+)
+
+// Query is a compiled observation query: one or more aggregate
+// definitions checked in query mode (read-only, no effects, no Random),
+// of which the last declared is the entry point. A Query is immutable
+// and may be shared by any number of engines and goroutines.
+type Query struct {
+	prog *sem.Program
+	def  *ast.AggDef
+	// unitCols are the schema columns the entry aggregate reads through
+	// its unit parameter (plus posx/posy for nearest outputs, which
+	// implicitly probe from the unit's position). They decide which probe
+	// forms the query supports: none → Query, ⊆ {posx, posy} → QueryAt,
+	// anything else → QueryUnit.
+	unitCols []int
+}
+
+// CompileQuery parses and checks an observation query against a schema
+// and constant table. The source is the SGL aggregate-definition subset:
+// filters, categorical and range predicates, and aggregate outputs —
+// no actions, no effects, no Random. The last aggregate declared is the
+// query's entry point.
+func CompileQuery(src string, schema *table.Schema, consts map[string]float64) (*Query, error) {
+	script, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := sem.CheckQuery(script, schema, consts)
+	if err != nil {
+		return nil, err
+	}
+	def := script.Aggs[len(script.Aggs)-1]
+	return &Query{prog: prog, def: def, unitCols: unitCols(def, schema)}, nil
+}
+
+// Name returns the entry aggregate's name.
+func (q *Query) Name() string { return q.def.Name }
+
+// Outputs returns the entry aggregate's output column names, in result
+// order.
+func (q *Query) Outputs() []string {
+	out := make([]string, len(q.def.Outputs))
+	for i, o := range q.def.Outputs {
+		out[i] = o.As
+	}
+	return out
+}
+
+// Params returns the entry aggregate's parameter names after the unit
+// parameter — the args an evaluation must supply, in order.
+func (q *Query) Params() []string { return append([]string(nil), q.def.Params[1:]...) }
+
+// NeedsUnit reports whether the query reads any attribute of its probe
+// unit beyond position — such a query can only run through QueryUnit.
+func (q *Query) NeedsUnit() bool {
+	for _, c := range q.unitCols {
+		if n := q.prog.Schema.Attr(c).Name; n != "posx" && n != "posy" {
+			return true
+		}
+	}
+	return false
+}
+
+// NeedsPosition reports whether the query probes from a position
+// (explicit u.posx/u.posy references or nearest-neighbour outputs).
+func (q *Query) NeedsPosition() bool { return len(q.unitCols) > 0 }
+
+// unitCols collects the schema columns def reads through its unit
+// parameter, in ascending column order. Nearest outputs count as posx
+// and posy reads: the kD probe starts at the unit's position.
+func unitCols(def *ast.AggDef, schema *table.Schema) []int {
+	unit := def.Params[0]
+	cols := map[int]bool{}
+	var walkTerm func(t ast.Term)
+	walkTerm = func(t ast.Term) {
+		switch n := t.(type) {
+		case *ast.FieldRef:
+			if n.Base == unit {
+				if c, ok := schema.Col(n.Field); ok {
+					cols[c] = true
+				}
+			}
+		case *ast.Field:
+			walkTerm(n.X)
+		case *ast.Pair:
+			walkTerm(n.X)
+			walkTerm(n.Y)
+		case *ast.Neg:
+			walkTerm(n.X)
+		case *ast.Binary:
+			walkTerm(n.X)
+			walkTerm(n.Y)
+		case *ast.Call:
+			for _, a := range n.Args {
+				walkTerm(a)
+			}
+		}
+	}
+	var walkCond func(c ast.Cond)
+	walkCond = func(c ast.Cond) {
+		switch n := c.(type) {
+		case *ast.Not:
+			walkCond(n.X)
+		case *ast.And:
+			walkCond(n.X)
+			walkCond(n.Y)
+		case *ast.Or:
+			walkCond(n.X)
+			walkCond(n.Y)
+		case *ast.Compare:
+			walkTerm(n.X)
+			walkTerm(n.Y)
+		}
+	}
+	if def.Where != nil {
+		walkCond(def.Where)
+	}
+	for _, out := range def.Outputs {
+		if out.Arg != nil {
+			walkTerm(out.Arg)
+		}
+		switch out.Func {
+		case ast.NearestKey, ast.NearestDist, ast.NearestX, ast.NearestY:
+			cols[schema.MustCol("posx")] = true
+			cols[schema.MustCol("posy")] = true
+		}
+	}
+	var list []int
+	for c := range cols {
+		list = append(list, c)
+	}
+	sort.Ints(list)
+	return list
+}
+
+// ---------------------------------------------------------------------------
+// Engine-side execution
+
+// queryState lives on the Engine (see engine.go fields): a generation
+// counter bumped by Tick plus one cache entry per Query. The engine-wide
+// qmu guards only the map and the recency bookkeeping; each entry has
+// its own mutex for the (possibly expensive) analyzer and index builds,
+// so readers of different queries never wait on each other's builds.
+type queryState struct {
+	gen   uint64
+	seq   uint64 // global use counter, for LRU over the cap
+	cache map[*Query]*queryCacheEntry
+}
+
+type queryCacheEntry struct {
+	mu      sync.Mutex // guards an/prov/provGen (build coordination)
+	an      *exec.Analyzer
+	prov    *exec.Indexed
+	provGen uint64
+	// Recency bookkeeping, guarded by the engine's qmu.
+	lastGen uint64
+	lastSeq uint64
+}
+
+// queryEvictAfter is how many generations (ticks) a query's cached
+// analyzer survives without being evaluated. Hot spectator queries stay
+// warm; a query compiled for one request is released instead of pinning
+// its program and analyzer for the engine's lifetime.
+const queryEvictAfter = 2
+
+// maxCachedQueries bounds the cache between ticks: a paused world served
+// one-shot queries would otherwise grow an analyzer plus a frozen index
+// set per distinct Query with nothing to evict them until the next Tick.
+// Past the cap the least-recently-used entry is dropped.
+const maxCachedQueries = 64
+
+// invalidateQueries drops every cached query provider (the environment
+// they indexed has mutated) and evicts per-query state that has not been
+// used for queryEvictAfter generations; called at the end of Tick. Tick
+// never runs concurrently with Query* (the Session lock enforces it), so
+// the brief per-entry locking here is uncontended.
+func (e *Engine) invalidateQueries() {
+	e.qmu.Lock()
+	e.queries.gen++
+	for q, ent := range e.queries.cache {
+		if e.queries.gen-ent.lastGen > queryEvictAfter {
+			delete(e.queries.cache, q)
+			continue
+		}
+		ent.mu.Lock()
+		ent.prov = nil
+		ent.mu.Unlock()
+	}
+	e.qmu.Unlock()
+}
+
+// queryProvider returns the frozen indexed provider for q over the
+// current environment, building it at most once per tick. The first
+// caller after a tick pays the build; everyone else forks it. The build
+// runs under the entry's own lock, so concurrent queries for other
+// shapes proceed, and concurrent callers for the same shape wait for the
+// one build instead of duplicating it.
+func (e *Engine) queryProvider(q *Query) *exec.Indexed {
+	e.qmu.Lock()
+	if e.queries.cache == nil {
+		e.queries.cache = map[*Query]*queryCacheEntry{}
+	}
+	ent := e.queries.cache[q]
+	if ent == nil {
+		ent = &queryCacheEntry{}
+		e.queries.cache[q] = ent
+		for len(e.queries.cache) > maxCachedQueries {
+			var lru *Query
+			for cand, ce := range e.queries.cache {
+				if cand == q {
+					continue
+				}
+				if lru == nil || ce.lastSeq < e.queries.cache[lru].lastSeq {
+					lru = cand
+				}
+			}
+			delete(e.queries.cache, lru)
+		}
+	}
+	e.queries.seq++
+	ent.lastGen, ent.lastSeq = e.queries.gen, e.queries.seq
+	gen := e.queries.gen
+	e.qmu.Unlock()
+
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if ent.an == nil {
+		ent.an = exec.NewAnalyzer(q.prog, e.opts.Categoricals)
+	}
+	if ent.prov == nil || ent.provGen != gen {
+		prov := exec.NewIndexed(ent.an, e.env, e.src.Tick(e.tick))
+		prov.Freeze()
+		ent.prov, ent.provGen = prov, gen
+	}
+	return ent.prov
+}
+
+// checkQueryArgs validates the evaluation's argument count.
+func (q *Query) checkArgs(args []float64) error {
+	if want := len(q.def.Params) - 1; len(args) != want {
+		return fmt.Errorf("engine: query %s takes %d argument(s), got %d", q.def.Name, want, len(args))
+	}
+	return nil
+}
+
+// syntheticUnit builds the probe row for world and positional queries:
+// zeros everywhere, key = −1 (matches no live unit, so nearest-neighbour
+// self-exclusion is inert), position as given.
+func (e *Engine) syntheticUnit(x, y float64) []float64 {
+	row := make([]float64, e.prog.Schema.NumAttrs())
+	row[e.prog.Schema.KeyCol()] = -1
+	row[e.posX], row[e.posY] = x, y
+	return row
+}
+
+// Query evaluates a world query — one that reads no attribute of a probe
+// unit — and returns the entry aggregate's outputs in declaration order.
+// Safe for concurrent use with other Query* calls (not with Tick).
+func (e *Engine) Query(q *Query, args ...float64) ([]float64, error) {
+	if len(q.unitCols) > 0 {
+		return nil, fmt.Errorf("engine: query %s reads unit attributes %s; use QueryAt or QueryUnit", q.def.Name, q.unitAttrNames())
+	}
+	return e.queryRow(q, e.syntheticUnit(0, 0), args, false)
+}
+
+// QueryAt evaluates a positional query from the observer position
+// (x, y): the probe unit is synthetic, carrying only that position, so
+// the query may reference u.posx/u.posy (and nearest-neighbour outputs
+// measure from it) but no other unit attribute.
+func (e *Engine) QueryAt(q *Query, x, y float64, args ...float64) ([]float64, error) {
+	if q.NeedsUnit() {
+		return nil, fmt.Errorf("engine: query %s reads unit attributes %s beyond position; use QueryUnit", q.def.Name, q.unitAttrNames())
+	}
+	return e.queryRow(q, e.syntheticUnit(x, y), args, false)
+}
+
+// QueryUnit evaluates a query from the perspective of the live unit with
+// the given key, exactly as the unit's own script would observe the
+// world this instant. The key resolves through the frozen provider's
+// key index, so the whole call stays O(log n).
+func (e *Engine) QueryUnit(q *Query, key int64, args ...float64) ([]float64, error) {
+	if err := q.checkArgs(args); err != nil {
+		return nil, err
+	}
+	prov := e.queryProvider(q)
+	row, ok := prov.RowByKey(key)
+	if !ok {
+		return nil, fmt.Errorf("engine: query %s: no unit with key %d", q.def.Name, key)
+	}
+	return prov.Fork().EvalAgg(q.def, row, args), nil
+}
+
+// QueryScan, QueryScanAt and QueryScanUnit are the naive counterparts of
+// Query, QueryAt and QueryUnit: the same semantics evaluated by a full
+// O(n) environment scan, mirroring the paper's pluggable-evaluator
+// design. They exist as the differential oracle and the baseline the
+// fan-out benchmark measures against; results agree with the indexed
+// path up to floating-point association (exactly like Naive vs Indexed
+// engine mode).
+func (e *Engine) QueryScan(q *Query, args ...float64) ([]float64, error) {
+	if len(q.unitCols) > 0 {
+		return nil, fmt.Errorf("engine: query %s reads unit attributes %s; use QueryScanAt or QueryScanUnit", q.def.Name, q.unitAttrNames())
+	}
+	return e.queryRow(q, e.syntheticUnit(0, 0), args, true)
+}
+
+// QueryScanAt is the naive-scan QueryAt.
+func (e *Engine) QueryScanAt(q *Query, x, y float64, args ...float64) ([]float64, error) {
+	if q.NeedsUnit() {
+		return nil, fmt.Errorf("engine: query %s reads unit attributes %s beyond position; use QueryScanUnit", q.def.Name, q.unitAttrNames())
+	}
+	return e.queryRow(q, e.syntheticUnit(x, y), args, true)
+}
+
+// QueryScanUnit is the naive-scan QueryUnit.
+func (e *Engine) QueryScanUnit(q *Query, key int64, args ...float64) ([]float64, error) {
+	row := e.env.Lookup(key)
+	if row == nil {
+		return nil, fmt.Errorf("engine: query %s: no unit with key %d", q.def.Name, key)
+	}
+	return e.queryRow(q, row, args, true)
+}
+
+func (e *Engine) queryRow(q *Query, unit []float64, args []float64, scan bool) ([]float64, error) {
+	if err := q.checkArgs(args); err != nil {
+		return nil, err
+	}
+	if scan {
+		prov := interp.NewNaive(q.prog, e.env, e.src.Tick(e.tick))
+		return prov.EvalAgg(q.def, unit, args), nil
+	}
+	fork := e.queryProvider(q).Fork()
+	return fork.EvalAgg(q.def, unit, args), nil
+}
+
+// unitAttrNames renders the unit attributes a query reads, for error
+// messages.
+func (q *Query) unitAttrNames() string {
+	s := ""
+	for i, c := range q.unitCols {
+		if i > 0 {
+			s += ", "
+		}
+		s += q.prog.Schema.Attr(c).Name
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+// Session: the long-lived facade over an Engine for server-style use.
+// An Engine alone is a batch object — one goroutine ticks it and reads
+// Env() when done. A Session turns it into a world that can be advanced,
+// observed by many concurrent readers, and checkpointed, with the
+// synchronization those uses need built in:
+//
+//   - Step takes the writer lock, so the environment never mutates under
+//     a reader;
+//   - Query/QueryAt/QueryUnit take the reader lock, so any number of
+//     spectators run simultaneously (sharing one index build per tick,
+//     see query.go) while Step waits;
+//   - Checkpoint takes the reader lock too — persisting a world does not
+//     block its observers, only its clock.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/epicscale/sgl/internal/sgl/sem"
+)
+
+// StatsFunc observes the engine after each completed tick of a
+// Session.Step: the tick counter just reached and the cumulative run
+// stats. It runs under the session's writer lock — keep it cheap, and do
+// not call back into the session from it.
+type StatsFunc func(tick int64, stats RunStats)
+
+// Session wraps an Engine with the locking that makes concurrent
+// observation safe. Create one with NewSession and route every
+// interaction through it; the underlying engine must not be ticked
+// directly while the session is in use.
+type Session struct {
+	mu sync.RWMutex
+	e  *Engine
+	fn StatsFunc
+}
+
+// NewSession wraps an engine.
+func NewSession(e *Engine) *Session { return &Session{e: e} }
+
+// RestoreSession is Restore composed with NewSession: reopen a
+// checkpoint and serve it.
+func RestoreSession(r io.Reader, prog *sem.Program, g Game, tune Options) (*Session, error) {
+	e, err := Restore(r, prog, g, tune)
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(e), nil
+}
+
+// OnTick installs the per-tick stats hook (nil uninstalls). Safe to call
+// at any time, including while a Step runs on another goroutine; the
+// hook takes effect from the next tick.
+func (s *Session) OnTick(fn StatsFunc) {
+	s.mu.Lock()
+	s.fn = fn
+	s.mu.Unlock()
+}
+
+// Engine returns the wrapped engine for read-only inspection (plans,
+// stats). Ticking or mutating it directly bypasses the session's
+// locking.
+func (s *Session) Engine() *Engine { return s.e }
+
+// Tick returns the number of completed ticks.
+func (s *Session) Tick() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.TickCount()
+}
+
+// Stats returns a snapshot of the cumulative run counters.
+func (s *Session) Stats() RunStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.e.Stats
+	st.EffectsByWorker = append([]int(nil), st.EffectsByWorker...)
+	return st
+}
+
+// Step advances the world n ticks, invoking the OnTick hook after each.
+// The writer lock is acquired per tick, not for the whole call: readers
+// always observe a completed tick, never a torn one, and long steps
+// leave windows between ticks for queued spectators instead of starving
+// them for the entire batch.
+func (s *Session) Step(n int) error {
+	if n < 0 {
+		return fmt.Errorf("engine: session: negative step %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.stepOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Session) stepOne() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.e.Tick(); err != nil {
+		return err
+	}
+	if s.fn != nil {
+		// Same defensive copy as Stats(): a hook that retains its
+		// argument must not watch EffectsByWorker mutate under it.
+		st := s.e.Stats
+		st.EffectsByWorker = append([]int(nil), st.EffectsByWorker...)
+		s.fn(s.e.TickCount(), st)
+	}
+	return nil
+}
+
+// Query evaluates a world query against the current state. Any number of
+// Query/QueryAt/QueryUnit calls may run concurrently; they block only
+// while a Step is in progress.
+func (s *Session) Query(q *Query, args ...float64) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.Query(q, args...)
+}
+
+// QueryAt evaluates a positional query from the observer position (x, y).
+func (s *Session) QueryAt(q *Query, x, y float64, args ...float64) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.QueryAt(q, x, y, args...)
+}
+
+// QueryUnit evaluates a query from the perspective of the live unit with
+// the given key.
+func (s *Session) QueryUnit(q *Query, key int64, args ...float64) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.QueryUnit(q, key, args...)
+}
+
+// Checkpoint writes the world's resumable state to w (see
+// Engine.Checkpoint). It runs under the reader lock: concurrent queries
+// proceed, the clock waits.
+func (s *Session) Checkpoint(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.Checkpoint(w)
+}

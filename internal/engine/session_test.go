@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/epicscale/sgl/internal/game"
+)
+
+func newSession(t testing.TB, units int, seed uint64) *Session {
+	t.Helper()
+	return NewSession(newEngine(t, battleProg(t), units, Indexed, seed, nil))
+}
+
+// Step fires the per-tick hook once per tick with monotonically
+// advancing counters.
+func TestSessionStepAndHook(t *testing.T) {
+	s := newSession(t, 60, 5)
+	var ticks []int64
+	s.OnTick(func(tick int64, stats RunStats) {
+		ticks = append(ticks, tick)
+		if stats.Ticks != int(tick) {
+			t.Errorf("hook at tick %d saw stats.Ticks %d", tick, stats.Ticks)
+		}
+	})
+	if err := s.Step(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 7 {
+		t.Fatalf("hook fired %d times, want 7", len(ticks))
+	}
+	for i, tk := range ticks {
+		if tk != int64(i+1) {
+			t.Fatalf("hook ticks = %v", ticks)
+		}
+	}
+	if s.Tick() != 7 {
+		t.Fatalf("Tick() = %d", s.Tick())
+	}
+	if s.Stats().Ticks != 7 {
+		t.Fatalf("Stats().Ticks = %d", s.Stats().Ticks)
+	}
+	if err := s.Step(-1); err == nil {
+		t.Fatal("negative step accepted")
+	}
+}
+
+// The session's locking makes concurrent spectators safe against a
+// running clock: readers hammer queries while the main goroutine steps.
+// Run under -race this is the core safety proof for the session API.
+func TestSessionConcurrentQueryAndStep(t *testing.T) {
+	s := newSession(t, 90, 13)
+	q := compileQuery(t, `
+aggregate Zone(u, x, y, r) :=
+  count(*) as n, sum(e.health) as hp
+  over e where e.posx >= x - r and e.posx <= x + r
+    and e.posy >= y - r and e.posy <= y + r;`)
+	knn := compileQuery(t, `aggregate C(u) := nearestkey() as k, nearestdist() as d over e;`)
+
+	var stop atomic.Bool
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, err := s.Query(q, 12, 12, 10); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := s.QueryAt(knn, float64(g), 7); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := s.QueryUnit(q, int64(g), 12, 12, 10); err != nil {
+					errCh <- err
+					return
+				}
+				served.Add(3)
+			}
+		}(g)
+	}
+	// Keep the clock running until every reader demonstrably overlapped
+	// with it (single-core schedulers may not run the readers at all for
+	// the first few steps).
+	for i := 0; i < 500 && (i < 10 || served.Load() < 24); i++ {
+		if err := s.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no queries served")
+	}
+}
+
+// A session checkpointed mid-run and restored into a new session
+// continues byte-identically, and checkpointing does not perturb the
+// run.
+func TestSessionCheckpointRestore(t *testing.T) {
+	oracle := newSession(t, 80, 11)
+	if err := oracle.Step(16); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newSession(t, 80, 11)
+	if err := s.Step(6); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(&buf, battleProg(t), game.NewMechanics(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	if !identicalTables(oracle.Engine().Env(), restored.Engine().Env()) {
+		t.Fatal("restored session diverged from uninterrupted session")
+	}
+	// The original session keeps running unaffected by the checkpoint.
+	if err := s.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	if !identicalTables(oracle.Engine().Env(), s.Engine().Env()) {
+		t.Fatal("checkpointing perturbed the running session")
+	}
+}
+
+// RestoreSession surfaces restore errors.
+func TestRestoreSessionError(t *testing.T) {
+	if _, err := RestoreSession(bytes.NewReader([]byte("junk")), battleProg(t), game.NewMechanics(), Options{}); err == nil {
+		t.Fatal("junk restored")
+	}
+}

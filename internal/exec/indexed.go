@@ -1032,6 +1032,17 @@ func (p *Indexed) keyLookup() map[int64]int {
 	return p.keyIndex
 }
 
+// RowByKey resolves an environment row through the key index in O(1).
+// On a frozen provider (or a fork of one) the index already exists and
+// the call is read-only, so concurrent readers may share it.
+func (p *Indexed) RowByKey(key int64) ([]float64, bool) {
+	ri, ok := p.keyLookup()[key]
+	if !ok {
+		return nil, false
+	}
+	return p.env.Rows[ri], true
+}
+
 // SelectTargets visits the action's targets using the classified strategy:
 // key lookups are O(1), area actions are O(log n + k) range-tree reports,
 // everything else scans (matching the naive provider exactly).

@@ -228,3 +228,28 @@ func TestMaintainComparison(t *testing.T) {
 		t.Fatalf("table missing modes:\n%s", buf.String())
 	}
 }
+
+func TestQueryFanout(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Warmup = 1
+	rows, err := r.QueryFanout([]int{60, 120}, 8, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.IndexedMicros <= 0 || row.ScanMicros <= 0 {
+			t.Fatalf("non-positive timing: %+v", row)
+		}
+	}
+	var buf bytes.Buffer
+	WriteQueryFanout(&buf, rows)
+	if !strings.Contains(buf.String(), "indexed") {
+		t.Fatalf("table output:\n%s", buf.String())
+	}
+}

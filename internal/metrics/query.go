@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/game"
+)
+
+// fanoutQuery is the observation query the fan-out experiment serves: a
+// windowed divisible aggregate, the bread-and-butter spectator question
+// ("how much is happening here?"). Indexed, it costs one O(log n)
+// range-tree probe after a shared per-tick build; scanned, it costs O(n)
+// per call.
+const fanoutQuery = `
+aggregate Zone(u, x, y, r) :=
+  count(*) as n, sum(e.health) as hp
+  over e where e.posx >= x - r and e.posx <= x + r
+    and e.posy >= y - r and e.posy <= y + r;`
+
+// QueryFanoutRow is one point of the observation-query experiment.
+type QueryFanoutRow struct {
+	Units   int
+	Queries int
+	// IndexedMicros is the mean per-query cost through Engine.Query,
+	// amortizing the shared per-tick index build over the fan-out.
+	IndexedMicros float64
+	// ScanMicros is the mean per-query cost of the naive scan evaluation.
+	ScanMicros float64
+	// Speedup is ScanMicros / IndexedMicros.
+	Speedup float64
+}
+
+// QueryFanout measures serving `queries` concurrent-spectator queries
+// per tick against live battles of the given sizes. The indexed column
+// grows ~logarithmically with army size while the scan column grows
+// linearly — the reuse argument for answering observers from the same
+// index structures the tick already builds.
+func (r *Runner) QueryFanout(sizes []int, queries int, density float64) ([]QueryFanoutRow, error) {
+	q, err := engine.CompileQuery(fanoutQuery, game.Schema(), game.Consts())
+	if err != nil {
+		return nil, err
+	}
+	var rows []QueryFanoutRow
+	for _, n := range sizes {
+		e, err := r.newEngine(engine.Indexed, n, density, 42)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Run(r.Warmup); err != nil {
+			return nil, err
+		}
+		probe := func(eval func(i int) error) (float64, error) {
+			start := time.Now()
+			for i := 0; i < queries; i++ {
+				if err := eval(i); err != nil {
+					return 0, err
+				}
+			}
+			// Nanosecond resolution: at small sizes the whole indexed loop
+			// can finish in under a microsecond, which integer-µs
+			// truncation would report as zero.
+			return float64(time.Since(start).Nanoseconds()) / 1e3 / float64(queries), nil
+		}
+		args := func(i int) (x, y, rad float64) {
+			return float64(7 * i % 97), float64(13 * i % 89), 12
+		}
+		idxMicros, err := probe(func(i int) error {
+			x, y, rad := args(i)
+			_, err := e.Query(q, x, y, rad)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		scanMicros, err := probe(func(i int) error {
+			x, y, rad := args(i)
+			_, err := e.QueryScan(q, x, y, rad)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, QueryFanoutRow{
+			Units: n, Queries: queries,
+			IndexedMicros: idxMicros, ScanMicros: scanMicros,
+			Speedup: scanMicros / idxMicros,
+		})
+	}
+	return rows, nil
+}
+
+// WriteQueryFanout renders the fan-out series as a text table.
+func WriteQueryFanout(w io.Writer, rows []QueryFanoutRow) {
+	fmt.Fprintf(w, "%-8s %-8s %14s %14s %10s\n", "units", "queries", "indexed µs/q", "scan µs/q", "speedup")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-8d %-8d %14.2f %14.2f %9.1fx\n",
+			row.Units, row.Queries, row.IndexedMicros, row.ScanMicros, row.Speedup)
+	}
+}

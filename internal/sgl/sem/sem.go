@@ -225,8 +225,53 @@ func Check(script *ast.Script, schema *table.Schema, consts map[string]float64) 
 	return p, nil
 }
 
+// CheckQuery analyzes a script in query mode: an observation query over
+// the live environment rather than a behavior that changes it. A query
+// script declares aggregate definitions only — action definitions,
+// action functions (and hence perform/SET effects) are rejected, as is
+// Random, so a compiled query is a pure read of whatever snapshot it is
+// later evaluated against. The returned Program has no Main; it exists
+// to carry the checked definitions, the schema binding, and the constant
+// table through the same evaluation machinery the engine uses.
+func CheckQuery(script *ast.Script, schema *table.Schema, consts map[string]float64) (*Program, error) {
+	if len(script.Funcs) > 0 {
+		f := script.Funcs[0]
+		return nil, errf(f.P, "query may not define action function %q: queries are read-only", f.Name)
+	}
+	if len(script.Acts) > 0 {
+		a := script.Acts[0]
+		return nil, errf(a.P, "query may not define action %q: queries have no effects", a.Name)
+	}
+	if len(script.Aggs) == 0 {
+		return nil, errf(token.Pos{Line: 1, Col: 1}, "query declares no aggregate")
+	}
+	p := &Program{
+		Script:   script,
+		Schema:   schema,
+		Consts:   consts,
+		AggCalls: make(map[*ast.Call]*ast.AggDef),
+		Performs: make(map[*ast.Perform]*PerformTarget),
+		funcSigs: make(map[*ast.FuncDef]map[string]bool),
+	}
+	c := &checker{p: p, query: true}
+	seen := map[string]token.Pos{}
+	for _, a := range script.Aggs {
+		if prev, dup := seen[a.Name]; dup {
+			return nil, errf(a.P, "duplicate declaration of %q (previous at %s)", a.Name, prev)
+		}
+		seen[a.Name] = a.P
+		if err := c.checkAggDef(a); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
 type checker struct {
 	p *Program
+	// query marks query-mode checking (CheckQuery): Random is rejected so
+	// observation queries are pure reads of the snapshot.
+	query bool
 }
 
 // env maps in-scope names (parameters and let-bindings) to types.
@@ -648,6 +693,9 @@ func (c *checker) checkTerm(t ast.Term, ev env, ctx termCtx) (Type, error) {
 
 func (c *checker) checkCall(n *ast.Call, ev env, ctx termCtx) (Type, error) {
 	if n.Name == "Random" || n.Name == "random" {
+		if c.query {
+			return Num, errf(n.P, "Random is not allowed in queries: observation queries are deterministic reads")
+		}
 		if len(n.Args) != 1 {
 			return Num, errf(n.P, "Random takes exactly one seed argument")
 		}

@@ -327,3 +327,69 @@ func TestDuplicateParams(t *testing.T) {
 	wantErr(t, "aggregate A(u, r, r) := count(*) over e; function main(u) {}", "duplicate parameter")
 	wantErr(t, "function main(u) {} function f(u, a, a) { perform f2(u) } function f2(u) {}", "")
 }
+
+// ---------------------------------------------------------------------------
+// Query mode (CheckQuery)
+
+func checkQuery(t *testing.T, src string) (*Program, error) {
+	t.Helper()
+	s, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return CheckQuery(s, testSchema(t), testConsts)
+}
+
+func TestCheckQueryAccepts(t *testing.T) {
+	for _, src := range []string{
+		`aggregate Zone(u, x, y, r) :=
+		   count(*) as n, sum(e.health) as hp
+		   over e where e.posx >= x - r and e.posx <= x + r
+		     and e.posy >= y - r and e.posy <= y + r;`,
+		`aggregate ByPlayer(u, p) := count(*) over e where e.player = p;`,
+		`aggregate Spotted(u) :=
+		   count(*) over e where e.posx >= u.posx - u.range and e.posx <= u.posx + u.range
+		     and e.player <> u.player;`,
+		`aggregate Strongest(u) := max(e.health) as top, argmax(e.health) as who over e;`,
+		`aggregate A(u) := count(*) over e; aggregate B(u) := avg(e.posx) over e;`,
+	} {
+		p, err := checkQuery(t, src)
+		if err != nil {
+			t.Errorf("CheckQuery(%q) = %v", src, err)
+			continue
+		}
+		if p.Main != nil {
+			t.Error("query program should have no Main")
+		}
+	}
+}
+
+func TestCheckQueryRejects(t *testing.T) {
+	for _, tc := range []struct{ src, substr string }{
+		{`function main(u) { perform X(u) }`, "read-only"},
+		{`aggregate A(u) := count(*) over e;
+		  action Tag(u) := on e where e.key = u.key set damage = 1;`, "no effects"},
+		{``, "no aggregate"},
+		{`aggregate A(u) := count(*) over e where Random(1) > 2;`, "Random"},
+		{`aggregate A(u) := sum(Random(3)) over e;`, "Random"},
+		{`aggregate A(u) := count(*) over e; aggregate A(u) := count(*) over e;`, "duplicate"},
+		{`aggregate A(u) := count(*) over e where e.nosuch = 1;`, "nosuch"},
+	} {
+		_, err := checkQuery(t, tc.src)
+		if err == nil {
+			t.Errorf("CheckQuery(%q) succeeded, want error containing %q", tc.src, tc.substr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("CheckQuery(%q) error = %v, want substring %q", tc.src, err, tc.substr)
+		}
+	}
+}
+
+// Query mode must not loosen the normal script checks: Random stays legal
+// in full scripts.
+func TestRandomStillAllowedInScripts(t *testing.T) {
+	mustCheck(t, `
+action Tag(u, v) := on e where e.key = u.key set damage = v;
+function main(u) { perform Tag(u, Random(1) % 4) }`)
+}

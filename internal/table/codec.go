@@ -1,0 +1,283 @@
+// Binary row codec: the serialization layer under engine checkpoints.
+// Everything is little-endian; floats travel as their IEEE-754 bit
+// patterns (math.Float64bits), so a decode→encode round trip is
+// byte-identical — the property the checkpoint/restore exactness contract
+// leans on (NaN payloads, signed zeros and denormals all survive).
+//
+// Writer and Reader fold every byte they move into a running FNV-1a
+// checksum, so a container format can end with Writer.Sum and verify it
+// against Reader.Sum before trusting anything it decoded. Both types
+// latch their first error and turn every later call into a no-op, so
+// call sites can encode a whole section and check Err once.
+package table
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// FNV-1a parameters (shared with constFingerprint above).
+const (
+	fnvOffset = 1469598103934665603
+	fnvPrime  = 1099511628211
+)
+
+// Codec limits: a self-describing header whose counts exceed these is
+// corrupt (or hostile), and rejecting it early keeps decoding of
+// truncated or fuzzed inputs from attempting absurd allocations.
+const (
+	// MaxAttrs bounds the number of schema attributes a decoder accepts.
+	MaxAttrs = 1 << 10
+	// MaxNameLen bounds the byte length of one attribute name.
+	MaxNameLen = 1 << 10
+)
+
+// Writer encodes primitives to an io.Writer with a running checksum.
+type Writer struct {
+	w   io.Writer
+	sum uint64
+	err error
+	buf [8]byte
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w, sum: fnvOffset} }
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Sum returns the FNV-1a checksum of every byte written so far.
+func (w *Writer) Sum() uint64 { return w.sum }
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	for _, b := range p {
+		w.sum = (w.sum ^ uint64(b)) * fnvPrime
+	}
+	_, w.err = w.w.Write(p)
+}
+
+// Bytes writes raw bytes.
+func (w *Writer) Bytes(p []byte) { w.write(p) }
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.write([]byte{v}) }
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf[0], w.buf[1], w.buf[2], w.buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	w.write(w.buf[:4])
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	for i := 0; i < 8; i++ {
+		w.buf[i] = byte(v >> (8 * i))
+	}
+	w.write(w.buf[:8])
+}
+
+// I64 writes a little-endian int64 (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 writes the IEEE-754 bit pattern of v.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Str writes a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.U32(uint32(len(s)))
+	w.write([]byte(s))
+}
+
+// Reader decodes primitives from an io.Reader with a running checksum.
+// On the first error (including a short read) every later call returns
+// the zero value; check Err after a decode section.
+type Reader struct {
+	r   io.Reader
+	sum uint64
+	err error
+	buf [8]byte
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r, sum: fnvOffset} }
+
+// Err returns the first read error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Sum returns the FNV-1a checksum of every byte read so far.
+func (r *Reader) Sum() uint64 { return r.sum }
+
+// Fail records a decode error (for container formats to poison the
+// stream on a semantic validation failure).
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) read(p []byte) bool {
+	if r.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		r.err = fmt.Errorf("table: truncated input: %w", err)
+		return false
+	}
+	for _, b := range p {
+		r.sum = (r.sum ^ uint64(b)) * fnvPrime
+	}
+	return true
+}
+
+// Bytes reads exactly len(p) raw bytes into p.
+func (r *Reader) Bytes(p []byte) { r.read(p) }
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if !r.read(r.buf[:1]) {
+		return 0
+	}
+	return r.buf[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if !r.read(r.buf[:4]) {
+		return 0
+	}
+	return uint32(r.buf[0]) | uint32(r.buf[1])<<8 | uint32(r.buf[2])<<16 | uint32(r.buf[3])<<24
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	if !r.read(r.buf[:8]) {
+		return 0
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(r.buf[i]) << (8 * i)
+	}
+	return v
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads an IEEE-754 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Str reads a length-prefixed string of at most max bytes.
+func (r *Reader) Str(max int) string {
+	n := r.U32()
+	if r.err != nil {
+		return ""
+	}
+	// Compare in uint64: on 32-bit platforms int(n) can go negative and
+	// slip past the limit straight into a panicking make.
+	if uint64(n) > uint64(max) {
+		r.Fail(fmt.Errorf("table: string length %d exceeds limit %d", n, max))
+		return ""
+	}
+	p := make([]byte, n)
+	if !r.read(p) {
+		return ""
+	}
+	return string(p)
+}
+
+// ---------------------------------------------------------------------------
+// Schema and row sections
+
+// WriteSchema encodes a schema: attribute count, then (kind, name) pairs
+// in column order. The encoding is self-describing, so a reader can
+// reconstruct — and a container can validate — the exact schema the rows
+// were written under.
+func WriteSchema(w *Writer, s *Schema) {
+	w.U32(uint32(len(s.attrs)))
+	for _, a := range s.attrs {
+		w.U8(uint8(a.Kind))
+		w.Str(a.Name)
+	}
+}
+
+// ReadSchema decodes a schema section and revalidates it through
+// NewSchema, so a decoded schema upholds every invariant a constructed
+// one does (unique names, a const "key" attribute).
+func ReadSchema(r *Reader) (*Schema, error) {
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > MaxAttrs {
+		err := fmt.Errorf("table: schema with %d attributes exceeds limit %d", n, MaxAttrs)
+		r.Fail(err)
+		return nil, err
+	}
+	attrs := make([]Attr, 0, n)
+	for i := uint32(0); i < n; i++ {
+		kind := Kind(r.U8())
+		name := r.Str(MaxNameLen)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if kind > Min {
+			err := fmt.Errorf("table: attribute %q has unknown kind %d", name, kind)
+			r.Fail(err)
+			return nil, err
+		}
+		attrs = append(attrs, Attr{Name: name, Kind: kind})
+	}
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		r.Fail(err)
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteRows encodes a table's rows: row count, then every cell's float
+// bits in row-major column order.
+func WriteRows(w *Writer, t *Table) {
+	w.U32(uint32(len(t.Rows)))
+	for _, row := range t.Rows {
+		for _, v := range row {
+			w.F64(v)
+		}
+	}
+}
+
+// ReadRows decodes a row section into a fresh table over s. Rows are
+// read one at a time, so a corrupt count on a truncated input fails with
+// an EOF error instead of attempting one giant allocation.
+func ReadRows(r *Reader, s *Schema) (*Table, error) {
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	width := s.NumAttrs()
+	// Bound the preallocation in uint32 space (int(n) can be negative on
+	// 32-bit platforms); truncated inputs then fail row by row below.
+	capHint := 1 << 16
+	if n < uint32(capHint) {
+		capHint = int(n)
+	}
+	t := New(s, capHint)
+	for i := uint32(0); i < n; i++ {
+		row := make([]float64, width)
+		for c := range row {
+			row[c] = r.F64()
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

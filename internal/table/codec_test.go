@@ -1,0 +1,194 @@
+package table
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func codecSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Attr{Name: "key", Kind: Const},
+		Attr{Name: "posx", Kind: Const},
+		Attr{Name: "posy", Kind: Const},
+		Attr{Name: "damage", Kind: Sum},
+		Attr{Name: "aura", Kind: Max},
+		Attr{Name: "shield", Kind: Min},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The codec must round-trip schemas and rows byte-exactly, including the
+// float values a checkpoint actually carries: fold identities (±Inf),
+// signed zeros, denormals, and NaN bit patterns.
+func TestCodecRoundTrip(t *testing.T) {
+	s := codecSchema(t)
+	tbl := New(s, 4)
+	tbl.Append([]float64{0, 1.5, -2.25, 0, math.Inf(-1), math.Inf(1)})
+	tbl.Append([]float64{1, math.Copysign(0, -1), 5e-324, 3, 7, -1})
+	tbl.Append([]float64{2, math.Float64frombits(0x7ff8000000000001), 9, 0, 0, 0})
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	WriteSchema(w, s)
+	WriteRows(w, tbl)
+	sum := w.Sum()
+	w.U64(sum)
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	s2, err := ReadSchema(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Equal(s) {
+		t.Fatalf("schema round trip: got %v want %v", s2, s)
+	}
+	tbl2, err := ReadRows(r, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Sum()
+	if stored := r.U64(); stored != got {
+		t.Fatalf("checksum mismatch: stored %x computed %x", stored, got)
+	}
+	if tbl2.Len() != tbl.Len() {
+		t.Fatalf("row count %d != %d", tbl2.Len(), tbl.Len())
+	}
+	for i := range tbl.Rows {
+		for c := range tbl.Rows[i] {
+			a, b := tbl.Rows[i][c], tbl2.Rows[i][c]
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("row %d col %d: %x != %x", i, c, math.Float64bits(a), math.Float64bits(b))
+			}
+		}
+	}
+}
+
+// Truncating the stream anywhere must produce an error, never a panic or
+// a silently short table.
+func TestCodecTruncation(t *testing.T) {
+	s := codecSchema(t)
+	tbl := New(s, 2)
+	tbl.Append([]float64{0, 1, 2, 3, 4, 5})
+	tbl.Append([]float64{1, 6, 7, 8, 9, 10})
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	WriteSchema(w, s)
+	WriteRows(w, tbl)
+	full := buf.Bytes()
+
+	for cut := 0; cut < len(full); cut += 7 {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		s2, err := ReadSchema(r)
+		if err != nil {
+			continue // truncated inside the schema section: correctly rejected
+		}
+		if _, err := ReadRows(r, s2); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+// Hostile counts must be rejected before any large allocation.
+func TestCodecLimits(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U32(1 << 30) // absurd attribute count
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := ReadSchema(r); err == nil {
+		t.Fatal("oversized attribute count accepted")
+	}
+
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.U32(1)
+	w.U8(uint8(Const))
+	w.U32(1 << 30) // absurd name length
+	r = NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := ReadSchema(r); err == nil {
+		t.Fatal("oversized name length accepted")
+	}
+
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.U32(1)
+	w.U8(200) // unknown kind
+	w.Str("key")
+	r = NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := ReadSchema(r); err == nil {
+		t.Fatal("unknown attribute kind accepted")
+	}
+}
+
+// A decoded schema goes through NewSchema validation, so a stream whose
+// schema lacks the key attribute is rejected.
+func TestCodecSchemaRevalidated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U32(1)
+	w.U8(uint8(Sum))
+	w.Str("damage")
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := ReadSchema(r); err == nil {
+		t.Fatal("keyless schema accepted")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+// The first write error latches and later calls are no-ops.
+func TestWriterErrorLatches(t *testing.T) {
+	w := NewWriter(&failWriter{n: 3})
+	for i := 0; i < 10; i++ {
+		w.U64(42)
+	}
+	if w.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+}
+
+// Writer and Reader checksums agree on the same byte stream.
+func TestChecksumSymmetry(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U8(1)
+	w.U32(2)
+	w.U64(3)
+	w.I64(-4)
+	w.F64(5.5)
+	w.Str("hello")
+	w.Bytes([]byte{9, 9})
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.U8()
+	r.U32()
+	r.U64()
+	r.I64()
+	r.F64()
+	r.Str(16)
+	r.Bytes(make([]byte, 2))
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.Sum() != w.Sum() {
+		t.Fatalf("checksums differ: %x vs %x", r.Sum(), w.Sum())
+	}
+}

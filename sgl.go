@@ -74,11 +74,70 @@
 // the cost within noise of rebuilding. RunStats reports MaintainTicks,
 // DirtyRows, and the structure-level reuse/patch/fallback counters.
 //
-// See the examples/ directory for runnable programs and cmd/ for the
-// sglc, battlesim and benchfig tools.
+// # Sessions, checkpoints and queries
+//
+// A production world is not a batch job: it pauses, persists, migrates
+// between machines, and answers spectators while it runs. The Session
+// API wraps an Engine for exactly that shape of use:
+//
+//	sess := sgl.NewSession(eng)
+//	sess.OnTick(func(tick int64, stats sgl.RunStats) { … })  // per-tick hook
+//	err = sess.Step(100)                                     // advance the clock
+//	out, err := sess.Query(q, args...)                       // observe, concurrently
+//	err = sess.Checkpoint(file)                              // persist the world
+//
+// Checkpoint writes a versioned, self-describing, checksummed binary
+// snapshot — environment rows, tick counter, seed, and the options that
+// affect determinism — and Restore reopens it:
+//
+//	eng, err := sgl.Restore(file, prog, mech)                // default tuning
+//	eng, err := sgl.RestoreOpts(file, prog, mech, sgl.EngineOptions{Workers: 8})
+//
+// The exactness contract extends the Parallel and Incremental ones:
+// because all randomness is counter-based on (seed, tick, unit key,
+// draw index) and the engine keeps no other cross-tick state, a restored
+// engine continues byte-identically to the run that was never
+// interrupted — at any Workers or Incremental setting, which are
+// deliberately excluded from the format so a world can migrate onto
+// different hardware (TestCheckpointResumeBitIdentical proves this over
+// the whole script zoo and the battle simulation). Corrupted or
+// truncated checkpoints are rejected by checksum before any state is
+// built.
+//
+// Observation queries are the read half: CompileQuery compiles the
+// read-only SGL subset — aggregate definitions with filters, categorical
+// and range predicates, nearest-neighbour and extremum outputs; no
+// actions, no effects, no Random — and an engine evaluates one against
+// its live environment:
+//
+//	q, err := sgl.CompileQuery(`
+//	  aggregate Zone(u, x, y, r) :=
+//	    count(*) as n, sum(e.health) as hp
+//	    over e where e.posx >= x - r and e.posx <= x + r
+//	      and e.posy >= y - r and e.posy <= y + r;`, schema, consts)
+//	out, err := eng.Query(q, 120, 80, 16)     // world query
+//	out, err = eng.QueryAt(q2, 120, 80)       // from an observer position
+//	out, err = eng.QueryUnit(q3, unitKey)     // through a live unit's eyes
+//
+// Queries run on the same machinery as the tick: the first evaluation
+// after a tick builds and freezes that query's index structures over the
+// current snapshot, and every further evaluation — including concurrent
+// ones — probes them through a private fork, so N spectators share one
+// index build per tick and each probe costs O(log n) where a scan costs
+// O(n). The QueryScan* variants evaluate the same query by scanning
+// (the pluggable-evaluator duality of the paper, applied to reads);
+// differential tests prove both agree on every output class. Session
+// routes queries under a read lock, so any number of reader goroutines
+// run safely against Step.
+//
+// See the examples/ directory for runnable programs (examples/checkpoint
+// demonstrates the session lifecycle end to end) and cmd/ for the sglc,
+// battlesim and benchfig tools.
 package sgl
 
 import (
+	"io"
+
 	"github.com/epicscale/sgl/internal/algebra"
 	"github.com/epicscale/sgl/internal/engine"
 	"github.com/epicscale/sgl/internal/game"
@@ -117,7 +176,20 @@ type (
 	ArmySpec = workload.Spec
 	// Runner measures the paper's experiments.
 	Runner = metrics.Runner
+	// RunStats are the engine's cumulative run counters.
+	RunStats = engine.RunStats
+	// Session is the long-lived facade over an Engine: Step, concurrent
+	// Query*, Checkpoint, and a per-tick stats hook.
+	Session = engine.Session
+	// StatsFunc observes the engine after each tick of a Session.Step.
+	StatsFunc = engine.StatsFunc
+	// Query is a compiled read-only observation query.
+	Query = engine.Query
 )
+
+// CheckpointVersion is the checkpoint format version this build writes
+// (and the only one it reads). See ROADMAP.md for the version policy.
+const CheckpointVersion = engine.CheckpointVersion
 
 // Attribute combination kinds (paper Section 4.2).
 const (
@@ -170,6 +242,43 @@ func NewEngine(prog *Program, mech Mechanics, initial *Table, opts EngineOptions
 	return engine.New(prog, mech, initial, opts)
 }
 
+// NewSession wraps an engine in the session facade, adding the locking
+// that makes Step, Checkpoint and concurrent Query* calls safe together.
+func NewSession(e *Engine) *Session { return engine.NewSession(e) }
+
+// Restore reopens a checkpoint written by Engine.Checkpoint (or
+// Session.Checkpoint) with default execution tuning. prog must be the
+// program the checkpointed engine ran; the embedded schema is verified
+// against it. The restored engine continues byte-identically to the
+// uninterrupted run.
+func Restore(r io.Reader, prog *Program, mech Mechanics) (*Engine, error) {
+	return engine.Restore(r, prog, mech, engine.Options{})
+}
+
+// RestoreOpts is Restore with execution tuning: of tune, only the
+// determinism-neutral knobs — Workers, Incremental, IncrementalThreshold
+// — are consulted; everything else (Mode, Seed, world geometry, ablation
+// switches) comes from the checkpoint, so resuming under different
+// tuning cannot change a single output bit.
+func RestoreOpts(r io.Reader, prog *Program, mech Mechanics, tune EngineOptions) (*Engine, error) {
+	return engine.Restore(r, prog, mech, tune)
+}
+
+// RestoreSession is Restore composed with NewSession.
+func RestoreSession(r io.Reader, prog *Program, mech Mechanics, tune EngineOptions) (*Session, error) {
+	return engine.RestoreSession(r, prog, mech, tune)
+}
+
+// CompileQuery parses and checks a read-only observation query — the
+// SGL aggregate-definition subset: filters, categorical and range
+// predicates, and aggregate outputs; no actions, no effects, no Random.
+// The last aggregate declared is the entry point. Evaluate the result
+// with Engine.Query / QueryAt / QueryUnit (or their Session
+// counterparts, which add reader locking).
+func CompileQuery(src string, schema *Schema, consts map[string]float64) (*Query, error) {
+	return engine.CompileQuery(src, schema, consts)
+}
+
 // ---------------------------------------------------------------------------
 // Battle-simulation convenience layer (the paper's Section 3.2 case study)
 
@@ -193,14 +302,29 @@ func GenerateArmy(spec ArmySpec) *Table { return workload.Generate(spec) }
 
 // NewBattleEngine wires the battle program, mechanics and army together
 // with the standard options (world sized from the army's density spec).
+// Use NewBattleEngineOpts to keep control of the execution knobs
+// (Workers, Incremental, …) the standard options would otherwise pin.
 func NewBattleEngine(prog *Program, spec ArmySpec, mode Mode, seed uint64) (*Engine, error) {
-	return engine.New(prog, game.NewMechanics(), workload.Generate(spec), engine.Options{
-		Mode:         mode,
-		Categoricals: game.Categoricals(),
-		Seed:         seed,
-		Side:         spec.Side(),
-		MoveSpeed:    1,
-	})
+	return NewBattleEngineOpts(prog, spec, EngineOptions{Mode: mode, Seed: seed})
+}
+
+// NewBattleEngineOpts builds a battle engine with caller-supplied
+// options. The battle-specific fields are defaulted when zero —
+// Categoricals to the battle schema's partition attributes, Side to the
+// spec's grid, MoveSpeed to 1 — and every other field (Mode, Seed,
+// Workers, Incremental, IncrementalThreshold, ablation switches) is
+// passed through untouched.
+func NewBattleEngineOpts(prog *Program, spec ArmySpec, opts EngineOptions) (*Engine, error) {
+	if opts.Categoricals == nil {
+		opts.Categoricals = game.Categoricals()
+	}
+	if opts.Side == 0 {
+		opts.Side = spec.Side()
+	}
+	if opts.MoveSpeed == 0 {
+		opts.MoveSpeed = 1
+	}
+	return engine.New(prog, game.NewMechanics(), workload.Generate(spec), opts)
 }
 
 // NewRunner builds the experiment harness over the battle simulation.

@@ -1,6 +1,7 @@
 package sgl
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -89,5 +90,136 @@ func TestRunnerThroughFacade(t *testing.T) {
 func TestBattleScriptConstant(t *testing.T) {
 	if !strings.Contains(BattleScript, "aggregate CountEnemiesInSight") {
 		t.Fatal("BattleScript should expose the case-study source")
+	}
+}
+
+// NewBattleEngineOpts must honor caller execution knobs that the legacy
+// constructor pinned, without changing outcomes.
+func TestNewBattleEngineOptsKeepsCallerControl(t *testing.T) {
+	prog, err := CompileBattle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ArmySpec{Units: 60, Density: 0.02, Seed: 9, Formation: workload.BattleLines}
+	legacy, err := NewBattleEngine(prog, spec, Indexed, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := NewBattleEngineOpts(prog, spec, EngineOptions{
+		Mode: Indexed, Seed: 9,
+		Workers:     4,
+		Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Workers() != 4 {
+		t.Fatalf("Workers dropped: %d", tuned.Workers())
+	}
+	if err := legacy.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tuned.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !legacy.Env().EqualContents(tuned.Env()) {
+		t.Fatal("execution knobs changed outcomes")
+	}
+	if tuned.Stats.MaintainTicks == 0 {
+		t.Fatal("Incremental option dropped: maintenance never engaged")
+	}
+}
+
+// The session lifecycle through the public facade: step, observe,
+// checkpoint, restore, and continue identically.
+func TestSessionFacadeEndToEnd(t *testing.T) {
+	prog, err := CompileBattle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ArmySpec{Units: 80, Density: 0.02, Seed: 5, Formation: workload.BattleLines}
+	mk := func() *Session {
+		eng, err := NewBattleEngineOpts(prog, spec, EngineOptions{Mode: Indexed, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewSession(eng)
+	}
+	oracle := mk()
+	if err := oracle.Step(20); err != nil {
+		t.Fatal(err)
+	}
+
+	sess := mk()
+	hooks := 0
+	sess.OnTick(func(int64, RunStats) { hooks++ })
+	if err := sess.Step(8); err != nil {
+		t.Fatal(err)
+	}
+	if hooks != 8 {
+		t.Fatalf("hook fired %d times", hooks)
+	}
+
+	q, err := CompileQuery(`
+aggregate Army(u, p) := count(*) as n, sum(e.health) as hp over e where e.player = p;`,
+		BattleSchema(), BattleConsts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Query(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 40 {
+		t.Fatalf("player 0 count = %v, want 40 (resurrection keeps the population constant)", out[0])
+	}
+
+	var buf bytes.Buffer
+	if err := sess.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(&buf, prog, NewBattleMechanics(), EngineOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Step(12); err != nil {
+		t.Fatal(err)
+	}
+	if !oracle.Engine().Env().EqualContents(restored.Engine().Env()) {
+		t.Fatal("restored session diverged from uninterrupted run")
+	}
+}
+
+// Restore through the two public entry points.
+func TestRestoreFacade(t *testing.T) {
+	prog, err := CompileBattle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ArmySpec{Units: 48, Density: 0.02, Seed: 3, Formation: workload.BattleLines}
+	eng, err := NewBattleEngine(prog, spec, Indexed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Restore(bytes.NewReader(data), prog, NewBattleMechanics()); err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := RestoreOpts(bytes.NewReader(data), prog, NewBattleMechanics(), EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Workers() != 2 {
+		t.Fatalf("tuning dropped: workers = %d", tuned.Workers())
+	}
+	if _, err := Restore(bytes.NewReader(data[:30]), prog, NewBattleMechanics()); err == nil {
+		t.Fatal("truncated checkpoint restored")
 	}
 }
