@@ -24,6 +24,7 @@ import (
 
 	"github.com/epicscale/sgl/internal/engine"
 	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/table"
 	"github.com/epicscale/sgl/internal/workload"
 )
 
@@ -147,31 +148,11 @@ func run(cfg config, out io.Writer) error {
 		if cfg.checkpoint == "" {
 			return nil
 		}
-		tmp := cfg.checkpoint + ".tmp"
-		f, err := os.Create(tmp)
-		if err != nil {
-			return err
-		}
-		if err := sess.Checkpoint(f); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return err
-		}
-		// Flush to stable storage before the rename: without it a crash
-		// can commit the rename ahead of the data blocks, replacing the
-		// last good checkpoint with a truncated one.
-		if err := f.Sync(); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return err
-		}
-		if err := f.Close(); err != nil {
-			os.Remove(tmp)
-			return err
-		}
-		// Rename-into-place: a crash mid-write never corrupts the last
-		// good checkpoint.
-		if err := os.Rename(tmp, cfg.checkpoint); err != nil {
+		// Staged write + fsync + rename-into-place (table.WriteFileAtomic):
+		// a crash mid-write never corrupts the last good checkpoint.
+		if err := table.WriteFileAtomic(cfg.checkpoint, func(f *os.File) error {
+			return sess.Checkpoint(f)
+		}); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "checkpoint: tick %d → %s\n", sess.Tick(), cfg.checkpoint)

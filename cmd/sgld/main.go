@@ -1,0 +1,173 @@
+// Command sgld is the multi-session simulation daemon: it hosts many
+// named concurrent worlds behind an HTTP/JSON API, each with its own
+// clock goroutine and per-session execution tuning, and exposes
+// Prometheus-style counters on /metrics.
+//
+// Serve mode (the default):
+//
+//	sgld -addr :7070 -data ./sgld-data
+//
+//	curl -X POST localhost:7070/v1/sessions -d '{"name":"alpha","units":2000,"tickrate":10}'
+//	curl localhost:7070/v1/sessions
+//	curl -X POST localhost:7070/v1/sessions/alpha/query \
+//	     -d '{"src":"aggregate N(u) := count(*) over e;","args":[]}'
+//	curl -X POST localhost:7070/v1/sessions/alpha/checkpoint -d '{}'
+//	curl -X POST localhost:7070/v1/sessions \
+//	     -d '{"name":"beta","restore":"alpha.ckpt","workers":4}'
+//
+// Load-generator mode drives a fleet of worlds with spectator query
+// fan-out and prints per-session tick-rate and latency tables. With
+// -base it targets a running daemon; without, it spins up an in-process
+// server first, so one command proves the serving layer end to end:
+//
+//	sgld -loadgen -worlds 8 -spectators 4 -duration 10s
+//
+// See docs/CLI.md for the full flag reference and docs/ARCHITECTURE.md
+// for where the server sits in the system.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/epicscale/sgl/internal/metrics"
+	"github.com/epicscale/sgl/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7070", "HTTP listen address")
+		dataDir = flag.String("data", "sgld-data", "checkpoint directory (empty disables file checkpoints)")
+
+		loadgen    = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		base       = flag.String("base", "", "loadgen target base URL (empty = spin up an in-process server)")
+		worlds     = flag.Int("worlds", 8, "loadgen: concurrent worlds")
+		units      = flag.Int("units", 1000, "loadgen: units per world")
+		density    = flag.Float64("density", 0.01, "loadgen: army density")
+		seed       = flag.Uint64("seed", 42, "loadgen: base seed (world i runs seed+i)")
+		tickrate   = flag.Float64("tickrate", 10, "loadgen: clock target per world in ticks/s (0 = uncapped)")
+		spectators = flag.Int("spectators", 4, "loadgen: concurrent spectators per world")
+		duration   = flag.Duration("duration", 10*time.Second, "loadgen: measurement window")
+		workers    = flag.Int("workers", 1, "loadgen: engine workers per world")
+		incr       = flag.Bool("incremental", false, "loadgen: incremental index maintenance per world")
+	)
+	flag.Parse()
+
+	if err := run(runConfig{
+		addr: *addr, dataDir: *dataDir,
+		loadgen: *loadgen, base: *base,
+		lg: server.LoadGenConfig{
+			Worlds: *worlds, Units: *units, Density: *density, Seed: *seed,
+			TickRate: *tickrate, Spectators: *spectators, Duration: *duration,
+			Workers: *workers, Incremental: *incr,
+		},
+	}, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sgld:", err)
+		os.Exit(1)
+	}
+}
+
+// runConfig is the parsed command line.
+type runConfig struct {
+	addr    string
+	dataDir string
+	loadgen bool
+	base    string
+	lg      server.LoadGenConfig
+}
+
+// run drives one sgld invocation (main minus flag parsing and exit, so
+// tests can call it).
+func run(cfg runConfig, out io.Writer) error {
+	if cfg.dataDir != "" {
+		if err := os.MkdirAll(cfg.dataDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if cfg.loadgen {
+		return runLoadGen(cfg, out)
+	}
+	return serve(cfg, out)
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then stops every clock.
+func serve(cfg runConfig, out io.Writer) error {
+	reg := server.NewRegistry()
+	srv := server.New(reg, cfg.dataDir)
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sgld: serving on http://%s (data dir %q)\n", ln.Addr(), cfg.dataDir)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(out, "sgld: %v, shutting down\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	reg.Close()
+	return nil
+}
+
+// runLoadGen drives the load generator, spinning up an in-process server
+// on a loopback port when no -base was given, and prints the per-world
+// table plus the server's own /metrics counters.
+func runLoadGen(cfg runConfig, out io.Writer) error {
+	baseURL := cfg.base
+	var reg *server.Registry
+	if baseURL == "" {
+		reg = server.NewRegistry()
+		srv := server.New(reg, cfg.dataDir)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv}
+		go httpSrv.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			httpSrv.Shutdown(ctx)
+			reg.Close()
+		}()
+		baseURL = "http://" + ln.Addr().String()
+		fmt.Fprintf(out, "sgld: in-process server on %s\n", baseURL)
+	}
+
+	lg := cfg.lg
+	lg.BaseURL = baseURL
+	fmt.Fprintf(out, "sgld: loadgen — %d worlds × %d units, %d spectators/world, %.0f ticks/s target, %s window\n",
+		lg.Worlds, lg.Units, lg.Spectators, lg.TickRate, lg.Duration)
+	rows, err := server.LoadGen(lg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	metrics.WriteLoadGen(out, rows)
+	if reg != nil {
+		fmt.Fprintln(out, "\nserver counters:")
+		reg.Metrics.WritePrometheus(out)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/epicscale/sgl/internal/server"
+)
+
+// TestLoadGenSmoke runs the exact code path `sgld -loadgen` users hit:
+// in-process server, a small fleet of worlds, spectator fan-out, table
+// + counters printed at the end.
+func TestLoadGenSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run(runConfig{
+		dataDir: filepath.Join(t.TempDir(), "data"),
+		loadgen: true,
+		lg: server.LoadGenConfig{
+			Worlds: 2, Units: 64, Density: 0.02, Seed: 1,
+			TickRate: 20, Spectators: 1, Duration: 600 * time.Millisecond,
+		},
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"in-process server",
+		"loadgen-0", "loadgen-1", "TOTAL",
+		"sgld_sessions_created_total 2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

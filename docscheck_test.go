@@ -1,0 +1,181 @@
+package sgl_test
+
+// Documentation gates, run as ordinary tests so CI enforces them:
+//
+//   - TestGodocCoverage fails if any exported symbol of the public sgl
+//     package (or the package itself) lacks a doc comment;
+//   - TestMarkdownLinks fails if any markdown file in the repository
+//     contains a relative link to a file that does not exist.
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestGodocCoverage enforces the godoc contract on the public surface:
+// every exported const, var, type, function, and method of package sgl
+// carries a doc comment, and the package has a package-level overview.
+func TestGodocCoverage(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["sgl"]
+	if !ok {
+		t.Fatalf("package sgl not found in .; got %v", pkgs)
+	}
+	d := doc.New(pkg, "github.com/epicscale/sgl", 0)
+
+	if strings.TrimSpace(d.Doc) == "" {
+		t.Error("package sgl has no package-level doc comment")
+	}
+	undocumented := func(kind, name, docText string) {
+		if strings.TrimSpace(docText) == "" {
+			t.Errorf("exported %s %s has no doc comment", kind, name)
+		}
+	}
+	values := func(kind string, vs []*doc.Value) {
+		for _, v := range vs {
+			for _, name := range v.Names {
+				if ast.IsExported(name) {
+					// A doc comment on the declaration group covers all
+					// its names, matching how godoc renders it.
+					undocumented(kind, name, v.Doc)
+					break
+				}
+			}
+		}
+	}
+	values("const", d.Consts)
+	values("var", d.Vars)
+	for _, f := range d.Funcs {
+		if ast.IsExported(f.Name) {
+			undocumented("func", f.Name, f.Doc)
+		}
+	}
+	for _, typ := range d.Types {
+		if ast.IsExported(typ.Name) {
+			undocumented("type", typ.Name, typ.Doc)
+		}
+		values("const", typ.Consts)
+		values("var", typ.Vars)
+		for _, f := range typ.Funcs {
+			if ast.IsExported(f.Name) {
+				undocumented("func", f.Name, f.Doc)
+			}
+		}
+		for _, m := range typ.Methods {
+			if ast.IsExported(m.Name) {
+				undocumented("method", typ.Name+"."+m.Name, m.Doc)
+			}
+		}
+	}
+}
+
+// mdLinkRE matches [text](target) markdown links. Images (![…](…), e.g.
+// figures embedded by the paper-retrieval tooling) are excluded by
+// checking the preceding byte at each match — a regex guard like
+// (?:^|[^!]) would consume that byte and skip the second of two
+// adjacent links. Reference links are out of scope; inline links are
+// what the docs use.
+var mdLinkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks walks every .md file in the repository and verifies
+// that each relative link target exists. External URLs are skipped (CI
+// should not depend on the network); #fragments are stripped.
+func TestMarkdownLinks(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mdFiles []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "sgld-data":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found — link checker is miswired")
+	}
+
+	checked := 0
+	for _, file := range mdFiles {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := string(data)
+		for _, m := range mdLinkRE.FindAllStringSubmatchIndex(content, -1) {
+			if m[0] > 0 && content[m[0]-1] == '!' {
+				continue // image link
+			}
+			target := content[m[2]:m[3]]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure fragment link within the same file
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				rel, _ := filepath.Rel(root, file)
+				t.Errorf("%s: broken link %q (resolved %s)", rel, target, resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Log("no relative links found (nothing to check)")
+	}
+}
+
+// TestMdLinkExtraction pins the link-matching edge cases: adjacent
+// links are both seen, and image links are skipped via the preceding
+// byte (not a consuming regex guard, which would hide the second of
+// two adjacent links).
+func TestMdLinkExtraction(t *testing.T) {
+	content := `[a](one.md)[b](two.md) ![fig](img.jpeg) [c](three.md)`
+	var got []string
+	for _, m := range mdLinkRE.FindAllStringSubmatchIndex(content, -1) {
+		if m[0] > 0 && content[m[0]-1] == '!' {
+			continue
+		}
+		got = append(got, content[m[2]:m[3]])
+	}
+	want := []string{"one.md", "two.md", "three.md"}
+	if len(got) != len(want) {
+		t.Fatalf("extracted %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("link %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package sgl_test
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"sync"
 
 	"github.com/epicscale/sgl"
 )
@@ -83,4 +85,172 @@ func ExampleNewBattleEngine() {
 	// Output:
 	// units: 60
 	// engines agree: true
+}
+
+// Serve a live world: a Session advances the clock with Step while any
+// number of spectator goroutines observe it concurrently through
+// compiled queries — all sharing one index build per tick.
+func ExampleNewSession() {
+	prog, err := sgl.CompileBattle()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := sgl.NewBattleEngineOpts(prog,
+		sgl.ArmySpec{Units: 80, Density: 0.02, Seed: 9, Formation: 1},
+		sgl.EngineOptions{Mode: sgl.Indexed, Seed: 9, Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := sgl.NewSession(eng)
+
+	hookFired := 0
+	sess.OnTick(func(tick int64, stats sgl.RunStats) { hookFired++ })
+	if err := sess.Step(6); err != nil {
+		log.Fatal(err)
+	}
+
+	// Four spectators ask the same question at once; the session's
+	// reader lock makes this safe against a concurrently running clock.
+	q, err := sgl.CompileQuery(
+		`aggregate Pop(u) := count(*) as n over e;`,
+		sgl.BattleSchema(), sgl.BattleConsts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	alive := make([]float64, 4)
+	for i := range alive {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := sess.Query(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			alive[i] = out[0]
+		}(i)
+	}
+	wg.Wait()
+
+	fmt.Println("tick:", sess.Tick(), "hook fired:", hookFired)
+	fmt.Println("population seen by all spectators:", alive[0] == 80 && alive[1] == 80 && alive[2] == 80 && alive[3] == 80)
+	// Output:
+	// tick: 6 hook fired: 6
+	// population seen by all spectators: true
+}
+
+// Compile an observation query — the read-only SGL subset — and evaluate
+// it against a live world in all three probe forms. The indexed path and
+// the naive scan must agree; the indexed one costs O(log n) per call.
+func ExampleCompileQuery() {
+	prog, err := sgl.CompileBattle()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := sgl.NewBattleEngine(prog, sgl.ArmySpec{Units: 60, Density: 0.02, Seed: 4, Formation: 1}, sgl.Indexed, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Run(3); err != nil {
+		log.Fatal(err)
+	}
+
+	// A world query reads no unit attributes: evaluate with Query.
+	pop, err := sgl.CompileQuery(
+		`aggregate Pop(u) := count(*) as n, min(e.health) as low over e;`,
+		sgl.BattleSchema(), sgl.BattleConsts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := eng.Query(pop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("outputs %v: population %d\n", pop.Outputs(), int(out[0]))
+
+	// A positional query reads only u.posx/u.posy: evaluate with QueryAt
+	// from any observer position. The scan twin is the oracle.
+	zone, err := sgl.CompileQuery(`
+aggregate Zone(u, r) :=
+  count(*)
+  over e where e.posx >= u.posx - r and e.posx <= u.posx + r
+    and e.posy >= u.posy - r and e.posy <= u.posy + r;`,
+		sgl.BattleSchema(), sgl.BattleConsts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := eng.QueryAt(zone, 20, 20, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scan, err := eng.QueryScanAt(zone, 20, 20, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("indexed agrees with scan:", idx[0] == scan[0])
+
+	// A query reading other unit attributes runs through a live unit's
+	// eyes with QueryUnit.
+	foes, err := sgl.CompileQuery(
+		`aggregate Foes(u) := count(*) over e where e.player <> u.player;`,
+		sgl.BattleSchema(), sgl.BattleConsts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	seen, err := eng.QueryUnit(foes, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("foes of unit 0:", int(seen[0]))
+	// Output:
+	// outputs [n low]: population 60
+	// indexed agrees with scan: true
+	// foes of unit 0: 30
+}
+
+// Checkpoint a run mid-flight and restore it — even under different
+// execution tuning — and it continues exactly as if never interrupted.
+func ExampleRestore() {
+	prog, err := sgl.CompileBattle()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := sgl.ArmySpec{Units: 70, Density: 0.02, Seed: 6, Formation: 1}
+
+	// The uninterrupted run: 15 ticks straight through, serial.
+	straight, err := sgl.NewBattleEngine(prog, spec, sgl.Indexed, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := straight.Run(15); err != nil {
+		log.Fatal(err)
+	}
+
+	// The interrupted run: 10 ticks, checkpoint, restore with different
+	// Workers (checkpoints are migration vehicles — the tuning knobs are
+	// not part of the format), then the remaining 5.
+	first, err := sgl.NewBattleEngine(prog, spec, sgl.Indexed, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := first.Run(10); err != nil {
+		log.Fatal(err)
+	}
+	var ck bytes.Buffer
+	if err := first.Checkpoint(&ck); err != nil {
+		log.Fatal(err)
+	}
+	resumed, err := sgl.RestoreOpts(&ck, prog, sgl.NewBattleMechanics(), sgl.EngineOptions{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := resumed.Run(5); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("resumed at tick:", resumed.TickCount())
+	fmt.Println("identical to uninterrupted run:", resumed.Env().EqualContents(straight.Env()))
+	// Output:
+	// resumed at tick: 15
+	// identical to uninterrupted run: true
 }

@@ -137,6 +137,42 @@ func (s *Session) QueryUnit(q *Query, key int64, args ...float64) ([]float64, er
 	return s.e.QueryUnit(q, key, args...)
 }
 
+// QueryScan is the naive-scan twin of Query under the same reader lock
+// (see Engine.QueryScan): identical semantics evaluated by an O(n)
+// environment scan instead of the shared per-tick indexes.
+func (s *Session) QueryScan(q *Query, args ...float64) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.QueryScan(q, args...)
+}
+
+// QueryScanAt is the naive-scan twin of QueryAt under the reader lock.
+func (s *Session) QueryScanAt(q *Query, x, y float64, args ...float64) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.QueryScanAt(q, x, y, args...)
+}
+
+// QueryScanUnit is the naive-scan twin of QueryUnit under the reader lock.
+func (s *Session) QueryScanUnit(q *Query, key int64, args ...float64) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.QueryScanUnit(q, key, args...)
+}
+
+// View runs fn against the engine under the reader lock: everything fn
+// reads — multiple queries, the tick counter, stats — comes from one
+// consistent between-ticks snapshot, which a sequence of individual
+// Session calls cannot guarantee while the clock runs. fn must treat
+// the engine as read-only and must not call back into the session (the
+// lock is not reentrant); use the Engine's own Query*/QueryScan*
+// methods inside fn, not the Session's.
+func (s *Session) View(fn func(e *Engine)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(s.e)
+}
+
 // Checkpoint writes the world's resumable state to w (see
 // Engine.Checkpoint). It runs under the reader lock: concurrent queries
 // proceed, the clock waits.

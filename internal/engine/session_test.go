@@ -106,6 +106,118 @@ aggregate Zone(u, x, y, r) :=
 	}
 }
 
+// The naive-scan twins run under the same reader lock, so they too are
+// safe against a running clock (regression: the server once called the
+// engine's scan methods directly, bypassing the session lock), and they
+// agree with the indexed path between steps.
+func TestSessionQueryScanLockedAndAgrees(t *testing.T) {
+	s := newSession(t, 80, 17)
+	q := compileQuery(t, `
+aggregate Zone(u, x, y, r) :=
+  count(*) as n
+  over e where e.posx >= x - r and e.posx <= x + r
+    and e.posy >= y - r and e.posy <= y + r;`)
+	pos := compileQuery(t, `
+aggregate Near(u, r) :=
+  count(*)
+  over e where e.posx >= u.posx - r and e.posx <= u.posx + r
+    and e.posy >= u.posy - r and e.posy <= u.posy + r;`)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 3)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if _, err := s.QueryScan(q, 10, 10, 8); err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := s.QueryScanAt(pos, 5, 5, 8); err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := s.QueryScanUnit(pos, 3, 8); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		if err := s.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	idx, err := s.Query(q, 10, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := s.QueryScan(q, 10, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx[0] != scan[0] {
+		t.Errorf("indexed %v != scan %v", idx, scan)
+	}
+	iu, err := s.QueryUnit(pos, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := s.QueryScanUnit(pos, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iu[0] != su[0] {
+		t.Errorf("unit indexed %v != scan %v", iu, su)
+	}
+}
+
+// View runs its function under the reader lock against one consistent
+// snapshot: tick and query results read inside one View must agree even
+// with a concurrent stepper.
+func TestSessionView(t *testing.T) {
+	s := newSession(t, 60, 21)
+	q := compileQuery(t, `aggregate Pop(u) := count(*) over e;`)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if err := s.Step(1); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var t1, t2 int64
+		var pop []float64
+		s.View(func(e *Engine) {
+			t1 = e.TickCount()
+			pop, _ = e.Query(q)
+			t2 = e.TickCount()
+		})
+		if t1 != t2 {
+			t.Fatalf("tick moved inside View: %d → %d", t1, t2)
+		}
+		if len(pop) != 1 || pop[0] != 60 {
+			t.Fatalf("population inside View = %v", pop)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
 // A session checkpointed mid-run and restored into a new session
 // continues byte-identically, and checkpointing does not perturb the
 // run.

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// LoadGenRow is one world's worth of load-generator results: how fast its
+// clock ran and what the spectator queries cost, over the measurement
+// window. Produced by the internal/server load generator and rendered by
+// WriteLoadGen.
+type LoadGenRow struct {
+	World string
+	// Ticks the world advanced during the window, and the rate that
+	// implies against the configured target (0 target = uncapped).
+	Ticks      int64
+	TickRate   float64
+	TargetRate float64
+	// Spectator-query accounting: completed queries, their throughput,
+	// and client-observed latency quantiles in microseconds.
+	Queries    int
+	QPS        float64
+	MeanMicros float64
+	P50Micros  float64
+	P99Micros  float64
+	MaxMicros  float64
+	Errors     int
+}
+
+// LatencySummary reduces a sample of latencies (microseconds) to the
+// quantiles LoadGenRow reports. The input is sorted in place.
+func LatencySummary(micros []float64) (mean, p50, p99, max float64) {
+	if len(micros) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Float64s(micros)
+	sum := 0.0
+	for _, v := range micros {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(micros)-1))
+		return micros[i]
+	}
+	return sum / float64(len(micros)), q(0.50), q(0.99), micros[len(micros)-1]
+}
+
+// WriteLoadGen renders the per-world load-generator table plus a totals
+// line, in the style of the other experiment tables.
+func WriteLoadGen(w io.Writer, rows []LoadGenRow) {
+	fmt.Fprintf(w, "%-14s %8s %10s %10s %9s %9s %10s %10s %10s %10s %7s\n",
+		"world", "ticks", "ticks/s", "target", "queries", "q/s", "mean µs", "p50 µs", "p99 µs", "max µs", "errors")
+	var ticks int64
+	var queries, errs int
+	var qps, rate float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %8d %10.1f %10.1f %9d %9.0f %10.1f %10.1f %10.1f %10.1f %7d\n",
+			r.World, r.Ticks, r.TickRate, r.TargetRate, r.Queries, r.QPS,
+			r.MeanMicros, r.P50Micros, r.P99Micros, r.MaxMicros, r.Errors)
+		ticks += r.Ticks
+		queries += r.Queries
+		errs += r.Errors
+		qps += r.QPS
+		rate += r.TickRate
+	}
+	fmt.Fprintf(w, "%-14s %8d %10.1f %10s %9d %9.0f %10s %10s %10s %10s %7d\n",
+		"TOTAL", ticks, rate, "", queries, qps, "", "", "", "", errs)
+}

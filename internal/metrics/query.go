@@ -9,12 +9,13 @@ import (
 	"github.com/epicscale/sgl/internal/game"
 )
 
-// fanoutQuery is the observation query the fan-out experiment serves: a
+// FanoutQuery is the observation query the fan-out experiment serves: a
 // windowed divisible aggregate, the bread-and-butter spectator question
 // ("how much is happening here?"). Indexed, it costs one O(log n)
 // range-tree probe after a shared per-tick build; scanned, it costs O(n)
-// per call.
-const fanoutQuery = `
+// per call. Exported so the server's load generator drives the same
+// query the experiment measures.
+const FanoutQuery = `
 aggregate Zone(u, x, y, r) :=
   count(*) as n, sum(e.health) as hp
   over e where e.posx >= x - r and e.posx <= x + r
@@ -39,7 +40,7 @@ type QueryFanoutRow struct {
 // linearly — the reuse argument for answering observers from the same
 // index structures the tick already builds.
 func (r *Runner) QueryFanout(sizes []int, queries int, density float64) ([]QueryFanoutRow, error) {
-	q, err := engine.CompileQuery(fanoutQuery, game.Schema(), game.Consts())
+	q, err := engine.CompileQuery(FanoutQuery, game.Schema(), game.Consts())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"testing"
+
+	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/exec"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/sgl/parser"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/workload"
+)
+
+// TestServedMatchesStandalone is the fourth exactness contract:
+// served ≡ standalone. A world hosted by the daemon and stepped over
+// HTTP while spectator goroutines hammer it with observation queries
+// must produce a checkpoint byte-identical to the same (script, spec,
+// seed, ticks) run as a plain engine with nobody watching. Spectators
+// are pure readers of the frozen snapshot — if one ever perturbed the
+// world (a stray write through a fork, a query-cache invalidation bug,
+// an RNG draw charged to the wrong counter), the checkpoint bytes would
+// diverge.
+//
+// It runs the battle script plus every zoo program, at the served
+// world's own Workers/Incremental tuning differing from the standalone
+// run's — stacking contract #4 on contracts #1 and #2.
+func TestServedMatchesStandalone(t *testing.T) {
+	const (
+		units   = 300
+		density = 0.02
+		seed    = 99
+		ticks   = 24
+	)
+
+	scripts := []struct{ name, src string }{{"battle", game.Script}}
+	for _, z := range exec.Zoo {
+		scripts = append(scripts, struct{ name, src string }{z.Name, z.Src})
+	}
+
+	for _, sc := range scripts {
+		t.Run(sc.name, func(t *testing.T) {
+			// Standalone: plain engine, serial, rebuild-every-tick.
+			standalone := runStandalone(t, sc.src, units, density, seed, ticks)
+
+			// Served: same world hosted by the daemon under spectator
+			// load, with the tuning knobs deliberately different.
+			served := runServed(t, sc.src, units, density, seed, ticks)
+
+			if !bytes.Equal(standalone, served) {
+				t.Errorf("%s: served checkpoint differs from standalone (contract #4 violated)", sc.name)
+			}
+		})
+	}
+}
+
+// runStandalone runs (script, spec, seed, ticks) as a bare engine and
+// returns its checkpoint bytes.
+func runStandalone(t *testing.T, src string, units int, density float64, seed uint64, ticks int) []byte {
+	t.Helper()
+	script, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sem.Check(script, game.Schema(), game.Consts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.Spec{Units: units, Density: density, Seed: seed, Formation: workload.BattleLines}
+	e, err := engine.New(prog, game.NewMechanics(), workload.Generate(spec), engine.Options{
+		Mode:         engine.Indexed,
+		Categoricals: game.Categoricals(),
+		Seed:         seed,
+		Side:         spec.Side(),
+		MoveSpeed:    1,
+		Workers:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runServed hosts the same world in an HTTP server, steps it to the
+// same tick while concurrent spectators query it continuously, and
+// returns the streamed checkpoint bytes.
+func runServed(t *testing.T, src string, units int, density float64, seed uint64, ticks int) []byte {
+	t.Helper()
+	ts, _ := newTestServer(t)
+	var st Status
+	code := do(t, http.MethodPost, ts.URL+"/v1/sessions", CreateRequest{
+		Name: "served", Script: src,
+		Units: units, Density: density, Seed: seed,
+		Workers: 4, Incremental: false,
+	}, &st)
+	if code != http.StatusCreated {
+		t.Fatalf("create served world: %d", code)
+	}
+
+	// Spectators: three query shapes across the three probe forms, all
+	// legal for every zoo script (they reference only shared attributes).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	spectate := func(req QueryRequest) {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r := req
+			if r.X != nil {
+				x, y := float64((5*i)%60), float64((11*i)%60)
+				r.X, r.Y = &x, &y
+			}
+			// Response intentionally ignored: some ticks race a unit's
+			// death (QueryUnit on a respawned key is still valid — keys
+			// persist), and the contract under test is that NONE of this
+			// affects the world. Transport failures still surface (via
+			// try — do would t.Fatal off the test goroutine).
+			if _, err := try(http.MethodPost, ts.URL+"/v1/sessions/served/query", r, nil); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+	x0, y0 := 10.0, 10.0
+	unit := int64(3)
+	reqs := []QueryRequest{
+		{Src: `aggregate Pop(u) := count(*) as n, sum(e.health) as hp over e;`},
+		{Src: `aggregate Zone(u, r) :=
+  count(*) over e where e.posx >= u.posx - r and e.posx <= u.posx + r
+    and e.posy >= u.posy - r and e.posy <= u.posy + r;`,
+			X: &x0, Y: &y0, Args: []float64{12}},
+		{Src: `aggregate Mine(u) := count(*), max(e.health) as top over e where e.player = u.player;`,
+			Unit: &unit},
+		{Src: `aggregate Pop(u) := count(*) as n, sum(e.health) as hp over e;`, Scan: true},
+	}
+	for _, r := range reqs {
+		wg.Add(1)
+		go spectate(r)
+	}
+
+	// Step to the target tick in small increments so queries interleave
+	// with many write phases, not just one.
+	for done := 0; done < ticks; {
+		n := 3
+		if ticks-done < n {
+			n = ticks - done
+		}
+		if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/served/step", StepRequest{Ticks: n}, nil); code != http.StatusOK {
+			t.Fatalf("step: %d", code)
+		}
+		done += n
+	}
+	close(stop)
+	wg.Wait()
+
+	return fetchCheckpoint(t, ts.URL, "served")
+}
+
+// TestServedIncrementalMatchesStandalone re-runs the battle leg of the
+// contract with the served world under incremental maintenance. The
+// maintenance counters are serialized, so the standalone twin runs
+// incremental too — what differs is only "served under load" vs "not
+// served at all".
+func TestServedIncrementalMatchesStandalone(t *testing.T) {
+	const (
+		units   = 300
+		density = 0.02
+		seed    = 5
+		ticks   = 18
+	)
+	script, err := parser.Parse(game.Script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sem.Check(script, game.Schema(), game.Consts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.Spec{Units: units, Density: density, Seed: seed, Formation: workload.BattleLines}
+	e, err := engine.New(prog, game.NewMechanics(), workload.Generate(spec), engine.Options{
+		Mode: engine.Indexed, Categoricals: game.Categoricals(),
+		Seed: seed, Side: spec.Side(), MoveSpeed: 1,
+		Workers: 1, Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	var standalone bytes.Buffer
+	if err := e.Checkpoint(&standalone); err != nil {
+		t.Fatal(err)
+	}
+
+	ts, _ := newTestServer(t)
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions", CreateRequest{
+		Name: "inc", Units: units, Density: density, Seed: seed,
+		Workers: 2, Incremental: true,
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := try(http.MethodPost, ts.URL+"/v1/sessions/inc/query",
+				QueryRequest{Src: `aggregate Pop(u) := count(*) over e;`}, nil); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for done := 0; done < ticks; done += 2 {
+		if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/inc/step", StepRequest{Ticks: 2}, nil); code != http.StatusOK {
+			t.Fatalf("step: %d", code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if served := fetchCheckpoint(t, ts.URL, "inc"); !bytes.Equal(standalone.Bytes(), served) {
+		t.Error("served-under-load incremental world diverged from standalone incremental run")
+	}
+}

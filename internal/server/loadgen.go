@@ -1,0 +1,266 @@
+// Load generator: the workload driver that proves the serving layer
+// sustains many concurrent worlds with spectator query fan-out. It is a
+// pure HTTP client of the API in server.go — it exercises exactly the
+// code path external clients do, so its numbers include JSON and
+// transport cost, not just engine cost.
+//
+// Shape of the run: Worlds sessions are created, each clock started at
+// TickRate; Spectators goroutines per world then issue observation
+// queries (the windowed Zone aggregate — one range-tree probe indexed,
+// an O(n) scan otherwise) with rotating probe windows for Duration.
+// Results come back as one metrics.LoadGenRow per world: achieved tick
+// rate against target, query throughput, and client-observed latency
+// quantiles.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/epicscale/sgl/internal/metrics"
+)
+
+// LoadGenConfig parameterizes one load-generation run.
+type LoadGenConfig struct {
+	// BaseURL of the target daemon, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// Worlds is how many concurrent sessions to host (the acceptance bar
+	// is ≥ 8). Sessions are named loadgen-0 … loadgen-{W-1}.
+	Worlds int
+	// Units / Density / Seed shape each world's army (world i runs seed
+	// Seed+i so the worlds are distinct simulations, not replicas).
+	Units   int
+	Density float64
+	Seed    uint64
+	// Script is the SGL source each world runs (empty = battle script).
+	Script string
+	// TickRate is each world's clock target in ticks/second (0 =
+	// uncapped).
+	TickRate float64
+	// Spectators is the number of concurrent query goroutines per world.
+	Spectators int
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Workers / Incremental tune each session's engine.
+	Workers     int
+	Incremental bool
+	// KeepSessions leaves the worlds running after the run (for poking at
+	// /metrics afterwards); default tears them down.
+	KeepSessions bool
+}
+
+// loadgenQuery is the spectator question every goroutine asks: activity
+// and total health inside a moving window — literally the aggregate the
+// QueryFanout experiment measures, so the loadgen numbers and the
+// experiment's stay comparable by construction.
+const loadgenQuery = metrics.FanoutQuery
+
+// LoadGen drives one run and returns a row per world. The error is
+// non-nil only for setup/teardown failures; individual query failures
+// are counted in the rows instead (a load generator that aborts on the
+// first timeout measures nothing).
+func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
+	if cfg.Worlds <= 0 {
+		cfg.Worlds = 8
+	}
+	if cfg.Units <= 0 {
+		cfg.Units = 1000
+	}
+	if cfg.Spectators <= 0 {
+		cfg.Spectators = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	name := func(i int) string { return fmt.Sprintf("loadgen-%d", i) }
+
+	// Teardown registered before creation: a mid-loop create failure
+	// must still delete the worlds already created (their clocks are
+	// running on the target daemon), not leak them.
+	created := 0
+	defer func() {
+		if cfg.KeepSessions {
+			return
+		}
+		for i := 0; i < created; i++ {
+			req, _ := http.NewRequest(http.MethodDelete, cfg.BaseURL+"/v1/sessions/"+name(i), nil)
+			if resp, err := client.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	// Create the worlds, clocks running.
+	for i := 0; i < cfg.Worlds; i++ {
+		req := CreateRequest{
+			Name:    name(i),
+			Script:  cfg.Script,
+			Units:   cfg.Units,
+			Density: cfg.Density,
+			Seed:    cfg.Seed + uint64(i),
+			Workers: cfg.Workers, Incremental: cfg.Incremental,
+			TickRate: cfg.TickRate,
+		}
+		if req.TickRate == 0 {
+			req.TickRate = -1 // create-time 0 means "don't start"; -1 = uncapped
+		}
+		if err := postJSON(client, cfg.BaseURL+"/v1/sessions", req, nil); err != nil {
+			return nil, fmt.Errorf("loadgen: create %s: %w", name(i), err)
+		}
+		created++
+	}
+
+	// Tick counts at the start of the window (clocks are already running;
+	// the window measures steady-state serving, not engine warmup). Each
+	// world's window is timed at its own status fetches: the fetches are
+	// sequential HTTP calls, and dividing every world's tick delta by one
+	// shared wall-clock window would inflate the rates of the worlds
+	// sampled late.
+	startTicks := make([]int64, cfg.Worlds)
+	startAt := make([]time.Time, cfg.Worlds)
+	for i := range startTicks {
+		var st Status
+		if err := getJSON(client, cfg.BaseURL+"/v1/sessions/"+name(i), &st); err != nil {
+			return nil, fmt.Errorf("loadgen: status %s: %w", name(i), err)
+		}
+		startTicks[i] = st.Tick
+		startAt[i] = time.Now()
+	}
+
+	// Spectator fan-out.
+	type worldSample struct {
+		mu      sync.Mutex
+		latency []float64 // micros
+		errs    int
+	}
+	samples := make([]worldSample, cfg.Worlds)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Worlds; i++ {
+		for sp := 0; sp < cfg.Spectators; sp++ {
+			wg.Add(1)
+			go func(i, sp int) {
+				defer wg.Done()
+				url := cfg.BaseURL + "/v1/sessions/" + name(i) + "/query"
+				ws := &samples[i]
+				for n := 0; ; n++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// Rotate the probe window so spectators don't all ask
+					// the same question of the same partition.
+					x := float64((7*n + 13*sp) % 97)
+					y := float64((13*n + 29*sp) % 89)
+					q := QueryRequest{Src: loadgenQuery, Args: []float64{x, y, 12}}
+					t0 := time.Now()
+					err := postJSON(client, url, q, &QueryResponse{})
+					dt := float64(time.Since(t0).Nanoseconds()) / 1e3
+					// A request in flight when the window closed finishes
+					// during the drain; counting it would inflate QPS
+					// against a window that ends at stop.
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					ws.mu.Lock()
+					if err != nil {
+						ws.errs++
+					} else {
+						ws.latency = append(ws.latency, dt)
+					}
+					ws.mu.Unlock()
+				}
+			}(i, sp)
+		}
+	}
+	windowStart := time.Now()
+	time.Sleep(cfg.Duration)
+	// The QPS window closes when spectators are told to stop — the
+	// post-stop drain of in-flight requests (which can run long on a
+	// saturated daemon) must not deflate the throughput denominator.
+	window := time.Since(windowStart).Seconds()
+	close(stop)
+	wg.Wait()
+
+	// Collect: end ticks and per-world rows. Tick rates use each world's
+	// own start/end fetch times — the clocks keep running while the
+	// sequential end-of-window fetches drain, and the shared window would
+	// misattribute those extra ticks.
+	rows := make([]metrics.LoadGenRow, 0, cfg.Worlds)
+	for i := 0; i < cfg.Worlds; i++ {
+		var st Status
+		if err := getJSON(client, cfg.BaseURL+"/v1/sessions/"+name(i), &st); err != nil {
+			return nil, fmt.Errorf("loadgen: status %s: %w", name(i), err)
+		}
+		elapsed := time.Since(startAt[i]).Seconds()
+		ws := &samples[i]
+		ws.mu.Lock()
+		mean, p50, p99, maxv := metrics.LatencySummary(ws.latency)
+		nq := len(ws.latency)
+		errs := ws.errs
+		ws.mu.Unlock()
+		ticks := st.Tick - startTicks[i]
+		rows = append(rows, metrics.LoadGenRow{
+			World:      st.Name,
+			Ticks:      ticks,
+			TickRate:   float64(ticks) / elapsed,
+			TargetRate: cfg.TickRate,
+			Queries:    nq,
+			QPS:        float64(nq) / window,
+			MeanMicros: mean, P50Micros: p50, P99Micros: p99, MaxMicros: maxv,
+			Errors: errs,
+		})
+	}
+	return rows, nil
+}
+
+// postJSON posts v and decodes the response into out (ignored when nil).
+// Non-2xx statuses are errors carrying the server's message.
+func postJSON(c *http.Client, url string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+// getJSON fetches url into out.
+func getJSON(c *http.Client, url string, out any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("unexpected status %s", resp.Status)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

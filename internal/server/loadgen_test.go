@@ -1,0 +1,108 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/epicscale/sgl/internal/metrics"
+)
+
+// TestLoadGenEightWorlds is the serving-layer acceptance run: eight
+// simultaneous worlds, clocks running, spectators fanning out queries
+// per world, all over real HTTP — and at the end every world must have
+// advanced its clock and served queries without a single error. The
+// per-session latency and tick-rate table renders via metrics.WriteLoadGen
+// (run `sgld -loadgen` for a full-size version of this).
+func TestLoadGenEightWorlds(t *testing.T) {
+	reg := NewRegistry()
+	ts := httptest.NewServer(New(reg, t.TempDir()))
+	defer func() {
+		ts.Close()
+		reg.Close()
+	}()
+
+	rows, err := LoadGen(LoadGenConfig{
+		BaseURL:    ts.URL,
+		Worlds:     8,
+		Units:      128,
+		Density:    0.02,
+		Seed:       1,
+		TickRate:   20,
+		Spectators: 2,
+		Duration:   1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ticks <= 0 {
+			t.Errorf("world %s made no clock progress", r.World)
+		}
+		if r.Queries <= 0 {
+			t.Errorf("world %s served no queries", r.World)
+		}
+		if r.Errors != 0 {
+			t.Errorf("world %s: %d query errors", r.World, r.Errors)
+		}
+		if r.P99Micros < r.P50Micros || r.MaxMicros < r.P99Micros {
+			t.Errorf("world %s: non-monotone latency quantiles %+v", r.World, r)
+		}
+	}
+
+	// The table must render one line per world plus totals.
+	var b strings.Builder
+	metrics.WriteLoadGen(&b, rows)
+	out := b.String()
+	for _, want := range []string{"loadgen-0", "loadgen-7", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	// Worlds are torn down after the run; the server's counters survive.
+	if got := len(reg.List()); got != 0 {
+		t.Errorf("loadgen left %d worlds behind", got)
+	}
+	if v := reg.Metrics.Counter("sgld_sessions_created_total").Value(); v != 8 {
+		t.Errorf("sessions created counter = %v, want 8", v)
+	}
+}
+
+// TestLoadGenDistinctWorlds checks the fleet is eight different
+// simulations, not one replicated: per-world seeds differ, so tick
+// outcomes (deaths/moves) diverge across worlds.
+func TestLoadGenDistinctWorlds(t *testing.T) {
+	reg := NewRegistry()
+	ts := httptest.NewServer(New(reg, t.TempDir()))
+	defer func() {
+		ts.Close()
+		reg.Close()
+	}()
+	rows, err := LoadGen(LoadGenConfig{
+		BaseURL: ts.URL, Worlds: 2, Units: 200, Density: 0.02, Seed: 3,
+		TickRate: 0, Spectators: 1, Duration: 700 * time.Millisecond,
+		KeepSessions: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	w0, ok0 := reg.Get("loadgen-0")
+	w1, ok1 := reg.Get("loadgen-1")
+	if !ok0 || !ok1 {
+		t.Fatal("KeepSessions should leave the worlds registered")
+	}
+	w0.StopClock()
+	w1.StopClock()
+	// Different seeds ⇒ different armies ⇒ different environments.
+	if w0.Session().Engine().Env().EqualContents(w1.Session().Engine().Env()) {
+		t.Error("worlds with different seeds should be distinct simulations")
+	}
+}

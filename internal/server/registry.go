@@ -1,0 +1,598 @@
+// Package server hosts many concurrent simulation worlds behind an
+// HTTP/JSON API: the serving layer between the single-world Session API
+// and "heavy traffic from millions of users".
+//
+// A Registry owns a set of named Worlds. Each World wraps an
+// engine.Session — so it inherits the session's reader/writer discipline
+// (spectator queries fan out under the read lock, the clock and
+// checkpointing interleave safely) — and adds what a daemon needs on
+// top: an optional clock goroutine stepping the world at a target tick
+// rate, a compile-once observation-query cache keyed by source text
+// (every request for the same source shares one engine-side index build
+// per tick through the existing Fork path), and per-session Prometheus
+// counters in a metrics.Registry.
+//
+// The fourth exactness contract lives here: a world served under
+// concurrent spectator load produces checkpoints byte-identical to the
+// same (script, spec, seed, ticks) run standalone, because queries are
+// pure reads of the frozen snapshot and the clock is the only writer.
+// TestServedMatchesStandalone pins it over HTTP.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/metrics"
+	"github.com/epicscale/sgl/internal/sgl/parser"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/workload"
+)
+
+// Sentinel errors handlers map to HTTP statuses.
+var (
+	// ErrExists reports a session-name collision on create.
+	ErrExists = errors.New("session already exists")
+	// ErrClockRunning reports an operation that requires a paused clock.
+	ErrClockRunning = errors.New("clock is running")
+)
+
+// Name rules: both sessions and checkpoint files must be flat path
+// components (they appear in URLs, metric labels, and file paths under
+// the data directory) of [A-Za-z0-9._-], not starting with a dot or
+// dash (which rules out "..", hidden files, and flag-like names).
+// Sessions are capped at 120 chars and files at 128, so the derived
+// "<session>.ckpt" name of a maximum-length session is still a file
+// name the restore API accepts.
+var (
+	nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,119}$`)
+	fileRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+)
+
+// ValidName reports whether s is acceptable as a session name
+// (1–120 chars, see the name rules above).
+func ValidName(s string) bool { return nameRE.MatchString(s) }
+
+// ValidFileName reports whether s is acceptable as a checkpoint file
+// name (1–128 chars, see the name rules above).
+func ValidFileName(s string) bool { return fileRE.MatchString(s) }
+
+// Bounds on client-supplied world specs (see Registry.Create).
+const (
+	// MaxWorldUnits caps one world's army. Far above the paper's
+	// experiments (12k), far below an allocation that endangers the
+	// daemon.
+	MaxWorldUnits = 1_000_000
+	// MaxWorldDensity caps grid occupancy. The paper's experiments top
+	// out at 8%; beyond ~1/6 the BattleLines formation (each player
+	// confined to a third of the grid) cannot place the army at all and
+	// generation would loop forever.
+	MaxWorldDensity = 0.125
+)
+
+// WorldSpec is everything needed to build a fresh world. The server
+// hosts worlds over the battle schema and mechanics — the script is the
+// variable part, exactly as in the paper's setup where behavior is data.
+type WorldSpec struct {
+	// Script is the SGL source; empty selects the built-in battle script.
+	Script string
+	// Army generation (workload.Spec minus the formation enum).
+	Units     int
+	Density   float64
+	Seed      uint64
+	Formation workload.Formation
+	// Engine tuning.
+	Mode engine.Mode
+	Tune engine.Options // Workers / Incremental / IncrementalThreshold
+	// TickRate starts the world's clock at registration: 0 leaves it
+	// paused, > 0 targets that many ticks/second, < 0 runs uncapped.
+	// Starting inside registration is deliberate — a world published
+	// first and clock-started second would leave a window where another
+	// client's /run, /step, or delete makes the start fail with the
+	// world already visible.
+	TickRate float64
+}
+
+// World is one hosted simulation: a session plus the serving state the
+// registry adds. All methods are safe for concurrent use.
+type World struct {
+	Name string
+
+	sess    *engine.Session
+	prog    *sem.Program
+	script  string // source the program was compiled from (checkpoint sidecar)
+	created time.Time
+
+	mu  sync.Mutex // guards clk, clockErr, rate, stepping, deleted
+	clk *clock
+	// clockErr records a tick error that stopped the clock; surfaced on
+	// the next status read.
+	clockErr error
+	rate     float64
+	// stepping counts synchronous Steps in flight, so StartClock cannot
+	// slip in between Step's clock check and the step itself.
+	stepping int
+	// deleted marks a world removed from the registry: its clock may
+	// never start again (an orphaned clock goroutine would be
+	// unreachable by StopClock and run until process exit).
+	deleted bool
+
+	// stepMu serializes synchronous Step calls (see Step).
+	stepMu sync.Mutex
+
+	qmu     sync.Mutex
+	queries map[string]*engine.Query // compile-once cache, keyed by source
+
+	ticks        *metrics.Counter
+	queriesTotal *metrics.Counter
+	querySecs    *metrics.Counter
+	queryErrs    *metrics.Counter
+	checkpoints  *metrics.Counter
+}
+
+// clock is one run of a world's clock goroutine. The stop channel is
+// closed by exactly one owner: StopClock takes ownership of the clock by
+// swapping it out of the world first, so a clock that exits on its own
+// (tick error) never races the close.
+type clock struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Session exposes the wrapped session (for tests and embedders).
+func (w *World) Session() *engine.Session { return w.sess }
+
+// Script returns the SGL source this world runs.
+func (w *World) Script() string { return w.script }
+
+// Status is a point-in-time summary of a world.
+type Status struct {
+	Name     string  `json:"name"`
+	Tick     int64   `json:"tick"`
+	Units    int     `json:"units"`
+	Workers  int     `json:"workers"`
+	Running  bool    `json:"running"`
+	TickRate float64 `json:"tickrate,omitempty"` // target; 0 = uncapped
+	Deaths   int     `json:"deaths"`
+	Moves    int     `json:"moves"`
+	ClockErr string  `json:"clock_error,omitempty"`
+	// Created is when the world was registered (RFC 3339).
+	Created time.Time `json:"created"`
+}
+
+// Status snapshots the world's serving state. Engine reads go through
+// one Session.View, so tick, population, and counters all describe the
+// same between-ticks snapshot (and the session's lock discipline is
+// honored even for reads that happen to be race-free today).
+func (w *World) Status() Status {
+	st := Status{Name: w.Name, Created: w.created}
+	w.sess.View(func(e *engine.Engine) {
+		st.Tick = e.TickCount()
+		st.Units = e.Env().Len()
+		st.Workers = e.Workers()
+		st.Deaths = e.Stats.Deaths
+		st.Moves = e.Stats.Moves
+	})
+	w.mu.Lock()
+	st.Running = w.clk != nil
+	st.TickRate = w.rate
+	if w.clockErr != nil {
+		st.ClockErr = w.clockErr.Error()
+	}
+	w.mu.Unlock()
+	return st
+}
+
+// Step advances the world n ticks synchronously. It refuses while the
+// clock is running — mixing a free-running clock with synchronous steps
+// would make "the tick the client asked for" meaningless. Concurrent
+// Step calls serialize on stepMu: letting them interleave would be
+// memory-safe (the session lock covers each tick) but each caller's
+// before/after tick delta would span the other's ticks, double-counting
+// sgld_ticks_total.
+func (w *World) Step(n int) error {
+	w.stepMu.Lock()
+	defer w.stepMu.Unlock()
+	w.mu.Lock()
+	if w.clk != nil {
+		w.mu.Unlock()
+		return fmt.Errorf("server: world %s: %w; stop it before stepping", w.Name, ErrClockRunning)
+	}
+	w.stepping++
+	w.mu.Unlock()
+	// Count the ticks that actually ran: a mid-batch error still
+	// advanced the world, and the counter must track the real clock.
+	before := w.sess.Tick()
+	err := w.sess.Step(n)
+	w.ticks.Add(float64(w.sess.Tick() - before))
+	w.mu.Lock()
+	w.stepping--
+	w.mu.Unlock()
+	return err
+}
+
+// StartClock launches the clock goroutine stepping the world at rate
+// ticks per second (rate <= 0 runs uncapped). It fails if the clock is
+// already running.
+func (w *World) StartClock(rate float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.deleted {
+		return fmt.Errorf("server: world %s: deleted", w.Name)
+	}
+	if w.stepping > 0 {
+		return fmt.Errorf("server: world %s: synchronous step in progress", w.Name)
+	}
+	if w.clk != nil {
+		return fmt.Errorf("server: world %s: clock already running", w.Name)
+	}
+	clk := &clock{stop: make(chan struct{}), done: make(chan struct{})}
+	w.clk = clk
+	w.clockErr = nil
+	w.rate = rate
+	go w.clockLoop(clk, rate)
+	return nil
+}
+
+// clockLoop is the world's clock goroutine: one Step(1) per period. The
+// cadence is absolute (next = start + n·period), so a slow tick borrows
+// from the following idle time instead of permanently lagging the rate.
+func (w *World) clockLoop(clk *clock, rate float64) {
+	defer close(clk.done)
+	var period time.Duration
+	if rate > 0 {
+		// Guard the float→Duration conversion: a tiny rate (1e-10) makes
+		// seconds-per-tick overflow int64, and the implementation-defined
+		// conversion of an out-of-range float can yield a negative
+		// period — turning a nearly-paused clock into an uncapped busy
+		// loop. Clamp to MaxInt64 (~292 years/tick) instead.
+		p := float64(time.Second) / rate
+		if p >= float64(math.MaxInt64) {
+			period = time.Duration(math.MaxInt64)
+		} else {
+			period = time.Duration(p)
+		}
+	}
+	start := time.Now()
+	for n := int64(1); ; n++ {
+		select {
+		case <-clk.stop:
+			return
+		default:
+		}
+		if err := w.sess.Step(1); err != nil {
+			w.mu.Lock()
+			w.clockErr = err
+			if w.clk == clk {
+				w.clk = nil
+			}
+			w.mu.Unlock()
+			return
+		}
+		w.ticks.Inc()
+		if period > 0 {
+			next := start.Add(time.Duration(n) * period)
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-clk.stop:
+					return
+				case <-time.After(d):
+				}
+			} else if -d > 4*period {
+				// Badly behind (CPU contention, a long checkpoint):
+				// re-anchor instead of repaying the whole debt as an
+				// uncapped burst that would starve every other world.
+				// Bounded catch-up (≤ 4 ticks) still smooths small
+				// stalls.
+				start = time.Now().Add(-time.Duration(n) * period)
+			}
+		}
+	}
+}
+
+// StopClock stops the clock goroutine and waits for it to finish the
+// tick in flight. Stopping a stopped clock is a no-op.
+func (w *World) StopClock() {
+	w.mu.Lock()
+	clk := w.clk
+	w.clk = nil
+	w.mu.Unlock()
+	if clk == nil {
+		return
+	}
+	close(clk.stop)
+	<-clk.done
+}
+
+// Running reports whether the clock goroutine is live.
+func (w *World) Running() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.clk != nil
+}
+
+// CompiledQuery returns the compiled observation query for src, compiling
+// it at most once per world. Returning the same *engine.Query pointer for
+// the same source is what lets N spectators share one engine-side index
+// build per tick — the engine's provider cache is keyed by query
+// identity, not source text.
+func (w *World) CompiledQuery(src string) (*engine.Query, error) {
+	w.qmu.Lock()
+	defer w.qmu.Unlock()
+	if q, ok := w.queries[src]; ok {
+		return q, nil
+	}
+	q, err := engine.CompileQuery(src, w.prog.Schema, w.prog.Consts)
+	if err != nil {
+		return nil, err
+	}
+	if w.queries == nil {
+		w.queries = map[string]*engine.Query{}
+	}
+	// Bound the cache like the engine bounds its provider cache: a client
+	// generating unbounded distinct sources must not pin unbounded
+	// programs. Dropping the whole map is crude but safe — the next
+	// request recompiles.
+	if len(w.queries) >= maxCachedQuerySources {
+		w.queries = map[string]*engine.Query{}
+	}
+	w.queries[src] = q
+	return q, nil
+}
+
+// maxCachedQuerySources bounds a world's source-text query cache.
+const maxCachedQuerySources = 256
+
+// Checkpoint writes the world's checkpoint to wr under the session's
+// reader lock: spectators keep querying, the clock waits for the write.
+func (w *World) Checkpoint(wr io.Writer) error { return w.sess.Checkpoint(wr) }
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// Registry is the set of live worlds a server hosts. All methods are
+// safe for concurrent use.
+type Registry struct {
+	mu     sync.Mutex
+	worlds map[string]*World
+
+	// Metrics is the Prometheus-style registry all per-world counters
+	// live in; the server also exposes it on /metrics.
+	Metrics *metrics.Registry
+}
+
+// NewRegistry returns an empty registry with its own metrics registry.
+func NewRegistry() *Registry {
+	r := &Registry{worlds: map[string]*World{}, Metrics: &metrics.Registry{}}
+	r.Metrics.Help("sgld_worlds", "Worlds currently hosted.")
+	r.Metrics.Help("sgld_sessions_created_total", "Worlds created since start.")
+	r.Metrics.Help("sgld_sessions_deleted_total", "Worlds deleted since start.")
+	r.Metrics.Help("sgld_ticks_total", "Clock ticks advanced, per session.")
+	r.Metrics.Help("sgld_queries_total", "Observation queries served, per session.")
+	r.Metrics.Help("sgld_query_seconds_total", "Time spent evaluating observation queries, per session.")
+	r.Metrics.Help("sgld_query_errors_total", "Observation queries rejected or failed, per session.")
+	r.Metrics.Help("sgld_checkpoints_total", "Checkpoints written, per session.")
+	r.Metrics.Help("sgld_restores_total", "Worlds created by restoring a checkpoint.")
+	// Materialize the unlabeled series eagerly: a fresh daemon must
+	// expose sgld_worlds 0 (not an absent metric that trips no-data
+	// alerts) before the first session ever arrives.
+	r.Metrics.Gauge("sgld_worlds").Set(0)
+	r.Metrics.Counter("sgld_sessions_created_total")
+	r.Metrics.Counter("sgld_sessions_deleted_total")
+	r.Metrics.Counter("sgld_restores_total")
+	return r
+}
+
+// compileWorldScript compiles src (or the built-in battle script when
+// empty) against the battle schema and constants.
+func compileWorldScript(src string) (*sem.Program, string, error) {
+	if src == "" {
+		src = game.Script
+	}
+	script, err := parser.Parse(src)
+	if err != nil {
+		return nil, "", err
+	}
+	prog, err := sem.Check(script, game.Schema(), game.Consts())
+	if err != nil {
+		return nil, "", err
+	}
+	return prog, src, nil
+}
+
+// attachCounters creates the world's per-session metric series. It must
+// run inside the registry's critical section, after the duplicate-name
+// check: created any earlier, a concurrent Delete of the same name could
+// hand this world the dying world's series and then delete them, leaving
+// the new world's counters orphaned from /metrics for its lifetime. The
+// counters are held as pointers so handlers never get-or-create
+// per-session series at request time (the mirror image of the same
+// race: a late request must not resurrect a deleted session's series).
+func (r *Registry) attachCounters(w *World) {
+	l := metrics.L("session", w.Name)
+	w.ticks = r.Metrics.Counter("sgld_ticks_total", l)
+	w.queriesTotal = r.Metrics.Counter("sgld_queries_total", l)
+	w.querySecs = r.Metrics.Counter("sgld_query_seconds_total", l)
+	w.queryErrs = r.Metrics.Counter("sgld_query_errors_total", l)
+	w.checkpoints = r.Metrics.Counter("sgld_checkpoints_total", l)
+}
+
+// Create builds a fresh world from spec and registers it under name.
+// The engine build happens outside the registry lock (large armies take
+// a while); on a name collision the loser's engine is discarded.
+func (r *Registry) Create(name string, spec WorldSpec) (*World, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("server: invalid session name %q", name)
+	}
+	prog, script, err := compileWorldScript(spec.Script)
+	if err != nil {
+		return nil, fmt.Errorf("server: compile script: %w", err)
+	}
+	if spec.Units <= 0 {
+		spec.Units = 1000
+	}
+	if spec.Density <= 0 {
+		spec.Density = 0.01
+	}
+	// Bound the world spec like every other client input: an oversized
+	// army is a multi-gigabyte allocation on the request path, and a
+	// density beyond what the formations can place makes army generation
+	// spin forever looking for a free square (BattleLines confines each
+	// player to ~1/6 of the grid).
+	if spec.Units > MaxWorldUnits {
+		return nil, fmt.Errorf("server: units %d exceeds the limit %d", spec.Units, MaxWorldUnits)
+	}
+	if spec.Density > MaxWorldDensity {
+		return nil, fmt.Errorf("server: density %g exceeds the limit %g (higher occupancies cannot be placed)", spec.Density, MaxWorldDensity)
+	}
+	wspec := workload.Spec{Units: spec.Units, Density: spec.Density, Seed: spec.Seed, Formation: spec.Formation}
+	opts := spec.Tune
+	opts.Mode = spec.Mode
+	opts.Categoricals = game.Categoricals()
+	opts.Seed = spec.Seed
+	opts.Side = wspec.Side()
+	opts.MoveSpeed = 1
+	eng, err := engine.New(prog, game.NewMechanics(), workload.Generate(wspec), opts)
+	if err != nil {
+		return nil, fmt.Errorf("server: build engine: %w", err)
+	}
+	return r.register(name, engine.NewSession(eng), prog, script, spec.TickRate)
+}
+
+// Restore builds a world from a checkpoint stream and the SGL source the
+// checkpointed world ran (empty = built-in battle script), under
+// restore-time tuning — the live-migration path: checkpoint a running
+// world, restore it here (possibly with different Workers/Incremental),
+// and it continues byte-identically. tickRate follows the
+// WorldSpec.TickRate convention (0 = paused).
+func (r *Registry) Restore(name string, ck io.Reader, script string, tune engine.Options, tickRate float64) (*World, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("server: invalid session name %q", name)
+	}
+	prog, script, err := compileWorldScript(script)
+	if err != nil {
+		return nil, fmt.Errorf("server: compile script: %w", err)
+	}
+	sess, err := engine.RestoreSession(ck, prog, game.NewMechanics(), tune)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	w, err := r.register(name, sess, prog, script, tickRate)
+	if err == nil {
+		r.Metrics.Counter("sgld_restores_total").Inc()
+	}
+	return w, err
+}
+
+// register inserts a built world, failing on duplicate names. Counter
+// attachment, publication, and the optional clock start all happen in
+// one registry critical section: nothing can observe (or race) the
+// world between becoming visible and reaching its requested state, so
+// the clock start cannot fail and no rollback path exists.
+func (r *Registry) register(name string, sess *engine.Session, prog *sem.Program, script string, tickRate float64) (*World, error) {
+	w := &World{Name: name, sess: sess, prog: prog, script: script, created: time.Now()}
+	r.mu.Lock()
+	if _, dup := r.worlds[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("server: session %q: %w", name, ErrExists)
+	}
+	r.attachCounters(w)
+	r.worlds[name] = w
+	// Under the registry lock, so concurrent register/Delete cannot
+	// publish the gauge updates out of order and leave it stale.
+	r.Metrics.Gauge("sgld_worlds").Set(float64(len(r.worlds)))
+	if tickRate != 0 {
+		rate := tickRate
+		if rate < 0 {
+			rate = 0 // uncapped
+		}
+		// Cannot fail: the world is fresh (no clock, no step, not
+		// deleted) and unreachable until we release r.mu.
+		if err := w.StartClock(rate); err != nil {
+			panic(fmt.Sprintf("server: clock start on fresh world %s: %v", name, err))
+		}
+	}
+	r.mu.Unlock()
+	r.Metrics.Counter("sgld_sessions_created_total").Inc()
+	return w, nil
+}
+
+// Get looks a world up by name.
+func (r *Registry) Get(name string) (*World, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.worlds[name]
+	return w, ok
+}
+
+// Delete removes a world and stops its clock. Deleting an absent name
+// reports false.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	w, ok := r.worlds[name]
+	if ok {
+		delete(r.worlds, name)
+		r.Metrics.Gauge("sgld_worlds").Set(float64(len(r.worlds)))
+		// Drop the dead session's labeled series in the same critical
+		// section that removes the world: a daemon churning through
+		// world names must not grow /metrics without bound, and a
+		// concurrent same-name Create must neither inherit these series
+		// nor lose its own to this deletion. (Prometheus handles
+		// disappearing series; a recreated world starts its counters
+		// from zero, which scrapers treat as a counter reset.)
+		r.Metrics.DeleteSeries(metrics.L("session", name))
+	}
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	// Mark first, then stop: StartClock and this marking serialize on
+	// w.mu, so either the racing StartClock ran first (its clock is
+	// stopped below) or it runs after and refuses — no orphaned clock
+	// goroutine either way. Outside the registry lock, because StopClock
+	// waits for a tick in flight and a slow tick must not block
+	// unrelated Create/Get calls.
+	w.mu.Lock()
+	w.deleted = true
+	w.mu.Unlock()
+	w.StopClock()
+	r.Metrics.Counter("sgld_sessions_deleted_total").Inc()
+	return true
+}
+
+// List returns the current worlds' statuses, sorted by name.
+func (r *Registry) List() []Status {
+	r.mu.Lock()
+	worlds := make([]*World, 0, len(r.worlds))
+	for _, w := range r.worlds {
+		worlds = append(worlds, w)
+	}
+	r.mu.Unlock()
+	sort.Slice(worlds, func(i, j int) bool { return worlds[i].Name < worlds[j].Name })
+	out := make([]Status, len(worlds))
+	for i, w := range worlds {
+		out[i] = w.Status()
+	}
+	return out
+}
+
+// Close stops every world's clock (used at daemon shutdown).
+func (r *Registry) Close() {
+	r.mu.Lock()
+	worlds := make([]*World, 0, len(r.worlds))
+	for _, w := range r.worlds {
+		worlds = append(worlds, w)
+	}
+	r.mu.Unlock()
+	for _, w := range worlds {
+		w.StopClock()
+	}
+}

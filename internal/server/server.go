@@ -1,0 +1,619 @@
+// HTTP/JSON surface of the multi-session daemon. Routes (all JSON unless
+// noted):
+//
+//	POST   /v1/sessions                     create a world (from script or checkpoint)
+//	GET    /v1/sessions                     list worlds
+//	GET    /v1/sessions/{name}              one world's status
+//	DELETE /v1/sessions/{name}              stop clock, remove world
+//	POST   /v1/sessions/{name}/step         advance N ticks synchronously
+//	POST   /v1/sessions/{name}/run          start the clock at a tick rate
+//	POST   /v1/sessions/{name}/stop         stop the clock
+//	POST   /v1/sessions/{name}/query        evaluate an observation query
+//	POST   /v1/sessions/{name}/checkpoint   write a checkpoint into the data dir
+//	GET    /v1/sessions/{name}/checkpoint   stream a checkpoint (binary)
+//	GET    /metrics                         Prometheus text exposition
+//	GET    /healthz                         liveness probe
+//
+// Error responses are {"error": "..."} with a 4xx/5xx status. The
+// checkpoint data directory is the daemon's only filesystem surface;
+// file names are validated to be flat path components, so clients cannot
+// escape it.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/table"
+	"github.com/epicscale/sgl/internal/workload"
+)
+
+// Server glues the registry to an http.Handler.
+type Server struct {
+	reg *Registry
+	// dataDir is where POST …/checkpoint writes and restore-by-file
+	// reads. Empty disables file-based checkpoints (streaming still
+	// works).
+	dataDir string
+	// ckmu serializes checkpoint-file writes: each rename is atomic but
+	// the (checkpoint, sidecar) pair is not, and two worlds targeting
+	// the same file concurrently could otherwise interleave renames into
+	// one world's checkpoint paired with the other's script.
+	ckmu sync.Mutex
+	mux  *http.ServeMux
+}
+
+// New builds a server around reg. dataDir may be empty to disable
+// file-based checkpoint/restore.
+func New(reg *Registry, dataDir string) *Server {
+	s := &Server{reg: reg, dataDir: dataDir, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("GET /v1/sessions/{name}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/step", s.handleStep)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/stop", s.handleStop)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/checkpoint", s.handleCheckpointFile)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/checkpoint", s.handleCheckpointStream)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Registry returns the server's world registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---------------------------------------------------------------------------
+// Wire types
+
+// CreateRequest creates a world. Exactly one of the two creation paths is
+// used: Restore names a checkpoint file in the data dir (live-migration
+// arrival); otherwise the world is generated from Script + army spec.
+type CreateRequest struct {
+	Name string `json:"name"`
+
+	// Fresh-world path.
+	Script    string  `json:"script,omitempty"`  // SGL source; empty = built-in battle script
+	Units     int     `json:"units,omitempty"`   // default 1000
+	Density   float64 `json:"density,omitempty"` // default 0.01
+	Seed      uint64  `json:"seed,omitempty"`
+	Formation string  `json:"formation,omitempty"` // "lines" (default) or "scattered"
+	Mode      string  `json:"mode,omitempty"`      // "indexed" (default) or "naive"
+
+	// Restore path: checkpoint file name in the data dir. The script the
+	// checkpointed world ran is read from the "<file>.sgl" sidecar when
+	// present (Script overrides it).
+	Restore string `json:"restore,omitempty"`
+
+	// Per-session determinism-neutral tuning.
+	Workers              int     `json:"workers,omitempty"`
+	Incremental          bool    `json:"incremental,omitempty"`
+	IncrementalThreshold float64 `json:"incthreshold,omitempty"`
+
+	// TickRate, when nonzero, starts the clock immediately (ticks/second;
+	// negative = uncapped).
+	TickRate float64 `json:"tickrate,omitempty"`
+}
+
+// StepRequest advances a world synchronously.
+type StepRequest struct {
+	Ticks int `json:"ticks"`
+}
+
+// RunRequest starts a world's clock.
+type RunRequest struct {
+	// TickRate is the target ticks per second; <= 0 runs uncapped.
+	TickRate float64 `json:"tickrate"`
+}
+
+// QueryRequest evaluates a compiled-once observation query. The probe
+// form follows the Session API: no X/Y/Unit → Engine.Query, X+Y →
+// QueryAt, Unit → QueryUnit. Scan selects the naive-scan evaluator (the
+// differential oracle; mostly for tests and measurement).
+type QueryRequest struct {
+	Src  string    `json:"src"`
+	Args []float64 `json:"args,omitempty"`
+	X    *float64  `json:"x,omitempty"`
+	Y    *float64  `json:"y,omitempty"`
+	Unit *int64    `json:"unit,omitempty"`
+	Scan bool      `json:"scan,omitempty"`
+}
+
+// QueryResponse carries one evaluation's outputs.
+type QueryResponse struct {
+	Name    string    `json:"name"`
+	Tick    int64     `json:"tick"`
+	Outputs []string  `json:"outputs"`
+	Values  []float64 `json:"values"`
+}
+
+// CheckpointRequest writes a checkpoint file into the data dir.
+type CheckpointRequest struct {
+	// File is the checkpoint file name; empty derives "<session>.ckpt".
+	File string `json:"file,omitempty"`
+}
+
+// CheckpointResponse reports where a checkpoint landed.
+type CheckpointResponse struct {
+	File string `json:"file"`
+	Tick int64  `json:"tick"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON decodes a request body strictly (unknown fields are errors,
+// catching misspelled tuning knobs instead of silently ignoring them).
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// Trailing garbage after the JSON value is a malformed request too.
+	if dec.More() {
+		return errors.New("unexpected data after JSON body")
+	}
+	return nil
+}
+
+// maxRequestBytes bounds request bodies; scripts are small.
+const maxRequestBytes = 1 << 20
+
+// maxStepTicks bounds one synchronous step request. Session.Step has no
+// cancellation — neither client disconnect nor DELETE interrupts it —
+// so the bound is what keeps a single request from pinning a world (and
+// a core) for hours. Long runs either loop step requests or use the
+// clock (/run), which is stoppable.
+const maxStepTicks = 10_000
+
+// world resolves the {name} path segment, writing a 404 on miss.
+func (s *Server) world(w http.ResponseWriter, r *http.Request) (*World, bool) {
+	name := r.PathValue("name")
+	wd, ok := s.reg.Get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %q", name)
+		return nil, false
+	}
+	return wd, true
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if !ValidName(req.Name) {
+		writeErr(w, http.StatusBadRequest, "invalid session name %q", req.Name)
+		return
+	}
+	tune := engine.Options{
+		Workers:              req.Workers,
+		Incremental:          req.Incremental,
+		IncrementalThreshold: req.IncrementalThreshold,
+	}
+
+	var world *World
+	var err error
+	if req.Restore != "" {
+		// The fresh-world spec lives in the checkpoint; accepting (and
+		// silently dropping) it here would let a client believe it
+		// restored a resized or reseeded world. Script stays legal — it
+		// is the documented sidecar override.
+		if req.Units != 0 || req.Density != 0 || req.Seed != 0 || req.Formation != "" || req.Mode != "" {
+			writeErr(w, http.StatusBadRequest,
+				"restore and fresh-world fields (units/density/seed/formation/mode) are mutually exclusive: the checkpoint carries the world spec")
+			return
+		}
+		world, err = s.restoreFromFile(req, tune)
+	} else {
+		spec := WorldSpec{
+			Script:   req.Script,
+			Units:    req.Units,
+			Density:  req.Density,
+			Seed:     req.Seed,
+			Tune:     tune,
+			TickRate: req.TickRate,
+		}
+		switch req.Formation {
+		case "", "lines":
+			spec.Formation = workload.BattleLines
+		case "scattered":
+			spec.Formation = workload.Scattered
+		default:
+			writeErr(w, http.StatusBadRequest, "formation must be \"lines\" or \"scattered\", got %q", req.Formation)
+			return
+		}
+		switch req.Mode {
+		case "", "indexed":
+			spec.Mode = engine.Indexed
+		case "naive":
+			spec.Mode = engine.Naive
+		default:
+			writeErr(w, http.StatusBadRequest, "mode must be \"naive\" or \"indexed\", got %q", req.Mode)
+			return
+		}
+		world, err = s.reg.Create(req.Name, spec)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrExists):
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, world.Status())
+}
+
+// restoreFromFile is the arrival half of live migration: open the named
+// checkpoint in the data dir, read the script sidecar, and register the
+// restored session under restore-time tuning.
+func (s *Server) restoreFromFile(req CreateRequest, tune engine.Options) (*World, error) {
+	if s.dataDir == "" {
+		return nil, errors.New("server: no data directory configured; file restore disabled")
+	}
+	if !ValidFileName(req.Restore) {
+		return nil, fmt.Errorf("server: invalid checkpoint file name %q", req.Restore)
+	}
+	// Take the checkpoint-writer lock ONLY around the two file reads:
+	// opening the checkpoint and reading its sidecar must observe one
+	// writer's consistent (checkpoint, sidecar) pair, not the window
+	// between a concurrent writer's two renames. The open fd survives
+	// any later rename over the path, so the expensive part — script
+	// compilation and engine restore — runs after the unlock without
+	// stalling other worlds' checkpoint writes.
+	path := filepath.Join(s.dataDir, req.Restore)
+	script := req.Script
+	s.ckmu.Lock()
+	f, err := os.Open(path)
+	if err != nil {
+		s.ckmu.Unlock()
+		return nil, fmt.Errorf("server: open checkpoint: %w", err)
+	}
+	if script == "" {
+		// The sidecar is required, not best-effort: a checkpoint restored
+		// under a different script than the one that produced it would
+		// run the wrong behavior rules with no error (only the schema is
+		// verified, and all server worlds share the battle schema).
+		side, err := os.ReadFile(path + ".sgl")
+		if err != nil {
+			s.ckmu.Unlock()
+			f.Close()
+			return nil, fmt.Errorf("server: checkpoint script sidecar %s.sgl unreadable (%v); migrate it with the checkpoint or supply \"script\" explicitly", req.Restore, err)
+		}
+		script = string(side)
+	}
+	s.ckmu.Unlock()
+	defer f.Close()
+	return s.reg.Restore(req.Name, f, script, tune, req.TickRate)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if wd, ok := s.world(w, r); ok {
+		writeJSON(w, http.StatusOK, wd.Status())
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Delete(name) {
+		writeErr(w, http.StatusNotFound, "unknown session %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	wd, ok := s.world(w, r)
+	if !ok {
+		return
+	}
+	var req StepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Ticks <= 0 {
+		writeErr(w, http.StatusBadRequest, "ticks must be positive, got %d", req.Ticks)
+		return
+	}
+	if req.Ticks > maxStepTicks {
+		writeErr(w, http.StatusBadRequest,
+			"ticks %d exceeds the per-request limit %d; issue multiple requests (a synchronous step cannot be cancelled, so one request must not monopolize the world indefinitely)",
+			req.Ticks, maxStepTicks)
+		return
+	}
+	if err := wd.Step(req.Ticks); err != nil {
+		if errors.Is(err, ErrClockRunning) {
+			writeErr(w, http.StatusConflict, "%v", err)
+		} else {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, wd.Status())
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	wd, ok := s.world(w, r)
+	if !ok {
+		return
+	}
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	rate := req.TickRate
+	if rate < 0 {
+		rate = 0
+	}
+	if err := wd.StartClock(rate); err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wd.Status())
+}
+
+func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
+	wd, ok := s.world(w, r)
+	if !ok {
+		return
+	}
+	wd.StopClock()
+	writeJSON(w, http.StatusOK, wd.Status())
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	wd, ok := s.world(w, r)
+	if !ok {
+		return
+	}
+	var req QueryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Src == "" {
+		writeErr(w, http.StatusBadRequest, "query src is required")
+		return
+	}
+	start := time.Now()
+	resp, err := s.evalQuery(wd, req)
+	if err != nil {
+		// Failed queries count only as errors: charging their time to
+		// sgld_query_seconds_total while not counting them in
+		// sgld_queries_total would skew the standard seconds/queries
+		// latency ratio.
+		wd.queryErrs.Inc()
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wd.querySecs.Add(time.Since(start).Seconds())
+	wd.queriesTotal.Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// evalQuery compiles (once) and dispatches one query evaluation to the
+// probe form the request selects.
+func (s *Server) evalQuery(wd *World, req QueryRequest) (*QueryResponse, error) {
+	q, err := wd.CompiledQuery(req.Src)
+	if err != nil {
+		return nil, err
+	}
+	if (req.X == nil) != (req.Y == nil) {
+		return nil, errors.New("positional query needs both x and y")
+	}
+	if req.Unit != nil && req.X != nil {
+		return nil, errors.New("unit and x/y probes are mutually exclusive")
+	}
+	// Evaluation and tick capture happen inside one Session.View, so the
+	// response's tick is exactly the tick the values were computed at —
+	// a free-running clock between "evaluate" and "read tick" would
+	// otherwise mislabel the snapshot.
+	var vals []float64
+	var tick int64
+	wd.Session().View(func(e *engine.Engine) {
+		tick = e.TickCount()
+		switch {
+		case req.Unit != nil && req.Scan:
+			vals, err = e.QueryScanUnit(q, *req.Unit, req.Args...)
+		case req.Unit != nil:
+			vals, err = e.QueryUnit(q, *req.Unit, req.Args...)
+		case req.X != nil && req.Scan:
+			vals, err = e.QueryScanAt(q, *req.X, *req.Y, req.Args...)
+		case req.X != nil:
+			vals, err = e.QueryAt(q, *req.X, *req.Y, req.Args...)
+		case req.Scan:
+			vals, err = e.QueryScan(q, req.Args...)
+		default:
+			vals, err = e.Query(q, req.Args...)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResponse{
+		Name: q.Name(), Tick: tick,
+		Outputs: q.Outputs(), Values: vals,
+	}, nil
+}
+
+func (s *Server) handleCheckpointFile(w http.ResponseWriter, r *http.Request) {
+	wd, ok := s.world(w, r)
+	if !ok {
+		return
+	}
+	if s.dataDir == "" {
+		writeErr(w, http.StatusBadRequest, "no data directory configured; use GET …/checkpoint to stream")
+		return
+	}
+	var req CheckpointRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// The derived default is safe by construction (validated session name
+	// plus a fixed suffix — no separators), and must not be re-validated:
+	// a maximum-length session name would push the derived name past
+	// ValidName's cap and make the session impossible to checkpoint.
+	file := req.File
+	if file == "" {
+		file = wd.Name + ".ckpt"
+	} else if !ValidFileName(file) {
+		writeErr(w, http.StatusBadRequest, "invalid checkpoint file name %q", file)
+		return
+	}
+	// ".sgl" is reserved for script sidecars: a checkpoint named
+	// "a.ckpt.sgl" would clobber the sidecar of the checkpoint "a.ckpt"
+	// with binary data.
+	if strings.HasSuffix(file, ".sgl") {
+		writeErr(w, http.StatusBadRequest, "checkpoint file name %q: the .sgl suffix is reserved for script sidecars", file)
+		return
+	}
+	tick, err := s.writeCheckpointFile(wd, filepath.Join(s.dataDir, file))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	wd.checkpoints.Inc()
+	writeJSON(w, http.StatusOK, CheckpointResponse{File: file, Tick: tick})
+}
+
+// writeCheckpointFile persists a checkpoint plus its script sidecar with
+// the crash discipline battlesim uses — temp file, fsync, rename — plus
+// the pairing discipline the sidecar needs: both temps are fully
+// written before either rename (a write failure cannot mix one name's
+// new file with the other's old one), and the rename error paths (see
+// below) guarantee a failed write never destroys the last good
+// checkpoint and never leaves a silently mismatched pair. Temp names
+// are per-call (os.CreateTemp), so concurrent checkpoints of the same
+// file each write whole files and the last rename wins whole.
+//
+// Known limitation: a hard crash (power loss, SIGKILL) exactly between
+// the two renames leaves the new sidecar paired with the previous
+// checkpoint — with two files this window cannot be closed from either
+// rename order, only made detectable. It matters only when the same
+// file name is reused across worlds running different scripts; the full
+// fix is embedding the script in a future checkpoint format version
+// (see ROADMAP). Returns the tick the checkpoint captured.
+func (s *Server) writeCheckpointFile(wd *World, path string) (tick int64, err error) {
+	// One writer at a time across the data dir. The expensive part (the
+	// checkpoint serialization) happens under the session's reader lock
+	// regardless, and file checkpoints are rare; pair-consistency is
+	// worth the serialization.
+	s.ckmu.Lock()
+	defer s.ckmu.Unlock()
+
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	tmpSgl, err := table.WriteTemp(dir, base+".sgl.tmp-*", func(f *os.File) error {
+		_, err := f.WriteString(wd.Script())
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	tmpCkpt, err := table.WriteTemp(dir, base+".tmp-*", func(f *os.File) error {
+		// Tick capture and serialization in one View: read separately,
+		// a running clock could advance between them and the response
+		// would mislabel the snapshot.
+		var cerr error
+		wd.Session().View(func(e *engine.Engine) {
+			tick = e.TickCount()
+			cerr = e.Checkpoint(f)
+		})
+		return cerr
+	})
+	if err != nil {
+		os.Remove(tmpSgl)
+		return 0, err
+	}
+	// Sidecar renames first: if it fails, nothing was overwritten and the
+	// old (checkpoint, sidecar) pair is intact. If the checkpoint rename
+	// then fails, the sidecar is already new — remove it, so a restore of
+	// the surviving OLD checkpoint fails loudly on the missing sidecar
+	// (recoverable by supplying the script explicitly) instead of
+	// silently running the old state under the new script. Either way a
+	// failed write never destroys the last good checkpoint.
+	if err := os.Rename(tmpSgl, path+".sgl"); err != nil {
+		os.Remove(tmpSgl)
+		os.Remove(tmpCkpt)
+		return 0, err
+	}
+	if err := os.Rename(tmpCkpt, path); err != nil {
+		os.Remove(path + ".sgl")
+		os.Remove(tmpCkpt)
+		return 0, err
+	}
+	return tick, nil
+}
+
+func (s *Server) handleCheckpointStream(w http.ResponseWriter, r *http.Request) {
+	wd, ok := s.world(w, r)
+	if !ok {
+		return
+	}
+	// Serialize under the session lock into memory, then stream lock-free:
+	// writing straight to the client would hold the reader lock for as
+	// long as the slowest client takes to drain the response, parking the
+	// clock (and, through the pending writer, every other spectator).
+	var buf bytes.Buffer
+	if err := wd.Checkpoint(&buf); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-SGL-Checkpoint-Version", fmt.Sprint(engine.CheckpointVersion))
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+	wd.checkpoints.Inc()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.Metrics.WritePrometheus(w)
+}

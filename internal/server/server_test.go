@@ -1,0 +1,857 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/metrics"
+)
+
+// newTestServer spins up a server over a temp data dir.
+func newTestServer(t *testing.T) (*httptest.Server, *Registry) {
+	t.Helper()
+	ts, _, reg := newTestServerFull(t)
+	return ts, reg
+}
+
+// newTestServerWithDataDir is newTestServer exposing the data dir.
+func newTestServerWithDataDir(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	ts, dir, _ := newTestServerFull(t)
+	return ts, dir
+}
+
+func newTestServerFull(t *testing.T) (*httptest.Server, string, *Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	dir := t.TempDir()
+	srv := New(reg, dir)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Close()
+	})
+	return ts, dir, reg
+}
+
+// try issues a JSON request and decodes the response body into out
+// (skipped when nil), returning the status code; transport and decode
+// problems come back as errors. Safe to call from any goroutine —
+// unlike do, which may t.Fatal and so is only valid on the test
+// goroutine (FailNow does not work from others).
+func try(method, url string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s %s response %q: %w", method, url, data, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// do issues a JSON request and decodes the response body into out
+// (skipped when nil), returning the status code. Test-goroutine only
+// (it t.Fatals on transport errors); goroutines use try.
+func do(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s %s response %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// create makes a small world and fails the test on error.
+func create(t *testing.T, base, name string, extra func(*CreateRequest)) Status {
+	t.Helper()
+	req := CreateRequest{Name: name, Units: 64, Density: 0.02, Seed: 7}
+	if extra != nil {
+		extra(&req)
+	}
+	var st Status
+	if code := do(t, http.MethodPost, base+"/v1/sessions", req, &st); code != http.StatusCreated {
+		t.Fatalf("create %s: status %d", name, code)
+	}
+	return st
+}
+
+func TestCreateListGetDelete(t *testing.T) {
+	ts, _ := newTestServer(t)
+	st := create(t, ts.URL, "alpha", nil)
+	if st.Name != "alpha" || st.Units != 64 || st.Tick != 0 {
+		t.Errorf("created status = %+v", st)
+	}
+
+	var list []Status
+	if code := do(t, http.MethodGet, ts.URL+"/v1/sessions", nil, &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(list) != 1 || list[0].Name != "alpha" {
+		t.Errorf("list = %+v", list)
+	}
+
+	var got Status
+	if code := do(t, http.MethodGet, ts.URL+"/v1/sessions/alpha", nil, &got); code != http.StatusOK {
+		t.Fatalf("get: %d", code)
+	}
+	if got.Name != "alpha" {
+		t.Errorf("get = %+v", got)
+	}
+
+	if code := do(t, http.MethodDelete, ts.URL+"/v1/sessions/alpha", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: %d", code)
+	}
+	if code := do(t, http.MethodGet, ts.URL+"/v1/sessions/alpha", nil, nil); code != http.StatusNotFound {
+		t.Errorf("get after delete: %d, want 404", code)
+	}
+}
+
+func TestCreateRejectsBadScript(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var e struct {
+		Error string `json:"error"`
+	}
+	code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateRequest{Name: "bad", Units: 10, Script: "function main(u) { perform Undefined(u) }"}, &e)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad script: status %d", code)
+	}
+	if !strings.Contains(e.Error, "Undefined") {
+		t.Errorf("error should name the problem, got %q", e.Error)
+	}
+
+	// Syntax error path too.
+	code = do(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateRequest{Name: "bad2", Units: 10, Script: "aggregate ???"}, &e)
+	if code != http.StatusBadRequest {
+		t.Errorf("syntax error: status %d", code)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []CreateRequest{
+		{Name: ""},                                // empty name
+		{Name: "../escape"},                       // path-like name
+		{Name: "a b"},                             // space
+		{Name: "ok", Formation: "diagonal"},       // bad formation
+		{Name: "ok", Mode: "quantum"},             // bad mode
+		{Name: "ok", Restore: "../../etc/passwd"}, // path traversal
+		{Name: "ok", Units: MaxWorldUnits + 1},    // oversized army (OOM guard)
+		{Name: "ok", Units: 64, Density: 1},       // unplaceable density (hang guard)
+	}
+	for _, req := range cases {
+		if code := do(t, http.MethodPost, ts.URL+"/v1/sessions", req, nil); code != http.StatusBadRequest {
+			t.Errorf("create %+v: status %d, want 400", req, code)
+		}
+	}
+	// Unknown JSON fields are rejected (catches misspelled knobs).
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"name":"x","wrokers":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDuplicateCreateConflicts(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "dup", nil)
+	code := do(t, http.MethodPost, ts.URL+"/v1/sessions", CreateRequest{Name: "dup", Units: 64}, nil)
+	if code != http.StatusConflict {
+		t.Errorf("duplicate create: status %d, want 409", code)
+	}
+}
+
+func TestUnknownSessionIs404(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, c := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/sessions/ghost"},
+		{http.MethodDelete, "/v1/sessions/ghost"},
+		{http.MethodPost, "/v1/sessions/ghost/step"},
+		{http.MethodPost, "/v1/sessions/ghost/run"},
+		{http.MethodPost, "/v1/sessions/ghost/stop"},
+		{http.MethodPost, "/v1/sessions/ghost/query"},
+		{http.MethodPost, "/v1/sessions/ghost/checkpoint"},
+		{http.MethodGet, "/v1/sessions/ghost/checkpoint"},
+	} {
+		var body any
+		if c.method == http.MethodPost {
+			body = map[string]any{}
+		}
+		if code := do(t, c.method, ts.URL+c.path, body, nil); code != http.StatusNotFound {
+			t.Errorf("%s %s: status %d, want 404", c.method, c.path, code)
+		}
+	}
+}
+
+func TestStepAdvancesTicks(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "w", nil)
+	var st Status
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/w/step", StepRequest{Ticks: 5}, &st); code != http.StatusOK {
+		t.Fatalf("step: %d", code)
+	}
+	if st.Tick != 5 {
+		t.Errorf("tick after step 5 = %d", st.Tick)
+	}
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/w/step", StepRequest{Ticks: 0}, nil); code != http.StatusBadRequest {
+		t.Errorf("step 0: status %d, want 400", code)
+	}
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/w/step", StepRequest{Ticks: -3}, nil); code != http.StatusBadRequest {
+		t.Errorf("step -3: status %d, want 400", code)
+	}
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/w/step", StepRequest{Ticks: maxStepTicks + 1}, nil); code != http.StatusBadRequest {
+		t.Errorf("step over cap: status %d, want 400", code)
+	}
+}
+
+func TestRunStopClock(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "clock", nil)
+	var st Status
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/clock/run", RunRequest{TickRate: 0}, &st); code != http.StatusOK {
+		t.Fatalf("run: %d", code)
+	}
+	if !st.Running {
+		t.Error("world should be running after /run")
+	}
+	// Step while the clock runs must conflict, and a second /run too.
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/clock/step", StepRequest{Ticks: 1}, nil); code != http.StatusConflict {
+		t.Errorf("step while running: %d, want 409", code)
+	}
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/clock/run", RunRequest{TickRate: 5}, nil); code != http.StatusConflict {
+		t.Errorf("run while running: %d, want 409", code)
+	}
+	// The uncapped clock must make progress.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		do(t, http.MethodGet, ts.URL+"/v1/sessions/clock", nil, &st)
+		if st.Tick > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("clock made no progress")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/clock/stop", map[string]any{}, &st); code != http.StatusOK {
+		t.Fatalf("stop: %d", code)
+	}
+	if st.Running {
+		t.Error("world should be stopped after /stop")
+	}
+	// Stopping again is a no-op, and stepping works again.
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/clock/stop", map[string]any{}, nil); code != http.StatusOK {
+		t.Errorf("double stop should be OK")
+	}
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/clock/step", StepRequest{Ticks: 1}, nil); code != http.StatusOK {
+		t.Errorf("step after stop should work")
+	}
+}
+
+const testCountQuery = `aggregate Pop(u) := count(*) as n, sum(e.health) as hp over e;`
+
+func TestQueryForms(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "q", nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/q/step", StepRequest{Ticks: 2}, nil)
+
+	// World query.
+	var qr QueryResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/q/query",
+		QueryRequest{Src: testCountQuery}, &qr); code != http.StatusOK {
+		t.Fatalf("world query: %d", code)
+	}
+	if qr.Name != "Pop" || len(qr.Values) != 2 || qr.Values[0] != 64 || qr.Tick != 2 {
+		t.Errorf("world query = %+v", qr)
+	}
+	if qr.Outputs[0] != "n" || qr.Outputs[1] != "hp" {
+		t.Errorf("outputs = %v", qr.Outputs)
+	}
+
+	// Positional query, indexed vs scan must agree.
+	posQuery := `
+aggregate Near(u, r) :=
+  count(*)
+  over e where e.posx >= u.posx - r and e.posx <= u.posx + r
+    and e.posy >= u.posy - r and e.posy <= u.posy + r;`
+	x, y := 10.0, 10.0
+	var idx, scan QueryResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/q/query",
+		QueryRequest{Src: posQuery, X: &x, Y: &y, Args: []float64{8}}, &idx); code != http.StatusOK {
+		t.Fatalf("positional query: %d", code)
+	}
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/q/query",
+		QueryRequest{Src: posQuery, X: &x, Y: &y, Args: []float64{8}, Scan: true}, &scan); code != http.StatusOK {
+		t.Fatalf("scan query: %d", code)
+	}
+	if idx.Values[0] != scan.Values[0] {
+		t.Errorf("indexed %v != scan %v", idx.Values, scan.Values)
+	}
+
+	// Unit query through a live unit's eyes.
+	unit := int64(0)
+	unitQuery := `
+aggregate Foes(u) := count(*) over e where e.player <> u.player;`
+	var ur QueryResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/q/query",
+		QueryRequest{Src: unitQuery, Unit: &unit}, &ur); code != http.StatusOK {
+		t.Fatalf("unit query: %d", code)
+	}
+	if ur.Values[0] != 32 {
+		t.Errorf("unit query foes = %v, want 32", ur.Values)
+	}
+}
+
+func TestQueryRejections(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "qr", nil)
+	x, y := 1.0, 2.0
+	unit := int64(0)
+	ghost := int64(10_000)
+	cases := []struct {
+		name string
+		req  QueryRequest
+	}{
+		{"empty src", QueryRequest{}},
+		{"action in query", QueryRequest{Src: `action A(u) := on e where e.key = u.key set damage = 1;`}},
+		{"random in query", QueryRequest{Src: `aggregate R(u) := sum(Random(1)) over e;`}},
+		{"syntax error", QueryRequest{Src: `aggregate ???`}},
+		{"arg count mismatch", QueryRequest{Src: testCountQuery, Args: []float64{1, 2}}},
+		{"x without y", QueryRequest{Src: testCountQuery, X: &x}},
+		{"unit and position", QueryRequest{Src: testCountQuery, X: &x, Y: &y, Unit: &unit}},
+		{"unknown unit", QueryRequest{Src: `aggregate F(u) := count(*) over e where e.player <> u.player;`, Unit: &ghost}},
+	}
+	for _, c := range cases {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/qr/query", c.req, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (err %q)", c.name, code, e.Error)
+		}
+	}
+}
+
+func TestQueryCompileOnce(t *testing.T) {
+	ts, reg := newTestServer(t)
+	create(t, ts.URL, "cc", nil)
+	w, _ := reg.Get("cc")
+	q1, err := w.CompiledQuery(testCountQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := w.CompiledQuery(testCountQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 {
+		t.Error("same source should return the identical compiled query (fan-out sharing)")
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "src", func(r *CreateRequest) { r.Seed = 11 })
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/src/step", StepRequest{Ticks: 10}, nil)
+
+	var ck CheckpointResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/src/checkpoint", CheckpointRequest{File: "mig.ckpt"}, &ck); code != http.StatusOK {
+		t.Fatalf("checkpoint: %d", code)
+	}
+	if ck.File != "mig.ckpt" || ck.Tick != 10 {
+		t.Errorf("checkpoint response = %+v", ck)
+	}
+
+	// Restore into a new session with different Workers (the migration
+	// move; Workers is both determinism- and stats-neutral, so even the
+	// checkpoint bytes must match), step both to the same tick, compare.
+	var st Status
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateRequest{Name: "dst", Restore: "mig.ckpt", Workers: 2}, &st); code != http.StatusCreated {
+		t.Fatalf("restore create: %d", code)
+	}
+	if st.Tick != 10 {
+		t.Errorf("restored tick = %d, want 10", st.Tick)
+	}
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/src/step", StepRequest{Ticks: 7}, nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/dst/step", StepRequest{Ticks: 7}, nil)
+
+	a := fetchCheckpoint(t, ts.URL, "src")
+	b := fetchCheckpoint(t, ts.URL, "dst")
+	if !bytes.Equal(a, b) {
+		t.Error("migrated world diverged from the original")
+	}
+
+	// Restoring under Incremental maintenance changes the serialized
+	// maintenance counters (they are measurement state), but the game
+	// outcome must still match exactly.
+	var inc Status
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateRequest{Name: "inc", Restore: "mig.ckpt", Incremental: true}, &inc); code != http.StatusCreated {
+		t.Fatalf("incremental restore: %d", code)
+	}
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/inc/step", StepRequest{Ticks: 7}, nil)
+	var want, got Status
+	do(t, http.MethodGet, ts.URL+"/v1/sessions/src", nil, &want)
+	do(t, http.MethodGet, ts.URL+"/v1/sessions/inc", nil, &got)
+	if got.Tick != want.Tick || got.Deaths != want.Deaths || got.Moves != want.Moves {
+		t.Errorf("incremental migration diverged: got %+v, want %+v", got, want)
+	}
+}
+
+// fetchCheckpoint streams a world's checkpoint bytes over HTTP.
+func fetchCheckpoint(t *testing.T, base, name string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/sessions/" + name + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream checkpoint %s: %d", name, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCheckpointOfSteppingSession(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "live", nil)
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/live/run", RunRequest{TickRate: 0}, nil); code != http.StatusOK {
+		t.Fatal("run failed")
+	}
+	// Checkpoint repeatedly while the clock free-runs: every snapshot
+	// must be consistent (restorable), and ticks must be monotone.
+	var lastTick int64 = -1
+	for i := 0; i < 5; i++ {
+		var ck CheckpointResponse
+		file := fmt.Sprintf("live-%d.ckpt", i)
+		if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/live/checkpoint", CheckpointRequest{File: file}, &ck); code != http.StatusOK {
+			t.Fatalf("checkpoint %d: %d", i, code)
+		}
+		if ck.Tick < lastTick {
+			t.Errorf("checkpoint ticks went backwards: %d after %d", ck.Tick, lastTick)
+		}
+		lastTick = ck.Tick
+		name := fmt.Sprintf("resurrect-%d", i)
+		var st Status
+		if code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
+			CreateRequest{Name: name, Restore: file}, &st); code != http.StatusCreated {
+			t.Fatalf("restore of live checkpoint %d failed: %d", i, code)
+		}
+	}
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/live/stop", map[string]any{}, nil)
+}
+
+func TestConcurrentCreateDeleteRaces(t *testing.T) {
+	ts, reg := newTestServer(t)
+	// Hammer the same names from many goroutines: creates either succeed
+	// (201) or conflict (409), deletes either succeed (200) or miss
+	// (404); nothing else, and the registry stays consistent.
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("race-%d", g%3) // 3 contested names
+			for i := 0; i < 8; i++ {
+				code, err := try(http.MethodPost, ts.URL+"/v1/sessions",
+					CreateRequest{Name: name, Units: 16, Density: 0.05}, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if code != http.StatusCreated && code != http.StatusConflict {
+					t.Errorf("racy create: status %d", code)
+				}
+				code, err = try(http.MethodDelete, ts.URL+"/v1/sessions/"+name, nil, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if code != http.StatusOK && code != http.StatusNotFound {
+					t.Errorf("racy delete: status %d", code)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Registry invariant: list is well-formed and every listed world Gets.
+	for _, st := range reg.List() {
+		if _, ok := reg.Get(st.Name); !ok {
+			t.Errorf("listed world %q not gettable", st.Name)
+		}
+	}
+}
+
+// Regression: a vanishingly small tick rate must behave as nearly
+// paused, not overflow the period math into a negative duration and
+// busy-loop at full speed.
+func TestTinyTickRateDoesNotBusyLoop(t *testing.T) {
+	reg := NewRegistry()
+	w, err := reg.Create("slow", WorldSpec{Units: 16, Density: 0.05, Mode: engine.Indexed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Delete("slow")
+	if err := w.StartClock(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	w.StopClock()
+	// The loop ticks once before its first wait; anything more means the
+	// pacing branch never engaged.
+	if got := w.Session().Tick(); got > 1 {
+		t.Errorf("tiny tick rate ran %d ticks in 150ms (busy loop)", got)
+	}
+}
+
+// Regression: a StartClock racing Delete must never leave an orphaned
+// clock goroutine (Delete marks the world, then stops; StartClock on a
+// deleted world refuses).
+func TestStartClockAfterDeleteRefused(t *testing.T) {
+	reg := NewRegistry()
+	w, err := reg.Create("gone", WorldSpec{Units: 16, Density: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Delete("gone") {
+		t.Fatal("delete failed")
+	}
+	if err := w.StartClock(0); err == nil {
+		w.StopClock()
+		t.Fatal("StartClock on a deleted world must refuse")
+	}
+	if w.Running() {
+		t.Error("deleted world has a running clock")
+	}
+}
+
+// Regression: StartClock must refuse while a synchronous Step is in
+// flight — otherwise the client's "advance exactly N ticks" overlaps
+// the clock and the returned tick is meaningless.
+func TestStartClockDuringStepRefused(t *testing.T) {
+	reg := NewRegistry()
+	w, err := reg.Create("busy", WorldSpec{Units: 2000, Density: 0.02, Mode: engine.Indexed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Delete("busy")
+
+	// The per-tick hook is a deterministic "step is in flight" signal: it
+	// runs inside Session.Step, after World.Step marked itself stepping.
+	started := make(chan struct{})
+	var once sync.Once
+	w.Session().OnTick(func(int64, engine.RunStats) {
+		once.Do(func() { close(started) })
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := w.Step(10); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	if err := w.StartClock(0); err == nil {
+		w.StopClock()
+		t.Error("clock started while a synchronous step was in flight")
+	}
+	<-done
+	// Step finished; starting now is legitimate.
+	if err := w.StartClock(0); err != nil {
+		t.Fatalf("StartClock after step: %v", err)
+	}
+	w.StopClock()
+}
+
+// Regression: concurrent synchronous Steps serialize, so the tick
+// counter matches the world's real clock instead of double-counting
+// each caller's view of the shared tick delta.
+func TestConcurrentStepsCountTicksExactly(t *testing.T) {
+	reg := NewRegistry()
+	w, err := reg.Create("acct", WorldSpec{Units: 64, Density: 0.02, Mode: engine.Indexed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Delete("acct")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Step(5); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.Session().Tick(); got != 20 {
+		t.Fatalf("world tick = %d, want 20", got)
+	}
+	if v := reg.Metrics.Counter("sgld_ticks_total", metrics.L("session", "acct")).Value(); v != 20 {
+		t.Errorf("sgld_ticks_total = %v, want 20", v)
+	}
+}
+
+// Regression: restoring a checkpoint whose .sgl script sidecar is gone
+// must fail loudly, not silently fall back to the battle script.
+func TestRestoreWithoutSidecarRefused(t *testing.T) {
+	ts, srv := newTestServerWithDataDir(t)
+	create(t, ts.URL, "orig", nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/orig/step", StepRequest{Ticks: 3}, nil)
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/orig/checkpoint", CheckpointRequest{File: "orphan.ckpt"}, nil); code != http.StatusOK {
+		t.Fatal("checkpoint failed")
+	}
+	if err := os.Remove(filepath.Join(srv, "orphan.ckpt.sgl")); err != nil {
+		t.Fatal(err)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateRequest{Name: "lost", Restore: "orphan.ckpt"}, &e)
+	if code != http.StatusBadRequest {
+		t.Fatalf("restore without sidecar: status %d, want 400", code)
+	}
+	if !strings.Contains(e.Error, "sidecar") {
+		t.Errorf("error should mention the sidecar, got %q", e.Error)
+	}
+	// Supplying the script explicitly unblocks the migration.
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateRequest{Name: "lost", Restore: "orphan.ckpt", Script: game.Script}, nil); code != http.StatusCreated {
+		t.Errorf("restore with explicit script: status %d, want 201", code)
+	}
+}
+
+// Regression: a maximum-length session name must still round-trip
+// through its derived "<name>.ckpt" checkpoint and back through the
+// restore API.
+func TestMaxLengthNameCheckpointRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+	long := strings.Repeat("n", 120)
+	create(t, ts.URL, long, nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/"+long+"/step", StepRequest{Ticks: 2}, nil)
+	var ck CheckpointResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/"+long+"/checkpoint", CheckpointRequest{}, &ck); code != http.StatusOK {
+		t.Fatalf("checkpoint with derived name: %d", code)
+	}
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateRequest{Name: "back", Restore: ck.File}, nil); code != http.StatusCreated {
+		t.Errorf("restore of derived-name checkpoint: status %d, want 201", code)
+	}
+}
+
+// Regression: the .sgl suffix is reserved — a checkpoint named
+// "x.ckpt.sgl" would overwrite the script sidecar of "x.ckpt".
+func TestCheckpointSglSuffixRefused(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "res", nil)
+	code := do(t, http.MethodPost, ts.URL+"/v1/sessions/res/checkpoint",
+		CheckpointRequest{File: "res.ckpt.sgl"}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("checkpoint to *.sgl: status %d, want 400", code)
+	}
+}
+
+// Regression: restore requests must not silently drop fresh-world
+// fields — the checkpoint carries the spec.
+func TestRestoreRejectsFreshWorldFields(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "donor", nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/donor/checkpoint", CheckpointRequest{File: "d.ckpt"}, nil)
+	for _, req := range []CreateRequest{
+		{Name: "r1", Restore: "d.ckpt", Units: 500},
+		{Name: "r2", Restore: "d.ckpt", Seed: 9},
+		{Name: "r3", Restore: "d.ckpt", Mode: "naive"},
+		{Name: "r4", Restore: "d.ckpt", Formation: "scattered"},
+	} {
+		if code := do(t, http.MethodPost, ts.URL+"/v1/sessions", req, nil); code != http.StatusBadRequest {
+			t.Errorf("restore with fresh-world field %+v: status %d, want 400", req, code)
+		}
+	}
+	// Tuning fields stay legal on restore.
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateRequest{Name: "ok", Restore: "d.ckpt", Workers: 2, Incremental: true}, nil); code != http.StatusCreated {
+		t.Errorf("restore with tuning only: status %d, want 201", code)
+	}
+}
+
+// Regression: concurrent checkpoints of the same file must each write a
+// complete, restorable file (per-call temp names — a shared temp path
+// once let two writers interleave).
+func TestConcurrentCheckpointsStayRestorable(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "cc", nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/cc/run", RunRequest{TickRate: 0}, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := try(http.MethodPost, ts.URL+"/v1/sessions/cc/checkpoint", CheckpointRequest{File: "cc.ckpt"}, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/cc/stop", map[string]any{}, nil)
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateRequest{Name: "cc2", Restore: "cc.ckpt"}, nil); code != http.StatusCreated {
+		t.Errorf("restore after concurrent checkpoints: status %d, want 201", code)
+	}
+}
+
+// Regression: deleting a world removes its labeled metric series, so
+// session churn cannot grow /metrics without bound.
+func TestDeleteRemovesMetricSeries(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "ephemeral", nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/ephemeral/step", StepRequest{Ticks: 2}, nil)
+	do(t, http.MethodDelete, ts.URL+"/v1/sessions/ephemeral", nil, nil)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(data), `session="ephemeral"`) {
+		t.Errorf("deleted session still in /metrics:\n%s", data)
+	}
+}
+
+func TestDeleteStopsRunningClock(t *testing.T) {
+	ts, reg := newTestServer(t)
+	create(t, ts.URL, "doomed", nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/doomed/run", RunRequest{TickRate: 0}, nil)
+	w, _ := reg.Get("doomed")
+	if code := do(t, http.MethodDelete, ts.URL+"/v1/sessions/doomed", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete running world: %d", code)
+	}
+	if w.Running() {
+		t.Error("deleted world's clock still running")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "m", nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/m/step", StepRequest{Ticks: 3}, nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/m/query", QueryRequest{Src: testCountQuery}, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	out := string(data)
+	for _, want := range []string{
+		`sgld_worlds 1`,
+		`sgld_sessions_created_total 1`,
+		`sgld_ticks_total{session="m"} 3`,
+		`sgld_queries_total{session="m"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}
+
+func TestValidNameTable(t *testing.T) {
+	for name, want := range map[string]bool{
+		"alpha":                  true,
+		"a":                      true,
+		"w0.ckpt":                true,
+		"A-b_c.9":                true,
+		"":                       false,
+		".hidden":                false,
+		"-flag":                  false,
+		"..":                     false,
+		"a/b":                    false,
+		"a\\b":                   false,
+		"a b":                    false,
+		strings.Repeat("x", 121): false,
+		strings.Repeat("x", 120): true,
+	} {
+		if got := ValidName(name); got != want {
+			t.Errorf("ValidName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package table
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+
+	if err := WriteFileAtomic(path, func(f *os.File) error {
+		_, err := f.WriteString("v1")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("content = %q", got)
+	}
+
+	// A failing write must leave the previous file untouched and no
+	// temp litter behind.
+	boom := errors.New("boom")
+	if err := WriteFileAtomic(path, func(f *os.File) error {
+		f.WriteString("partial garbage")
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("old content destroyed: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "state.bin" {
+		t.Fatalf("temp litter left behind: %v", entries)
+	}
+
+	// Overwrite succeeds.
+	if err := WriteFileAtomic(path, func(f *os.File) error {
+		_, err := f.WriteString("v2")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestWriteTempOwnership(t *testing.T) {
+	dir := t.TempDir()
+	tmp, err := WriteTemp(dir, "x.tmp-*", func(f *os.File) error {
+		_, err := f.WriteString("staged")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(tmp); string(got) != "staged" {
+		t.Fatalf("staged content = %q", got)
+	}
+	final := filepath.Join(dir, "x")
+	if err := os.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	// Failure path removes the temp.
+	if _, err := WriteTemp(dir, "y.tmp-*", func(*os.File) error {
+		return errors.New("nope")
+	}); err == nil {
+		t.Fatal("expected error")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 || entries[0].Name() != "x" {
+		t.Fatalf("unexpected dir contents: %v", entries)
+	}
+}

@@ -130,9 +130,26 @@
 // routes queries under a read lock, so any number of reader goroutines
 // run safely against Step.
 //
+// # Serving many worlds
+//
+// One process can host many concurrent worlds: the sgld daemon
+// (cmd/sgld) keeps a registry of named Sessions behind an HTTP/JSON
+// API — create a world from an SGL script, run its clock at a target
+// tick rate on its own goroutine, fan observation queries out to any
+// number of spectators (each distinct query source compiles once and
+// shares one index build per tick), checkpoint it to disk, and restore
+// it into a new session under different tuning, which is live
+// migration. Serving is itself covered by an exactness contract: a
+// world stepped over HTTP under concurrent spectator load checkpoints
+// byte-identically to the same (script, seed, ticks) run standalone.
+// Operational counters are exposed on /metrics in Prometheus text
+// format, and `sgld -loadgen` measures sustained multi-world serving.
+//
 // See the examples/ directory for runnable programs (examples/checkpoint
-// demonstrates the session lifecycle end to end) and cmd/ for the sglc,
-// battlesim and benchfig tools.
+// demonstrates the session lifecycle end to end), cmd/ for the sglc,
+// battlesim, benchfig and sgld tools, and docs/ for the architecture
+// overview (docs/ARCHITECTURE.md), the SGL language reference
+// (docs/LANGUAGE.md), and the CLI guide (docs/CLI.md).
 package sgl
 
 import (
