@@ -142,3 +142,129 @@ func TestResumeErrors(t *testing.T) {
 		t.Fatal("missing checkpoint accepted")
 	}
 }
+
+// The -commands smoke: a scripted input file drives spawns, despawns,
+// sets and tunes through the exact code path users run, the summary
+// reports them, and the world reflects them (population back to the
+// start after the spawn/despawn pair, one deterministic rejection from
+// the bogus despawn).
+func TestScriptedCommandsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cmds := filepath.Join(dir, "input.txt")
+	const file = `
+# scripted inputs for the smoke test
+2 set 5 health 9
+4 spawn 9001 0 1 40 40
+6 despawn 9001
+6 despawn 424242
+8 tune _HEAL_AURA 5
+`
+	if err := os.WriteFile(cmds, []byte(file), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "world.ckpt")
+	cfg := baseConfig()
+	cfg.commands = cmds
+	cfg.checkpoint = ckpt
+	cfg.report = 0
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "commands: 4 applied, 1 rejected, 0 pending") {
+		t.Fatalf("missing/incorrect command summary:\n%s", out.String())
+	}
+
+	// The checkpoint is self-contained: Open it and verify the journal
+	// and the tuned constant came along.
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sess, err := engine.Open(f, game.NewMechanics(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sess.Journal()); got != 5 {
+		t.Fatalf("journal entries = %d, want 5", got)
+	}
+	if v, _ := sess.Engine().ConstValue("_HEAL_AURA"); v != 5 {
+		t.Fatalf("tuned const = %v, want 5", v)
+	}
+	if sess.Engine().Env().Len() != 80 {
+		t.Fatalf("population = %d, want 80", sess.Engine().Env().Len())
+	}
+}
+
+// Command files that cannot be parsed, or that name ticks already in the
+// past, fail loudly before the run starts.
+func TestScriptedCommandsErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(content string) string {
+		t.Helper()
+		p := filepath.Join(dir, "bad.txt")
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, tc := range []struct{ name, content, want string }{
+		{"bad-op", "1 explode 5", "unknown or malformed"},
+		{"bad-tick", "x set 5 health 1", "bad tick"},
+		{"tick-only", "7", "missing command"},
+		{"short-spawn", "1 spawn 9", "unknown or malformed"},
+		{"bad-unittype", "1 spawn 9 0 7 4 4", "spawn wants"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := baseConfig()
+			cfg.commands = write(tc.content)
+			err := run(cfg, &bytes.Buffer{})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+	// A syntactically fine file whose column fails engine validation.
+	cfg := baseConfig()
+	cfg.commands = write("1 set 5 nosuch 1")
+	if err := run(cfg, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "no column") {
+		t.Fatalf("err = %v, want engine validation error", err)
+	}
+}
+
+// A -resume run may reuse the exact -commands file that drove the
+// earlier segment: entries behind the resumed tick are skipped (they
+// already live in the checkpoint's journal), later ones still apply.
+func TestScriptedCommandsResumeSameFile(t *testing.T) {
+	dir := t.TempDir()
+	cmds := filepath.Join(dir, "input.txt")
+	if err := os.WriteFile(cmds, []byte("2 set 5 health 9\n25 tune _HEAL_AURA 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "world.ckpt")
+
+	first := baseConfig()
+	first.commands = cmds
+	first.checkpoint = ckpt
+	first.report = 0
+	if err := run(first, &bytes.Buffer{}); err != nil { // runs ticks 0–20: only the tick-2 entry applies
+		t.Fatal(err)
+	}
+
+	second := baseConfig()
+	second.ticks = 10
+	second.resume = ckpt
+	second.commands = cmds
+	second.report = 0
+	var out bytes.Buffer
+	if err := run(second, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "skipping 1 entries at ticks before 20") {
+		t.Fatalf("missing skip notice:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "commands: 2 applied") { // tick-2 (from journal) + tick-25 entry
+		t.Fatalf("tick-25 entry did not apply on resume:\n%s", out.String())
+	}
+}

@@ -16,11 +16,13 @@
 //	     -d '{"name":"beta","restore":"alpha.ckpt","workers":4}'
 //
 // Load-generator mode drives a fleet of worlds with spectator query
-// fan-out and prints per-session tick-rate and latency tables. With
-// -base it targets a running daemon; without, it spins up an in-process
-// server first, so one command proves the serving layer end to end:
+// fan-out — and, with -actors, command-injecting actors exercising the
+// write path — and prints per-session tick-rate and latency tables.
+// With -base it targets a running daemon; without, it spins up an
+// in-process server first, so one command proves the serving layer end
+// to end:
 //
-//	sgld -loadgen -worlds 8 -spectators 4 -duration 10s
+//	sgld -loadgen -worlds 8 -spectators 4 -actors 2 -duration 10s
 //
 // See docs/CLI.md for the full flag reference and docs/ARCHITECTURE.md
 // for where the server sits in the system.
@@ -55,6 +57,7 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "loadgen: base seed (world i runs seed+i)")
 		tickrate   = flag.Float64("tickrate", 10, "loadgen: clock target per world in ticks/s (0 = uncapped)")
 		spectators = flag.Int("spectators", 4, "loadgen: concurrent spectators per world")
+		actors     = flag.Int("actors", 0, "loadgen: concurrent command-injecting actors per world")
 		duration   = flag.Duration("duration", 10*time.Second, "loadgen: measurement window")
 		workers    = flag.Int("workers", 1, "loadgen: engine workers per world")
 		incr       = flag.Bool("incremental", false, "loadgen: incremental index maintenance per world")
@@ -66,7 +69,7 @@ func main() {
 		loadgen: *loadgen, base: *base,
 		lg: server.LoadGenConfig{
 			Worlds: *worlds, Units: *units, Density: *density, Seed: *seed,
-			TickRate: *tickrate, Spectators: *spectators, Duration: *duration,
+			TickRate: *tickrate, Spectators: *spectators, Actors: *actors, Duration: *duration,
 			Workers: *workers, Incremental: *incr,
 		},
 	}, os.Stdout); err != nil {
@@ -157,8 +160,8 @@ func runLoadGen(cfg runConfig, out io.Writer) error {
 
 	lg := cfg.lg
 	lg.BaseURL = baseURL
-	fmt.Fprintf(out, "sgld: loadgen — %d worlds × %d units, %d spectators/world, %.0f ticks/s target, %s window\n",
-		lg.Worlds, lg.Units, lg.Spectators, lg.TickRate, lg.Duration)
+	fmt.Fprintf(out, "sgld: loadgen — %d worlds × %d units, %d spectators + %d actors/world, %.0f ticks/s target, %s window\n",
+		lg.Worlds, lg.Units, lg.Spectators, lg.Actors, lg.TickRate, lg.Duration)
 	rows, err := server.LoadGen(lg)
 	if err != nil {
 		return err

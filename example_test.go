@@ -254,3 +254,50 @@ func ExampleRestore() {
 	// resumed at tick: 15
 	// identical to uninterrupted run: true
 }
+
+// Inject external commands into a live session, then checkpoint and
+// reopen the world from the self-contained stream alone — no program,
+// no sidecar. The injected state (the despawned unit, the input
+// journal) survives the round trip.
+func ExampleOpen() {
+	prog, err := sgl.CompileBattle()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := sgl.NewBattleEngine(prog, sgl.ArmySpec{Units: 60, Density: 0.02, Seed: 9, Formation: 1}, sgl.Indexed, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := sgl.NewSession(eng)
+	if err := sess.Step(5); err != nil {
+		log.Fatal(err)
+	}
+
+	// Players act: commands queue up and apply at the next tick boundary
+	// in canonical (tick, origin, sequence) order, so the outcome never
+	// depends on network interleaving.
+	err = sess.Submit("player-1",
+		sgl.Command{Op: sgl.OpSet, Key: 7, Col: "morale", Val: 9},
+		sgl.Command{Op: sgl.OpDespawn, Key: 11},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Step(5); err != nil {
+		log.Fatal(err)
+	}
+
+	var ck bytes.Buffer
+	if err := sess.Checkpoint(&ck); err != nil {
+		log.Fatal(err)
+	}
+	reopened, err := sgl.Open(&ck, sgl.NewBattleMechanics(), sgl.EngineOptions{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("units after despawn:", reopened.Engine().Env().Len())
+	fmt.Println("journal entries:", len(reopened.Journal()))
+	// Output:
+	// units after despawn: 59
+	// journal entries: 2
+}

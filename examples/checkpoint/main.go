@@ -95,9 +95,11 @@ aggregate Closest(u) := nearestkey() as key, nearestdist() as dist over e;`,
 	}
 	report("tick 100")
 
-	// Restore the tick-40 checkpoint — on 4 workers, as a migration to
-	// bigger hardware would — and replay the remaining 60 ticks.
-	restored, err := sgl.RestoreSession(&ckpt, prog, sgl.NewBattleMechanics(), sgl.EngineOptions{Workers: 4})
+	// Reopen the tick-40 checkpoint — on 4 workers, as a migration to
+	// bigger hardware would — and replay the remaining 60 ticks. The v2
+	// format embeds the script, so Open rebuilds the whole session from
+	// the stream alone (no prog argument, no sidecar file).
+	restored, err := sgl.Open(&ckpt, sgl.NewBattleMechanics(), sgl.EngineOptions{Workers: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

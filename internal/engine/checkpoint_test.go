@@ -270,23 +270,61 @@ func (f *failAfter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// FuzzRestore: arbitrary bytes must never panic the restore path. Seeds
-// cover a valid checkpoint plus the interesting prefixes.
+// FuzzRestore: arbitrary bytes must never panic the restore path —
+// neither Restore (prog-supplied, v1+v2) nor the self-contained Open
+// (v2, which additionally parses the embedded script). Seeds cover a
+// valid v2 checkpoint with live input sections (journal, pending
+// commands, sequence counters), interesting prefixes including one that
+// truncates inside the input sections, corruption inside the embedded
+// script region, and a synthesized v1 stream for the cross-version
+// path.
 func FuzzRestore(f *testing.F) {
 	prog := battleProg(f)
 	valid := checkpointBytes(f, prog)
+
+	// A v2 checkpoint whose script/consts/inputs sections are all
+	// nonempty: applied commands, a journal, and a pending entry.
+	interactive := func() []byte {
+		e := newEngine(f, prog, 48, Indexed, 11, nil)
+		if err := e.Submit("fuzz", Command{Op: OpSet, Key: 1, Col: "health", Val: 9}); err != nil {
+			f.Fatal(err)
+		}
+		if err := e.Run(2); err != nil {
+			f.Fatal(err)
+		}
+		if err := e.Submit("fuzz", Command{Op: OpDespawn, Key: 2}); err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Checkpoint(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
 	f.Add(valid)
+	f.Add(interactive)
 	f.Add(valid[:8])
 	f.Add(valid[:9])
 	f.Add(valid[:len(valid)/2])
 	f.Add(valid[:len(valid)-8])
+	f.Add(interactive[:len(interactive)-24]) // truncated inside the input sections
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/2] ^= 0xFF
 	f.Add(flipped)
+	script := append([]byte(nil), interactive...)
+	script[150] ^= 0x20 // inside the embedded script text
+	f.Add(script)
+	f.Add(synthesizeV1(f, 48, 11))
 	f.Add([]byte(checkpointMagic))
 	f.Add([]byte{})
 	mech := game.NewMechanics()
 	f.Fuzz(func(t *testing.T, data []byte) {
+		if sess, err := Open(bytes.NewReader(data), mech, Options{}); err == nil {
+			if err := sess.Step(1); err != nil {
+				t.Skipf("opened session step failed: %v", err)
+			}
+		}
 		e, err := Restore(bytes.NewReader(data), prog, mech, Options{})
 		if err != nil {
 			return
@@ -296,4 +334,34 @@ func FuzzRestore(f *testing.F) {
 			t.Skipf("restored engine tick failed: %v", err)
 		}
 	})
+}
+
+// A checksum-valid v2 stream whose embedded script does not compile must
+// fail Open with an error, not a panic — the script section is data, not
+// trusted code. (Engine-internal surgery: rewrite the source and
+// re-checkpoint, so the checksum is honest.)
+func TestOpenBadEmbeddedScript(t *testing.T) {
+	prog := battleProg(t)
+	e := newEngine(t, prog, 40, Indexed, 2, nil)
+	if err := e.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ name, src string }{
+		{"parse-error", "function main(u) {"},
+		{"check-error", "function main(u) { perform NoSuchAction(u) }"},
+		{"empty", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e.source = tc.src
+			var buf bytes.Buffer
+			if err := e.Checkpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Open(bytes.NewReader(buf.Bytes()), game.NewMechanics(), Options{}); err == nil ||
+				!strings.Contains(err.Error(), "embedded script") {
+				t.Fatalf("Open with %s script: err = %v, want embedded-script error", tc.name, err)
+			}
+		})
+	}
 }

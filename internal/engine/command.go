@@ -1,0 +1,439 @@
+// External command injection: the write half of the interactive session
+// API. A closed simulation only ever mutates itself; a *game* is driven
+// by players, whose actions arrive asynchronously from many connections.
+// The command pipeline turns those arrivals back into something the
+// deterministic tick machinery can digest:
+//
+//   - Submit validates a typed command against the schema and world
+//     geometry, stamps it (tick, origin, per-origin sequence), appends it
+//     to the per-tick input buffer AND to the run's input journal, and
+//     returns; nothing mutates yet.
+//   - The next Tick drains the buffer first — before the effect query,
+//     before any index build — applying commands in the canonical order
+//     (tick, origin, sequence). Two clients racing their submissions
+//     therefore produce the same world no matter how the network
+//     interleaved them: the canonical order depends only on WHAT was
+//     submitted in the tick window, not on when within it.
+//   - Commands that fail their apply-time rules (spawn onto an occupied
+//     square, despawn of a dead key) are rejected deterministically and
+//     counted, never partially applied.
+//
+// Exactness contract #5 follows: the journal is a complete record of every
+// accepted input with its stamp, so re-submitting it against a fresh
+// engine of the same (program, initial environment, seed) reproduces the
+// live interactive run byte-for-byte, at any Workers × Incremental
+// setting — TestReplayMatchesLive proves it, and checkpoint format v2
+// carries the pending buffer and journal so the contract survives
+// checkpoint/restore mid-stream.
+//
+// Interaction with incremental maintenance: a command mutates rows after
+// the previous tick's delta was captured, so applyCommands feeds the
+// affected rows back into the delta (exec.Delta.Add, conservative
+// all-columns mask). Population changes and constant tunes invalidate the
+// delta outright — the next tick rebuilds from scratch, and maintenance
+// re-engages after.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/epicscale/sgl/internal/index/grid"
+	"github.com/epicscale/sgl/internal/table"
+)
+
+// CommandOp enumerates the typed world mutations a session accepts.
+type CommandOp uint8
+
+// Command operations.
+const (
+	// OpSpawn inserts a new unit row (Command.Row, full schema width).
+	OpSpawn CommandOp = iota
+	// OpDespawn removes the unit with Command.Key.
+	OpDespawn
+	// OpSet overwrites one state column (Command.Col) of the unit with
+	// Command.Key to Command.Val.
+	OpSet
+	// OpTune changes the named game constant (Command.Col) the engine's
+	// scripts read to Command.Val, from the next tick on.
+	OpTune
+)
+
+// String returns the wire name of the operation.
+func (op CommandOp) String() string {
+	switch op {
+	case OpSpawn:
+		return "spawn"
+	case OpDespawn:
+		return "despawn"
+	case OpSet:
+		return "set"
+	case OpTune:
+		return "tune"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// MarshalJSON encodes the operation as its wire name.
+func (op CommandOp) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + op.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a wire name back into the operation.
+func (op *CommandOp) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"spawn"`:
+		*op = OpSpawn
+	case `"despawn"`:
+		*op = OpDespawn
+	case `"set"`:
+		*op = OpSet
+	case `"tune"`:
+		*op = OpTune
+	default:
+		return fmt.Errorf("engine: unknown command op %s", b)
+	}
+	return nil
+}
+
+// Command is one externally injected world mutation. Which fields matter
+// depends on Op: Spawn reads Row (and normalizes Key from its key
+// column), Despawn reads Key, Set reads Key/Col/Val, Tune reads Col (the
+// constant's name) and Val.
+type Command struct {
+	// Op selects the mutation.
+	Op CommandOp `json:"op"`
+	// Key is the target unit key (despawn, set; normalized for spawn).
+	Key int64 `json:"key,omitempty"`
+	// Col names the schema column (set) or game constant (tune).
+	Col string `json:"col,omitempty"`
+	// Val is the value written (set, tune).
+	Val float64 `json:"val,omitempty"`
+	// Row is the full environment row a spawn inserts.
+	Row []float64 `json:"row,omitempty"`
+}
+
+// StampedCommand is a command plus the stamp Submit assigned: the tick it
+// applies before, the submitting origin, and the origin's sequence
+// number. The triple (Tick, Origin, Seq) is the canonical application
+// order and the journal's replay key.
+type StampedCommand struct {
+	// Tick is the engine tick count at submission; the command applies at
+	// the start of the Tick call that advances the world to Tick+1.
+	Tick int64 `json:"tick"`
+	// Origin identifies the submitter (a player, a connection, a tool).
+	Origin string `json:"origin"`
+	// Seq is the origin's own submission counter, assigned by Submit.
+	Seq uint64 `json:"seq"`
+	// Cmd is the command itself.
+	Cmd Command `json:"cmd"`
+}
+
+// Input-pipeline limits.
+const (
+	// MaxPendingCommands bounds the per-tick input buffer; Submit fails
+	// once it is full (backpressure, and a decode bound for restore).
+	MaxPendingCommands = 4096
+	// MaxOriginLen bounds the origin identifier a command carries.
+	MaxOriginLen = 64
+)
+
+// Submit validates cmds and enqueues them for application at the next
+// tick boundary, all-or-nothing: if any command fails validation, none is
+// enqueued. Accepted commands are stamped (tick, origin, per-origin
+// sequence) and recorded in the input journal. Submit must not run
+// concurrently with Tick or with itself — the Session facade serializes
+// it under the writer lock.
+//
+// Validation here covers everything knowable without the live world:
+// schema shape, world geometry, finiteness, known columns and constants.
+// Rules that depend on the world at application time — key existence and
+// uniqueness, square occupancy — are checked when the command applies,
+// and a violation then rejects the command deterministically (counted in
+// RunStats.CommandsRejected) rather than failing the tick.
+func (e *Engine) Submit(origin string, cmds ...Command) error {
+	if len(origin) > MaxOriginLen {
+		return fmt.Errorf("engine: origin longer than %d bytes", MaxOriginLen)
+	}
+	if len(e.pending)+len(cmds) > MaxPendingCommands {
+		return fmt.Errorf("engine: input buffer full (%d pending, limit %d)", len(e.pending), MaxPendingCommands)
+	}
+	for i := range cmds {
+		if err := e.validateCommand(&cmds[i]); err != nil {
+			return fmt.Errorf("engine: command %d: %w", i, err)
+		}
+	}
+	if e.seqs == nil {
+		e.seqs = map[string]uint64{}
+	}
+	for _, c := range cmds {
+		if c.Row != nil {
+			c.Row = append([]float64(nil), c.Row...) // decouple from the caller
+		}
+		sc := StampedCommand{Tick: e.tick, Origin: origin, Seq: e.seqs[origin], Cmd: c}
+		e.seqs[origin]++
+		e.pending = insertCanonical(e.pending, sc)
+		e.journal = insertCanonical(e.journal, sc)
+	}
+	return nil
+}
+
+// insertCanonical appends sc and bubbles it into canonical (tick,
+// origin, sequence) position. Ticks only grow, so the walk never leaves
+// the current tick's tail segment. Keeping BOTH the buffer and the
+// journal canonical at all times (not just sorting at the tick boundary)
+// is what makes checkpoints — which embed them — byte-independent of
+// arrival interleaving, not merely semantically independent.
+func insertCanonical(list []StampedCommand, sc StampedCommand) []StampedCommand {
+	list = append(list, sc)
+	for i := len(list) - 1; i > 0; i-- {
+		p := list[i-1]
+		if p.Tick != sc.Tick || p.Origin < sc.Origin || (p.Origin == sc.Origin && p.Seq < sc.Seq) {
+			break
+		}
+		list[i], list[i-1] = list[i-1], list[i]
+	}
+	return list
+}
+
+// SubmitStamped enqueues one journal entry with its original stamp — the
+// replay path. The entry must be stamped for the engine's current tick
+// (drive the engine tick by tick, submitting each tick's journal slice
+// first). The origin's sequence counter advances past the entry's, so a
+// replayed-then-live session keeps assigning fresh sequence numbers.
+func (e *Engine) SubmitStamped(sc StampedCommand) error {
+	if len(sc.Origin) > MaxOriginLen {
+		return fmt.Errorf("engine: origin longer than %d bytes", MaxOriginLen)
+	}
+	if sc.Tick != e.tick {
+		return fmt.Errorf("engine: replayed command stamped for tick %d submitted at tick %d", sc.Tick, e.tick)
+	}
+	if len(e.pending) >= MaxPendingCommands {
+		return fmt.Errorf("engine: input buffer full (%d pending, limit %d)", len(e.pending), MaxPendingCommands)
+	}
+	if err := e.validateCommand(&sc.Cmd); err != nil {
+		return fmt.Errorf("engine: replayed command: %w", err)
+	}
+	if sc.Cmd.Row != nil {
+		sc.Cmd.Row = append([]float64(nil), sc.Cmd.Row...)
+	}
+	if e.seqs == nil {
+		e.seqs = map[string]uint64{}
+	}
+	if next := sc.Seq + 1; next > e.seqs[sc.Origin] {
+		e.seqs[sc.Origin] = next
+	}
+	e.pending = insertCanonical(e.pending, sc)
+	e.journal = insertCanonical(e.journal, sc)
+	return nil
+}
+
+// Journal returns a copy of the run's input journal: every accepted
+// command with its (tick, origin, sequence) stamp, in acceptance order.
+// Replaying it against a fresh engine of the same (program, initial
+// environment, seed) reproduces this run byte-identically (contract #5).
+func (e *Engine) Journal() []StampedCommand {
+	return append([]StampedCommand(nil), e.journal...)
+}
+
+// Pending returns a copy of the commands waiting for the next tick
+// boundary.
+func (e *Engine) Pending() []StampedCommand {
+	return append([]StampedCommand(nil), e.pending...)
+}
+
+// ConstValue returns the engine's current value of a named game constant
+// — the base value from the program's constant table, or the latest
+// OpTune override.
+func (e *Engine) ConstValue(name string) (float64, bool) {
+	v, ok := e.prog.Consts[name]
+	return v, ok
+}
+
+// validateCommand checks the world-independent rules. It normalizes a
+// spawn's Key field from the row's key column.
+func (e *Engine) validateCommand(c *Command) error {
+	switch c.Op {
+	case OpSpawn:
+		if len(c.Row) != e.prog.Schema.NumAttrs() {
+			return fmt.Errorf("spawn row width %d != schema width %d", len(c.Row), e.prog.Schema.NumAttrs())
+		}
+		for i, v := range c.Row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("spawn row column %s is not finite", e.prog.Schema.Attr(i).Name)
+			}
+		}
+		key := c.Row[e.prog.Schema.KeyCol()]
+		if key != math.Trunc(key) || key < 0 {
+			return fmt.Errorf("spawn key %v must be a non-negative integer", key)
+		}
+		c.Key = int64(key)
+		if err := e.validatePos(c.Row[e.posX], c.Row[e.posY]); err != nil {
+			return err
+		}
+	case OpDespawn:
+		if c.Key < 0 {
+			return fmt.Errorf("despawn key %d must be non-negative", c.Key)
+		}
+	case OpSet:
+		if c.Key < 0 {
+			return fmt.Errorf("set key %d must be non-negative", c.Key)
+		}
+		col, ok := e.prog.Schema.Col(c.Col)
+		if !ok {
+			return fmt.Errorf("set: no column %q in the schema", c.Col)
+		}
+		if col == e.prog.Schema.KeyCol() {
+			return fmt.Errorf("set: the key column is immutable")
+		}
+		if e.prog.Schema.Attr(col).Kind != table.Const {
+			return fmt.Errorf("set: column %q is an effect column (kind %v), not unit state", c.Col, e.prog.Schema.Attr(col).Kind)
+		}
+		if math.IsNaN(c.Val) || math.IsInf(c.Val, 0) {
+			return fmt.Errorf("set %s: value must be finite", c.Col)
+		}
+		if col == e.posX || col == e.posY {
+			if c.Val < 0 || c.Val >= e.opts.Side {
+				return fmt.Errorf("set %s = %v is outside the world [0, %v)", c.Col, c.Val, e.opts.Side)
+			}
+		}
+	case OpTune:
+		if _, ok := e.prog.Consts[c.Col]; !ok {
+			return fmt.Errorf("tune: no game constant %q", c.Col)
+		}
+		if math.IsNaN(c.Val) || math.IsInf(c.Val, 0) {
+			return fmt.Errorf("tune %s: value must be finite", c.Col)
+		}
+	default:
+		return fmt.Errorf("unknown command op %d", c.Op)
+	}
+	return nil
+}
+
+func (e *Engine) validatePos(x, y float64) error {
+	if x < 0 || x >= e.opts.Side || y < 0 || y >= e.opts.Side {
+		return fmt.Errorf("position (%v, %v) is outside the world [0, %v)²", x, y, e.opts.Side)
+	}
+	return nil
+}
+
+// applyCommands drains the input buffer at the tick boundary, applying
+// commands in the canonical (tick, origin, sequence) order — the order
+// insertCanonical maintains the buffer in, so the drain is a plain walk.
+// It runs first in Tick, before the key index, the effect query, and any
+// index build, so the whole tick observes the post-command world.
+func (e *Engine) applyCommands() {
+	if len(e.pending) == 0 {
+		return
+	}
+	// Occupancy mirror of the live environment, maintained through the
+	// batch so each command observes its predecessors' placements — the
+	// same one-unit-per-square rule movement and resurrection enforce.
+	occ := grid.NewOccupancy(e.env.Len())
+	kc := e.prog.Schema.KeyCol()
+	for _, row := range e.env.Rows {
+		occ.Place(row[e.posX], row[e.posY], int64(row[kc]))
+	}
+
+	popChanged, tuned := false, false
+	setRows := map[int]bool{}
+	for _, sc := range e.pending {
+		c := sc.Cmd
+		switch c.Op {
+		case OpSpawn:
+			if e.rowIndexByKey(c.Key) >= 0 {
+				e.Stats.CommandsRejected++ // duplicate key
+				continue
+			}
+			if !occ.Place(c.Row[e.posX], c.Row[e.posY], c.Key) {
+				e.Stats.CommandsRejected++ // square occupied
+				continue
+			}
+			e.env.Append(append([]float64(nil), c.Row...))
+			popChanged = true
+		case OpDespawn:
+			i := e.rowIndexByKey(c.Key)
+			if i < 0 {
+				e.Stats.CommandsRejected++
+				continue
+			}
+			row := e.env.Rows[i]
+			occ.Remove(row[e.posX], row[e.posY], c.Key)
+			e.env.Rows = append(e.env.Rows[:i], e.env.Rows[i+1:]...)
+			popChanged = true
+		case OpSet:
+			i := e.rowIndexByKey(c.Key)
+			if i < 0 {
+				e.Stats.CommandsRejected++
+				continue
+			}
+			row := e.env.Rows[i]
+			col, _ := e.prog.Schema.Col(c.Col)
+			if col == e.posX || col == e.posY {
+				nx, ny := row[e.posX], row[e.posY]
+				if col == e.posX {
+					nx = c.Val
+				} else {
+					ny = c.Val
+				}
+				if !occ.Move(row[e.posX], row[e.posY], nx, ny, c.Key) {
+					e.Stats.CommandsRejected++ // target square occupied
+					continue
+				}
+			}
+			row[col] = c.Val
+			setRows[i] = true
+		case OpTune:
+			e.prog.Consts[c.Col] = c.Val
+			tuned = true
+		}
+		e.Stats.CommandsApplied++
+	}
+	e.pending = e.pending[:0]
+
+	// Feed the mutations into the incremental-maintenance path.
+	// Population changes shift row indexes and constant tunes change
+	// index build inputs, so both invalidate the delta outright — the
+	// coming tick rebuilds from scratch and maintenance re-engages
+	// afterwards. Row edits instead merge into the captured delta with a
+	// conservative all-columns mask (exec.Delta.Add), AND the flat
+	// snapshot is synced to the edited rows. The sync closes an ABA hole:
+	// the snapshot's contract is "what the tick's provider was built
+	// from", and this tick's provider bakes the post-command values — if
+	// the tick then happens to restore a cell to its pre-command value
+	// (a command-wounded unit dying and respawning at full health), the
+	// end-of-tick bit-diff against an unsynced snapshot would see no
+	// change and the next maintained provider would keep the stale
+	// command value. TestReplayMatchesLive/global-extrema catches exactly
+	// that sequence.
+	if popChanged || tuned {
+		// Dropping the snapshot (not just the delta) matters: a set
+		// command in the same batch would otherwise leave the snapshot
+		// claiming pre-command values for rows this tick's fresh provider
+		// bakes post-command — the same ABA hole as below, one tick
+		// later. The cost is one extra rebuild tick before maintenance
+		// re-engages on a clean baseline.
+		e.deltaOK = false
+		e.incSnap = nil
+	} else if w := e.prog.Schema.NumAttrs(); e.opts.Incremental && e.opts.Mode == Indexed && len(e.incSnap) == e.env.Len()*w {
+		for i := range setRows {
+			copy(e.incSnap[i*w:(i+1)*w], e.env.Rows[i])
+			if e.deltaOK {
+				e.delta.Add(i, ^uint64(0))
+			}
+		}
+	}
+}
+
+// rowIndexByKey scans for the row index of a key (commands are rare;
+// a linear scan per command keeps zero cross-tick state).
+func (e *Engine) rowIndexByKey(key int64) int {
+	kc := e.prog.Schema.KeyCol()
+	fk := float64(key)
+	for i, row := range e.env.Rows {
+		if row[kc] == fk {
+			return i
+		}
+	}
+	return -1
+}

@@ -123,13 +123,24 @@ const DefaultIncrementalThreshold = 0.3
 // decision phase, effect accumulation, and post-processing out across
 // Options.Workers goroutines.
 type Engine struct {
-	prog *sem.Program
-	game Game
-	opts Options
+	// prog is a private shallow clone of the caller's program with an
+	// engine-owned Consts map, so OpTune commands mutate this engine's
+	// constant table without touching other engines compiled from the
+	// same program.
+	prog   *sem.Program
+	source string // canonical script text (ast printer), embedded in checkpoints
+	game   Game
+	opts   Options
 
 	env  *table.Table
 	src  rng.Source
 	tick int64
+
+	// Command-pipeline state (see command.go): the per-tick input buffer,
+	// the run's input journal, and the per-origin sequence counters.
+	pending []StampedCommand
+	journal []StampedCommand
+	seqs    map[string]uint64
 
 	an   *exec.Analyzer
 	plan *algebra.Plan
@@ -172,7 +183,13 @@ type RunStats struct {
 	// per-tick delta sizes those patches consumed.
 	MaintainTicks int
 	DirtyRows     int
-	IndexStats    exec.Stats
+	// CommandsApplied and CommandsRejected count externally injected
+	// commands by their apply-time outcome (see command.go; rejected
+	// means the command's apply-time rule failed — the submission itself
+	// was valid and is in the journal).
+	CommandsApplied  int
+	CommandsRejected int
+	IndexStats       exec.Stats
 	// EffectsByWorker splits EffectsApplied by the worker shard that
 	// produced each effect row (all in slot 0 on the serial path).
 	EffectsByWorker []int
@@ -204,8 +221,19 @@ func New(prog *sem.Program, game Game, initial *table.Table, opts Options) (*Eng
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	// Clone the program shallowly with a private Consts map: OpTune
+	// commands retune THIS engine's constants; the caller's program (and
+	// any sibling engine compiled from it) must stay untouched. The AST,
+	// schema and resolution maps are immutable and stay shared.
+	p := *prog
+	p.Consts = make(map[string]float64, len(prog.Consts))
+	for k, v := range prog.Consts {
+		p.Consts[k] = v
+	}
+	prog = &p
 	e := &Engine{
 		prog:    prog,
+		source:  prog.Script.String(),
 		game:    game,
 		opts:    opts,
 		env:     initial.Clone(),
@@ -251,8 +279,21 @@ func (e *Engine) Run(n int) error {
 	return nil
 }
 
+// Source returns the engine's script in canonical printed form (the ast
+// printer's fixed point) — the text checkpoint format v2 embeds.
+func (e *Engine) Source() string { return e.source }
+
+// Program returns the engine's checked program. The engine owns its
+// constant table (OpTune mutates it); treat the result as read-only.
+func (e *Engine) Program() *sem.Program { return e.prog }
+
 // Tick advances one clock tick through all phases.
 func (e *Engine) Tick() error {
+	// Drain externally injected commands first: the whole tick — key
+	// index, effect query, index builds — observes the post-command world
+	// (see command.go for the ordering and determinism argument).
+	e.applyCommands()
+
 	r := e.src.Tick(e.tick)
 	n := e.env.Len()
 	acc := newAccumulator(e.prog.Schema, n)

@@ -41,7 +41,8 @@ type Session struct {
 func NewSession(e *Engine) *Session { return &Session{e: e} }
 
 // RestoreSession is Restore composed with NewSession: reopen a
-// checkpoint and serve it.
+// checkpoint and serve it. For self-contained version-2 checkpoints,
+// Open does the same without needing the program.
 func RestoreSession(r io.Reader, prog *sem.Program, g Game, tune Options) (*Session, error) {
 	e, err := Restore(r, prog, g, tune)
 	if err != nil {
@@ -180,4 +181,44 @@ func (s *Session) Checkpoint(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.e.Checkpoint(w)
+}
+
+// Submit validates and enqueues externally injected commands for the
+// next tick boundary, all-or-nothing (see Engine.Submit). It takes the
+// writer lock — the input buffer and journal are engine state — but only
+// briefly: nothing is applied here, so submitters never wait on a tick
+// and the clock never waits on a slow submitter. Any number of
+// goroutines may call Submit concurrently; the canonical application
+// order (tick, origin, sequence) makes the world independent of how
+// their calls interleave.
+func (s *Session) Submit(origin string, cmds ...Command) error {
+	_, err := s.SubmitTick(origin, cmds...)
+	return err
+}
+
+// SubmitTick is Submit returning the tick the accepted commands were
+// stamped with (the tick count they will apply after), captured under
+// the same lock acquisition — so an acknowledgment cannot be skewed by
+// a clock tick completing between the enqueue and the read. On error
+// the tick is the current count and nothing was enqueued.
+func (s *Session) SubmitTick(origin string, cmds ...Command) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.TickCount(), s.e.Submit(origin, cmds...)
+}
+
+// Journal returns a copy of the run's input journal under the reader
+// lock (see Engine.Journal).
+func (s *Session) Journal() []StampedCommand {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.Journal()
+}
+
+// Pending returns a copy of the commands waiting for the next tick
+// boundary, under the reader lock.
+func (s *Session) Pending() []StampedCommand {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.Pending()
 }

@@ -56,6 +56,27 @@ func (d Delta) Frac(n int) float64 {
 	return float64(len(d.Dirty)) / float64(n)
 }
 
+// Add merges one more dirty row into the delta, keeping Dirty sorted
+// ascending (the order MaintainFrom's partition walks rely on) and OR-ing
+// the mask into an existing entry for the same row. It exists for
+// mutations that happen after the tick-end diff — externally injected
+// commands mutate rows at the next tick boundary, and those rows must
+// reach the maintenance path exactly like rows the tick itself changed.
+// Over-reporting a column is safe (the row's index entries rebuild from
+// the live table); under-reporting is what breaks exactness.
+func (d *Delta) Add(row int, mask uint64) {
+	i := sort.SearchInts(d.Dirty, row)
+	if i < len(d.Dirty) && d.Dirty[i] == row {
+		d.Masks[i] |= mask
+		return
+	}
+	d.Dirty = append(d.Dirty, 0)
+	d.Masks = append(d.Masks, 0)
+	copy(d.Dirty[i+1:], d.Dirty[i:])
+	copy(d.Masks[i+1:], d.Masks[i:])
+	d.Dirty[i], d.Masks[i] = row, mask
+}
+
 // MaintainFrom patches the previous tick's index structures to reflect
 // the current environment instead of rebuilding them, definition by
 // definition. For each definition it counts the dirty rows whose changed

@@ -26,6 +26,14 @@ type LoadGenRow struct {
 	P99Micros  float64
 	MaxMicros  float64
 	Errors     int
+	// Actor-command accounting: accepted command submissions, their
+	// throughput, and client-observed latency quantiles in microseconds
+	// (all zero when the run had no actors).
+	Commands     int
+	CPS          float64
+	CmdP50Micros float64
+	CmdP99Micros float64
+	CmdErrors    int
 }
 
 // LatencySummary reduces a sample of latencies (microseconds) to the
@@ -47,23 +55,47 @@ func LatencySummary(micros []float64) (mean, p50, p99, max float64) {
 }
 
 // WriteLoadGen renders the per-world load-generator table plus a totals
-// line, in the style of the other experiment tables.
+// line, in the style of the other experiment tables. The actor-command
+// columns appear only when some row actually submitted commands.
 func WriteLoadGen(w io.Writer, rows []LoadGenRow) {
-	fmt.Fprintf(w, "%-14s %8s %10s %10s %9s %9s %10s %10s %10s %10s %7s\n",
-		"world", "ticks", "ticks/s", "target", "queries", "q/s", "mean µs", "p50 µs", "p99 µs", "max µs", "errors")
-	var ticks int64
-	var queries, errs int
-	var qps, rate float64
+	withCmds := false
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-14s %8d %10.1f %10.1f %9d %9.0f %10.1f %10.1f %10.1f %10.1f %7d\n",
+		if r.Commands > 0 || r.CmdErrors > 0 {
+			withCmds = true
+			break
+		}
+	}
+	fmt.Fprintf(w, "%-14s %8s %10s %10s %9s %9s %10s %10s %10s %10s %7s",
+		"world", "ticks", "ticks/s", "target", "queries", "q/s", "mean µs", "p50 µs", "p99 µs", "max µs", "errors")
+	if withCmds {
+		fmt.Fprintf(w, " %8s %8s %10s %10s %8s", "cmds", "cmd/s", "cmd p50 µs", "cmd p99 µs", "cmderrs")
+	}
+	fmt.Fprintln(w)
+	var ticks int64
+	var queries, errs, cmds, cmdErrs int
+	var qps, rate, cps float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %8d %10.1f %10.1f %9d %9.0f %10.1f %10.1f %10.1f %10.1f %7d",
 			r.World, r.Ticks, r.TickRate, r.TargetRate, r.Queries, r.QPS,
 			r.MeanMicros, r.P50Micros, r.P99Micros, r.MaxMicros, r.Errors)
+		if withCmds {
+			fmt.Fprintf(w, " %8d %8.0f %10.1f %10.1f %8d",
+				r.Commands, r.CPS, r.CmdP50Micros, r.CmdP99Micros, r.CmdErrors)
+		}
+		fmt.Fprintln(w)
 		ticks += r.Ticks
 		queries += r.Queries
 		errs += r.Errors
 		qps += r.QPS
 		rate += r.TickRate
+		cmds += r.Commands
+		cps += r.CPS
+		cmdErrs += r.CmdErrors
 	}
-	fmt.Fprintf(w, "%-14s %8d %10.1f %10s %9d %9.0f %10s %10s %10s %10s %7d\n",
+	fmt.Fprintf(w, "%-14s %8d %10.1f %10s %9d %9.0f %10s %10s %10s %10s %7d",
 		"TOTAL", ticks, rate, "", queries, qps, "", "", "", "", errs)
+	if withCmds {
+		fmt.Fprintf(w, " %8d %8.0f %10s %10s %8d", cmds, cps, "", "", cmdErrs)
+	}
+	fmt.Fprintln(w)
 }

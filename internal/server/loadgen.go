@@ -7,10 +7,12 @@
 // Shape of the run: Worlds sessions are created, each clock started at
 // TickRate; Spectators goroutines per world then issue observation
 // queries (the windowed Zone aggregate — one range-tree probe indexed,
-// an O(n) scan otherwise) with rotating probe windows for Duration.
-// Results come back as one metrics.LoadGenRow per world: achieved tick
-// rate against target, query throughput, and client-observed latency
-// quantiles.
+// an O(n) scan otherwise) with rotating probe windows for Duration,
+// while Actors goroutines per world inject commands through the command
+// endpoint (rotating set-column mutations — the player half of the
+// traffic mix). Results come back as one metrics.LoadGenRow per world:
+// achieved tick rate against target, query and command throughput, and
+// client-observed latency quantiles for both.
 package server
 
 import (
@@ -44,6 +46,10 @@ type LoadGenConfig struct {
 	TickRate float64
 	// Spectators is the number of concurrent query goroutines per world.
 	Spectators int
+	// Actors is the number of concurrent command-injecting goroutines
+	// per world (0 = spectators only). Each actor rotates set-column
+	// commands across the army through POST …/commands.
+	Actors int
 	// Duration is the measurement window.
 	Duration time.Duration
 	// Workers / Incremental tune each session's engine.
@@ -135,11 +141,13 @@ func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
 		startAt[i] = time.Now()
 	}
 
-	// Spectator fan-out.
+	// Spectator and actor fan-out.
 	type worldSample struct {
-		mu      sync.Mutex
-		latency []float64 // micros
-		errs    int
+		mu         sync.Mutex
+		latency    []float64 // micros
+		errs       int
+		cmdLatency []float64 // micros
+		cmdErrs    int
 	}
 	samples := make([]worldSample, cfg.Worlds)
 	stop := make(chan struct{})
@@ -184,6 +192,49 @@ func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
 			}(i, sp)
 		}
 	}
+	// Actor fan-out: each actor rotates morale nudges across the army —
+	// always-valid mutations (keys 0…Units-1 persist through resurrection),
+	// so every submission should be accepted and the latency sample
+	// measures the command path, not rejection handling.
+	for i := 0; i < cfg.Worlds; i++ {
+		for a := 0; a < cfg.Actors; a++ {
+			wg.Add(1)
+			go func(i, a int) {
+				defer wg.Done()
+				url := cfg.BaseURL + "/v1/sessions/" + name(i) + "/commands"
+				ws := &samples[i]
+				for n := 0; ; n++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					key := int64((17*n + 5*a) % cfg.Units)
+					req := CommandsRequest{
+						Origin: fmt.Sprintf("actor-%d", a),
+						Commands: []WireCommand{
+							{Op: "set", Key: key, Col: "morale", Val: float64(3 + (n+a)%6)},
+						},
+					}
+					t0 := time.Now()
+					err := postJSON(client, url, req, &CommandsResponse{})
+					dt := float64(time.Since(t0).Nanoseconds()) / 1e3
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					ws.mu.Lock()
+					if err != nil {
+						ws.cmdErrs++
+					} else {
+						ws.cmdLatency = append(ws.cmdLatency, dt)
+					}
+					ws.mu.Unlock()
+				}
+			}(i, a)
+		}
+	}
 	windowStart := time.Now()
 	time.Sleep(cfg.Duration)
 	// The QPS window closes when spectators are told to stop — the
@@ -209,6 +260,9 @@ func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
 		mean, p50, p99, maxv := metrics.LatencySummary(ws.latency)
 		nq := len(ws.latency)
 		errs := ws.errs
+		_, cmdP50, cmdP99, _ := metrics.LatencySummary(ws.cmdLatency)
+		nc := len(ws.cmdLatency)
+		cmdErrs := ws.cmdErrs
 		ws.mu.Unlock()
 		ticks := st.Tick - startTicks[i]
 		rows = append(rows, metrics.LoadGenRow{
@@ -219,7 +273,11 @@ func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
 			Queries:    nq,
 			QPS:        float64(nq) / window,
 			MeanMicros: mean, P50Micros: p50, P99Micros: p99, MaxMicros: maxv,
-			Errors: errs,
+			Errors:       errs,
+			Commands:     nc,
+			CPS:          float64(nc) / window,
+			CmdP50Micros: cmdP50, CmdP99Micros: cmdP99,
+			CmdErrors: cmdErrs,
 		})
 	}
 	return rows, nil

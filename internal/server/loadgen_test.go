@@ -11,10 +11,11 @@ import (
 
 // TestLoadGenEightWorlds is the serving-layer acceptance run: eight
 // simultaneous worlds, clocks running, spectators fanning out queries
-// per world, all over real HTTP — and at the end every world must have
-// advanced its clock and served queries without a single error. The
-// per-session latency and tick-rate table renders via metrics.WriteLoadGen
-// (run `sgld -loadgen` for a full-size version of this).
+// and actors injecting commands per world, all over real HTTP — and at
+// the end every world must have advanced its clock, served queries and
+// accepted commands without a single error. The per-session latency and
+// tick-rate table renders via metrics.WriteLoadGen (run
+// `sgld -loadgen -actors 1` for a full-size version of this).
 func TestLoadGenEightWorlds(t *testing.T) {
 	reg := NewRegistry()
 	ts := httptest.NewServer(New(reg, t.TempDir()))
@@ -31,6 +32,7 @@ func TestLoadGenEightWorlds(t *testing.T) {
 		Seed:       1,
 		TickRate:   20,
 		Spectators: 2,
+		Actors:     1,
 		Duration:   1500 * time.Millisecond,
 	})
 	if err != nil {
@@ -52,13 +54,23 @@ func TestLoadGenEightWorlds(t *testing.T) {
 		if r.P99Micros < r.P50Micros || r.MaxMicros < r.P99Micros {
 			t.Errorf("world %s: non-monotone latency quantiles %+v", r.World, r)
 		}
+		if r.Commands <= 0 {
+			t.Errorf("world %s accepted no commands", r.World)
+		}
+		if r.CmdErrors != 0 {
+			t.Errorf("world %s: %d command errors", r.World, r.CmdErrors)
+		}
+		if r.CmdP99Micros < r.CmdP50Micros {
+			t.Errorf("world %s: non-monotone command quantiles %+v", r.World, r)
+		}
 	}
 
-	// The table must render one line per world plus totals.
+	// The table must render one line per world plus totals, including
+	// the actor-command columns this run populated.
 	var b strings.Builder
 	metrics.WriteLoadGen(&b, rows)
 	out := b.String()
-	for _, want := range []string{"loadgen-0", "loadgen-7", "TOTAL"} {
+	for _, want := range []string{"loadgen-0", "loadgen-7", "TOTAL", "cmd/s"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table missing %q:\n%s", want, out)
 		}

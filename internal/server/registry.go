@@ -131,11 +131,14 @@ type World struct {
 	qmu     sync.Mutex
 	queries map[string]*engine.Query // compile-once cache, keyed by source
 
-	ticks        *metrics.Counter
-	queriesTotal *metrics.Counter
-	querySecs    *metrics.Counter
-	queryErrs    *metrics.Counter
-	checkpoints  *metrics.Counter
+	ticks         *metrics.Counter
+	queriesTotal  *metrics.Counter
+	querySecs     *metrics.Counter
+	queryErrs     *metrics.Counter
+	checkpoints   *metrics.Counter
+	commandsTotal *metrics.Counter
+	commandSecs   *metrics.Counter
+	commandErrs   *metrics.Counter
 }
 
 // clock is one run of a world's clock goroutine. The stop channel is
@@ -150,8 +153,24 @@ type clock struct {
 // Session exposes the wrapped session (for tests and embedders).
 func (w *World) Session() *engine.Session { return w.sess }
 
-// Script returns the SGL source this world runs.
+// Script returns the SGL source this world runs, in the engine's
+// canonical printed form (the same text checkpoint v2 embeds).
 func (w *World) Script() string { return w.script }
+
+// SubmitCommands injects a validated command batch into the world's
+// input buffer (see engine.Submit), counting acceptances and rejections
+// in the per-session metrics. The returned tick is the stamp the batch
+// carries, read under the same lock as the enqueue — a running clock
+// cannot skew it.
+func (w *World) SubmitCommands(origin string, cmds []engine.Command) (int64, error) {
+	tick, err := w.sess.SubmitTick(origin, cmds...)
+	if err != nil {
+		w.commandErrs.Inc()
+		return tick, err
+	}
+	w.commandsTotal.Add(float64(len(cmds)))
+	return tick, nil
+}
 
 // Status is a point-in-time summary of a world.
 type Status struct {
@@ -380,6 +399,9 @@ func NewRegistry() *Registry {
 	r.Metrics.Help("sgld_query_seconds_total", "Time spent evaluating observation queries, per session.")
 	r.Metrics.Help("sgld_query_errors_total", "Observation queries rejected or failed, per session.")
 	r.Metrics.Help("sgld_checkpoints_total", "Checkpoints written, per session.")
+	r.Metrics.Help("sgld_commands_total", "Injected commands accepted, per session.")
+	r.Metrics.Help("sgld_command_seconds_total", "Time spent accepting injected commands, per session.")
+	r.Metrics.Help("sgld_command_errors_total", "Injected command batches rejected, per session.")
 	r.Metrics.Help("sgld_restores_total", "Worlds created by restoring a checkpoint.")
 	// Materialize the unlabeled series eagerly: a fresh daemon must
 	// expose sgld_worlds 0 (not an absent metric that trips no-data
@@ -393,19 +415,15 @@ func NewRegistry() *Registry {
 
 // compileWorldScript compiles src (or the built-in battle script when
 // empty) against the battle schema and constants.
-func compileWorldScript(src string) (*sem.Program, string, error) {
+func compileWorldScript(src string) (*sem.Program, error) {
 	if src == "" {
 		src = game.Script
 	}
 	script, err := parser.Parse(src)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
-	prog, err := sem.Check(script, game.Schema(), game.Consts())
-	if err != nil {
-		return nil, "", err
-	}
-	return prog, src, nil
+	return sem.Check(script, game.Schema(), game.Consts())
 }
 
 // attachCounters creates the world's per-session metric series. It must
@@ -423,6 +441,9 @@ func (r *Registry) attachCounters(w *World) {
 	w.querySecs = r.Metrics.Counter("sgld_query_seconds_total", l)
 	w.queryErrs = r.Metrics.Counter("sgld_query_errors_total", l)
 	w.checkpoints = r.Metrics.Counter("sgld_checkpoints_total", l)
+	w.commandsTotal = r.Metrics.Counter("sgld_commands_total", l)
+	w.commandSecs = r.Metrics.Counter("sgld_command_seconds_total", l)
+	w.commandErrs = r.Metrics.Counter("sgld_command_errors_total", l)
 }
 
 // Create builds a fresh world from spec and registers it under name.
@@ -432,7 +453,7 @@ func (r *Registry) Create(name string, spec WorldSpec) (*World, error) {
 	if !ValidName(name) {
 		return nil, fmt.Errorf("server: invalid session name %q", name)
 	}
-	prog, script, err := compileWorldScript(spec.Script)
+	prog, err := compileWorldScript(spec.Script)
 	if err != nil {
 		return nil, fmt.Errorf("server: compile script: %w", err)
 	}
@@ -464,28 +485,50 @@ func (r *Registry) Create(name string, spec WorldSpec) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: build engine: %w", err)
 	}
-	return r.register(name, engine.NewSession(eng), prog, script, spec.TickRate)
+	// The world keeps the engine's canonical source (not the client's
+	// raw text): it is what checkpoints embed, so Script() always equals
+	// what a migration target will run.
+	return r.register(name, engine.NewSession(eng), prog, eng.Source(), spec.TickRate)
 }
 
-// Restore builds a world from a checkpoint stream and the SGL source the
-// checkpointed world ran (empty = built-in battle script), under
-// restore-time tuning — the live-migration path: checkpoint a running
-// world, restore it here (possibly with different Workers/Incremental),
-// and it continues byte-identically. tickRate follows the
+// Restore builds a world from a checkpoint stream under restore-time
+// tuning — the live-migration path: checkpoint a running world, restore
+// it here (possibly with different Workers/Incremental), and it
+// continues byte-identically. The checkpoint is self-contained (format
+// v2 embeds the script), so scriptOverride is normally empty; a
+// non-empty override deliberately reopens the world under a different
+// program (and is the only way to reopen a version-1 checkpoint, which
+// predates the embedded script). tickRate follows the
 // WorldSpec.TickRate convention (0 = paused).
-func (r *Registry) Restore(name string, ck io.Reader, script string, tune engine.Options, tickRate float64) (*World, error) {
+func (r *Registry) Restore(name string, ck io.Reader, scriptOverride string, tune engine.Options, tickRate float64) (*World, error) {
 	if !ValidName(name) {
 		return nil, fmt.Errorf("server: invalid session name %q", name)
 	}
-	prog, script, err := compileWorldScript(script)
-	if err != nil {
-		return nil, fmt.Errorf("server: compile script: %w", err)
+	var sess *engine.Session
+	if scriptOverride != "" {
+		prog, err := compileWorldScript(scriptOverride)
+		if err != nil {
+			return nil, fmt.Errorf("server: compile script: %w", err)
+		}
+		sess, err = engine.RestoreSession(ck, prog, game.NewMechanics(), tune)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	} else {
+		var err error
+		sess, err = engine.Open(ck, game.NewMechanics(), tune)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
 	}
-	sess, err := engine.RestoreSession(ck, prog, game.NewMechanics(), tune)
-	if err != nil {
-		return nil, fmt.Errorf("server: %w", err)
+	// The daemon hosts worlds over the battle schema and mechanics; a
+	// self-contained checkpoint of some other schema would restore an
+	// engine the battle post-processor cannot drive.
+	prog := sess.Engine().Program()
+	if !prog.Schema.Equal(game.Schema()) {
+		return nil, fmt.Errorf("server: checkpoint schema %v is not the battle schema this daemon serves", prog.Schema)
 	}
-	w, err := r.register(name, sess, prog, script, tickRate)
+	w, err := r.register(name, sess, prog, sess.Engine().Source(), tickRate)
 	if err == nil {
 		r.Metrics.Counter("sgld_restores_total").Inc()
 	}

@@ -9,6 +9,8 @@
 //	POST   /v1/sessions/{name}/run          start the clock at a tick rate
 //	POST   /v1/sessions/{name}/stop         stop the clock
 //	POST   /v1/sessions/{name}/query        evaluate an observation query
+//	POST   /v1/sessions/{name}/commands     inject commands (spawn/despawn/set/tune)
+//	GET    /v1/sessions/{name}/journal      download the input journal
 //	POST   /v1/sessions/{name}/checkpoint   write a checkpoint into the data dir
 //	GET    /v1/sessions/{name}/checkpoint   stream a checkpoint (binary)
 //	GET    /metrics                         Prometheus text exposition
@@ -17,7 +19,9 @@
 // Error responses are {"error": "..."} with a 4xx/5xx status. The
 // checkpoint data directory is the daemon's only filesystem surface;
 // file names are validated to be flat path components, so clients cannot
-// escape it.
+// escape it. Checkpoints are self-contained (format v2 embeds the
+// script), so a checkpoint file is one atomic rename — no sidecar, no
+// pairing discipline.
 package server
 
 import (
@@ -28,11 +32,11 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
-	"strings"
-	"sync"
 	"time"
 
 	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/geom"
 	"github.com/epicscale/sgl/internal/table"
 	"github.com/epicscale/sgl/internal/workload"
 )
@@ -44,12 +48,7 @@ type Server struct {
 	// reads. Empty disables file-based checkpoints (streaming still
 	// works).
 	dataDir string
-	// ckmu serializes checkpoint-file writes: each rename is atomic but
-	// the (checkpoint, sidecar) pair is not, and two worlds targeting
-	// the same file concurrently could otherwise interleave renames into
-	// one world's checkpoint paired with the other's script.
-	ckmu sync.Mutex
-	mux  *http.ServeMux
+	mux     *http.ServeMux
 }
 
 // New builds a server around reg. dataDir may be empty to disable
@@ -64,6 +63,8 @@ func New(reg *Registry, dataDir string) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{name}/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/stop", s.handleStop)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/commands", s.handleCommands)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/journal", s.handleJournal)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/checkpoint", s.handleCheckpointFile)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/checkpoint", s.handleCheckpointStream)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -97,9 +98,9 @@ type CreateRequest struct {
 	Formation string  `json:"formation,omitempty"` // "lines" (default) or "scattered"
 	Mode      string  `json:"mode,omitempty"`      // "indexed" (default) or "naive"
 
-	// Restore path: checkpoint file name in the data dir. The script the
-	// checkpointed world ran is read from the "<file>.sgl" sidecar when
-	// present (Script overrides it).
+	// Restore path: checkpoint file name in the data dir. Checkpoints
+	// are self-contained (the script travels inside the stream); a
+	// non-empty Script deliberately overrides the embedded one.
 	Restore string `json:"restore,omitempty"`
 
 	// Per-session determinism-neutral tuning.
@@ -142,6 +143,56 @@ type QueryResponse struct {
 	Tick    int64     `json:"tick"`
 	Outputs []string  `json:"outputs"`
 	Values  []float64 `json:"values"`
+}
+
+// CommandsRequest injects a batch of typed commands into a world's
+// input buffer; they apply at the next tick boundary in the canonical
+// (tick, origin, sequence) order. The batch is all-or-nothing: if any
+// command fails validation, none is enqueued.
+type CommandsRequest struct {
+	// Origin identifies the submitter; commands from one origin apply in
+	// submission order relative to each other.
+	Origin string `json:"origin,omitempty"`
+	// Commands is the batch, bounded by MaxCommandsPerRequest.
+	Commands []WireCommand `json:"commands"`
+}
+
+// WireCommand is the JSON shape of one injected command. Op selects the
+// mutation and which other fields matter:
+//
+//	spawn:   key, player, unittype, x, y   (a new battle unit)
+//	despawn: key
+//	set:     key, col, val
+//	tune:    name, val                     (a game constant)
+type WireCommand struct {
+	Op       string  `json:"op"`
+	Key      int64   `json:"key,omitempty"`
+	Player   int     `json:"player,omitempty"`
+	UnitType int     `json:"unittype,omitempty"`
+	X        float64 `json:"x,omitempty"`
+	Y        float64 `json:"y,omitempty"`
+	Col      string  `json:"col,omitempty"`
+	Name     string  `json:"name,omitempty"`
+	Val      float64 `json:"val,omitempty"`
+}
+
+// CommandsResponse acknowledges an accepted batch.
+type CommandsResponse struct {
+	// Accepted is the number of commands enqueued (the whole batch).
+	Accepted int `json:"accepted"`
+	// Tick is the world tick the commands were stamped with; they apply
+	// at the start of the tick that advances the world past it.
+	Tick int64 `json:"tick"`
+}
+
+// JournalResponse carries a world's input journal.
+type JournalResponse struct {
+	Name string `json:"name"`
+	// Tick is the world's tick count when the journal was read.
+	Tick int64 `json:"tick"`
+	// Entries is every accepted command with its (tick, origin, seq)
+	// stamp, in acceptance order.
+	Entries []engine.StampedCommand `json:"entries"`
 }
 
 // CheckpointRequest writes a checkpoint file into the data dir.
@@ -286,8 +337,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 // restoreFromFile is the arrival half of live migration: open the named
-// checkpoint in the data dir, read the script sidecar, and register the
-// restored session under restore-time tuning.
+// checkpoint in the data dir and register the restored session under
+// restore-time tuning. The checkpoint is self-contained — the script it
+// ran travels inside the stream — so one file read is the whole
+// operation; a non-empty req.Script deliberately overrides the embedded
+// script.
 func (s *Server) restoreFromFile(req CreateRequest, tune engine.Options) (*World, error) {
 	if s.dataDir == "" {
 		return nil, errors.New("server: no data directory configured; file restore disabled")
@@ -295,37 +349,12 @@ func (s *Server) restoreFromFile(req CreateRequest, tune engine.Options) (*World
 	if !ValidFileName(req.Restore) {
 		return nil, fmt.Errorf("server: invalid checkpoint file name %q", req.Restore)
 	}
-	// Take the checkpoint-writer lock ONLY around the two file reads:
-	// opening the checkpoint and reading its sidecar must observe one
-	// writer's consistent (checkpoint, sidecar) pair, not the window
-	// between a concurrent writer's two renames. The open fd survives
-	// any later rename over the path, so the expensive part — script
-	// compilation and engine restore — runs after the unlock without
-	// stalling other worlds' checkpoint writes.
-	path := filepath.Join(s.dataDir, req.Restore)
-	script := req.Script
-	s.ckmu.Lock()
-	f, err := os.Open(path)
+	f, err := os.Open(filepath.Join(s.dataDir, req.Restore))
 	if err != nil {
-		s.ckmu.Unlock()
 		return nil, fmt.Errorf("server: open checkpoint: %w", err)
 	}
-	if script == "" {
-		// The sidecar is required, not best-effort: a checkpoint restored
-		// under a different script than the one that produced it would
-		// run the wrong behavior rules with no error (only the schema is
-		// verified, and all server worlds share the battle schema).
-		side, err := os.ReadFile(path + ".sgl")
-		if err != nil {
-			s.ckmu.Unlock()
-			f.Close()
-			return nil, fmt.Errorf("server: checkpoint script sidecar %s.sgl unreadable (%v); migrate it with the checkpoint or supply \"script\" explicitly", req.Restore, err)
-		}
-		script = string(side)
-	}
-	s.ckmu.Unlock()
 	defer f.Close()
-	return s.reg.Restore(req.Name, f, script, tune, req.TickRate)
+	return s.reg.Restore(req.Name, f, req.Script, tune, req.TickRate)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -483,6 +512,94 @@ func (s *Server) evalQuery(wd *World, req QueryRequest) (*QueryResponse, error) 
 	}, nil
 }
 
+// MaxCommandsPerRequest bounds one command batch; the engine's own
+// input-buffer limit (engine.MaxPendingCommands) still applies across
+// batches.
+const MaxCommandsPerRequest = 256
+
+func (s *Server) handleCommands(w http.ResponseWriter, r *http.Request) {
+	wd, ok := s.world(w, r)
+	if !ok {
+		return
+	}
+	var req CommandsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Commands) == 0 {
+		writeErr(w, http.StatusBadRequest, "commands must not be empty")
+		return
+	}
+	if len(req.Commands) > MaxCommandsPerRequest {
+		writeErr(w, http.StatusBadRequest, "%d commands exceeds the per-request limit %d", len(req.Commands), MaxCommandsPerRequest)
+		return
+	}
+	cmds := make([]engine.Command, len(req.Commands))
+	for i, wc := range req.Commands {
+		c, err := wc.toCommand(wd)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "command %d: %v", i, err)
+			return
+		}
+		cmds[i] = c
+	}
+	start := time.Now()
+	tick, err := wd.SubmitCommands(req.Origin, cmds)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wd.commandSecs.Add(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, CommandsResponse{Accepted: len(cmds), Tick: tick})
+}
+
+// toCommand maps the JSON wire shape to the engine's typed command. The
+// spawn path builds a full battle-schema row via game.NewUnit, so the
+// roster indexes must be validated here (NewUnit indexes by unit type).
+func (wc WireCommand) toCommand(wd *World) (engine.Command, error) {
+	switch wc.Op {
+	case "spawn":
+		if wc.Player != 0 && wc.Player != 1 {
+			return engine.Command{}, fmt.Errorf("spawn player must be 0 or 1, got %d", wc.Player)
+		}
+		if wc.UnitType < game.Knight || wc.UnitType > game.Healer {
+			return engine.Command{}, fmt.Errorf("spawn unittype must be 0 (knight), 1 (archer) or 2 (healer), got %d", wc.UnitType)
+		}
+		if wc.Key < 0 {
+			return engine.Command{}, fmt.Errorf("spawn key must be non-negative, got %d", wc.Key)
+		}
+		row := game.NewUnit(wc.Key, wc.Player, wc.UnitType, geom.Point{X: wc.X, Y: wc.Y})
+		return engine.Command{Op: engine.OpSpawn, Row: row}, nil
+	case "despawn":
+		return engine.Command{Op: engine.OpDespawn, Key: wc.Key}, nil
+	case "set":
+		return engine.Command{Op: engine.OpSet, Key: wc.Key, Col: wc.Col, Val: wc.Val}, nil
+	case "tune":
+		return engine.Command{Op: engine.OpTune, Col: wc.Name, Val: wc.Val}, nil
+	default:
+		return engine.Command{}, fmt.Errorf("op must be spawn, despawn, set or tune, got %q", wc.Op)
+	}
+}
+
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	wd, ok := s.world(w, r)
+	if !ok {
+		return
+	}
+	// Journal and tick in one View, so the response's tick is exactly the
+	// tick the journal snapshot was taken at.
+	resp := JournalResponse{Name: wd.Name}
+	wd.Session().View(func(e *engine.Engine) {
+		resp.Tick = e.TickCount()
+		resp.Entries = e.Journal()
+	})
+	if resp.Entries == nil {
+		resp.Entries = []engine.StampedCommand{} // render [], not null
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleCheckpointFile(w http.ResponseWriter, r *http.Request) {
 	wd, ok := s.world(w, r)
 	if !ok {
@@ -508,13 +625,6 @@ func (s *Server) handleCheckpointFile(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid checkpoint file name %q", file)
 		return
 	}
-	// ".sgl" is reserved for script sidecars: a checkpoint named
-	// "a.ckpt.sgl" would clobber the sidecar of the checkpoint "a.ckpt"
-	// with binary data.
-	if strings.HasSuffix(file, ".sgl") {
-		writeErr(w, http.StatusBadRequest, "checkpoint file name %q: the .sgl suffix is reserved for script sidecars", file)
-		return
-	}
 	tick, err := s.writeCheckpointFile(wd, filepath.Join(s.dataDir, file))
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
@@ -524,40 +634,16 @@ func (s *Server) handleCheckpointFile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, CheckpointResponse{File: file, Tick: tick})
 }
 
-// writeCheckpointFile persists a checkpoint plus its script sidecar with
-// the crash discipline battlesim uses — temp file, fsync, rename — plus
-// the pairing discipline the sidecar needs: both temps are fully
-// written before either rename (a write failure cannot mix one name's
-// new file with the other's old one), and the rename error paths (see
-// below) guarantee a failed write never destroys the last good
-// checkpoint and never leaves a silently mismatched pair. Temp names
-// are per-call (os.CreateTemp), so concurrent checkpoints of the same
-// file each write whole files and the last rename wins whole.
-//
-// Known limitation: a hard crash (power loss, SIGKILL) exactly between
-// the two renames leaves the new sidecar paired with the previous
-// checkpoint — with two files this window cannot be closed from either
-// rename order, only made detectable. It matters only when the same
-// file name is reused across worlds running different scripts; the full
-// fix is embedding the script in a future checkpoint format version
-// (see ROADMAP). Returns the tick the checkpoint captured.
+// writeCheckpointFile persists a self-contained checkpoint with the
+// crash discipline battlesim uses — temp file, fsync, rename into place.
+// The script rides inside the stream (format v2), so the write is ONE
+// atomic rename: the crash window the old checkpoint+sidecar pair could
+// not close from either rename order no longer exists. Temp names are
+// per-call (os.CreateTemp), so concurrent checkpoints of the same file
+// each write whole files and the last rename wins whole. Returns the
+// tick the checkpoint captured.
 func (s *Server) writeCheckpointFile(wd *World, path string) (tick int64, err error) {
-	// One writer at a time across the data dir. The expensive part (the
-	// checkpoint serialization) happens under the session's reader lock
-	// regardless, and file checkpoints are rare; pair-consistency is
-	// worth the serialization.
-	s.ckmu.Lock()
-	defer s.ckmu.Unlock()
-
-	dir, base := filepath.Dir(path), filepath.Base(path)
-	tmpSgl, err := table.WriteTemp(dir, base+".sgl.tmp-*", func(f *os.File) error {
-		_, err := f.WriteString(wd.Script())
-		return err
-	})
-	if err != nil {
-		return 0, err
-	}
-	tmpCkpt, err := table.WriteTemp(dir, base+".tmp-*", func(f *os.File) error {
+	err = table.WriteFileAtomic(path, func(f *os.File) error {
 		// Tick capture and serialization in one View: read separately,
 		// a running clock could advance between them and the response
 		// would mislabel the snapshot.
@@ -569,24 +655,6 @@ func (s *Server) writeCheckpointFile(wd *World, path string) (tick int64, err er
 		return cerr
 	})
 	if err != nil {
-		os.Remove(tmpSgl)
-		return 0, err
-	}
-	// Sidecar renames first: if it fails, nothing was overwritten and the
-	// old (checkpoint, sidecar) pair is intact. If the checkpoint rename
-	// then fails, the sidecar is already new — remove it, so a restore of
-	// the surviving OLD checkpoint fails loudly on the missing sidecar
-	// (recoverable by supplying the script explicitly) instead of
-	// silently running the old state under the new script. Either way a
-	// failed write never destroys the last good checkpoint.
-	if err := os.Rename(tmpSgl, path+".sgl"); err != nil {
-		os.Remove(tmpSgl)
-		os.Remove(tmpCkpt)
-		return 0, err
-	}
-	if err := os.Rename(tmpCkpt, path); err != nil {
-		os.Remove(path + ".sgl")
-		os.Remove(tmpCkpt)
 		return 0, err
 	}
 	return tick, nil

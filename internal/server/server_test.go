@@ -17,6 +17,8 @@ import (
 	"github.com/epicscale/sgl/internal/engine"
 	"github.com/epicscale/sgl/internal/game"
 	"github.com/epicscale/sgl/internal/metrics"
+	"github.com/epicscale/sgl/internal/table"
+	"github.com/epicscale/sgl/internal/workload"
 )
 
 // newTestServer spins up a server over a temp data dir.
@@ -655,33 +657,52 @@ func TestConcurrentStepsCountTicksExactly(t *testing.T) {
 	}
 }
 
-// Regression: restoring a checkpoint whose .sgl script sidecar is gone
-// must fail loudly, not silently fall back to the battle script.
-func TestRestoreWithoutSidecarRefused(t *testing.T) {
-	ts, srv := newTestServerWithDataDir(t)
-	create(t, ts.URL, "orig", nil)
+// A checkpoint is self-contained: the write produces exactly one file
+// (no .sgl sidecar), and restoring it needs nothing but the file — the
+// script travels inside the stream. A custom (non-battle) script must
+// survive the round trip, which is exactly what the sidecar used to
+// carry.
+func TestRestoreSelfContained(t *testing.T) {
+	ts, dir, registry := newTestServerFull(t)
+	custom := `
+aggregate N(u) := count(*) over e where e.player <> u.player;
+action Tag(u, v) := on e where e.key = u.key set damage = v;
+function main(u) { perform Tag(u, N(u)) }`
+	orig := create(t, ts.URL, "orig", func(r *CreateRequest) { r.Script = custom })
+	_ = orig
 	do(t, http.MethodPost, ts.URL+"/v1/sessions/orig/step", StepRequest{Ticks: 3}, nil)
-	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/orig/checkpoint", CheckpointRequest{File: "orphan.ckpt"}, nil); code != http.StatusOK {
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/orig/checkpoint", CheckpointRequest{File: "solo.ckpt"}, nil); code != http.StatusOK {
 		t.Fatal("checkpoint failed")
 	}
-	if err := os.Remove(filepath.Join(srv, "orphan.ckpt.sgl")); err != nil {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
-	var e struct {
-		Error string `json:"error"`
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".sgl") {
+			t.Fatalf("checkpoint wrote a sidecar %q; the format is self-contained now", e.Name())
+		}
 	}
-	code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
-		CreateRequest{Name: "lost", Restore: "orphan.ckpt"}, &e)
-	if code != http.StatusBadRequest {
-		t.Fatalf("restore without sidecar: status %d, want 400", code)
-	}
-	if !strings.Contains(e.Error, "sidecar") {
-		t.Errorf("error should mention the sidecar, got %q", e.Error)
-	}
-	// Supplying the script explicitly unblocks the migration.
+	var st Status
 	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
-		CreateRequest{Name: "lost", Restore: "orphan.ckpt", Script: game.Script}, nil); code != http.StatusCreated {
-		t.Errorf("restore with explicit script: status %d, want 201", code)
+		CreateRequest{Name: "back", Restore: "solo.ckpt"}, &st); code != http.StatusCreated {
+		t.Fatalf("restore of self-contained checkpoint: status %d, want 201", code)
+	}
+	if st.Tick != 3 {
+		t.Errorf("restored tick = %d, want 3", st.Tick)
+	}
+	// The restored world runs the embedded custom script, not the battle
+	// default: its canonical source must equal the donor world's.
+	donor, _ := registry.Get("orig")
+	wd, ok := registry.Get("back")
+	if !ok {
+		t.Fatal("restored world missing from registry")
+	}
+	if wd.Script() != donor.Script() {
+		t.Errorf("restored world script differs from the embedded custom script")
+	}
+	if strings.Contains(wd.Script(), "knightMain") {
+		t.Errorf("restored world fell back to the battle script")
 	}
 }
 
@@ -703,15 +724,61 @@ func TestMaxLengthNameCheckpointRoundTrip(t *testing.T) {
 	}
 }
 
-// Regression: the .sgl suffix is reserved — a checkpoint named
-// "x.ckpt.sgl" would overwrite the script sidecar of "x.ckpt".
-func TestCheckpointSglSuffixRefused(t *testing.T) {
-	ts, _ := newTestServer(t)
-	create(t, ts.URL, "res", nil)
-	code := do(t, http.MethodPost, ts.URL+"/v1/sessions/res/checkpoint",
-		CheckpointRequest{File: "res.ckpt.sgl"}, nil)
-	if code != http.StatusBadRequest {
-		t.Errorf("checkpoint to *.sgl: status %d, want 400", code)
+// Restoring a version-1 checkpoint (no embedded script) without an
+// explicit script must fail with a pointer at the fix, and succeed once
+// the script is supplied — the version policy's "v1 stays readable".
+func TestRestoreV1NeedsExplicitScript(t *testing.T) {
+	ts, dir, _ := newTestServerFull(t)
+	// Synthesize a v1 stream by hand: the frozen v1 layout is the header
+	// with 7 counters, then schema + rows, then the checksum — no script,
+	// constants or input sections.
+	spec := workload.Spec{Units: 64, Density: 0.02, Seed: 7, Formation: workload.BattleLines}
+	army := workload.Generate(spec)
+	var buf bytes.Buffer
+	cw := table.NewWriter(&buf)
+	cw.Bytes([]byte("SGLCKPT\n"))
+	cw.U32(1) // version 1
+	cw.U64(7) // seed
+	cw.I64(2) // tick
+	cw.U8(1)  // mode: indexed
+	cw.U8(0)  // flags
+	cw.F64(spec.Side())
+	cw.F64(1) // movespeed
+	cats := game.Categoricals()
+	cw.U32(uint32(len(cats)))
+	for _, c := range cats {
+		cw.Str(c)
+	}
+	cw.I64(2) // stats: Ticks
+	for i := 0; i < 6; i++ {
+		cw.I64(0)
+	}
+	table.WriteSchema(cw, game.Schema())
+	table.WriteRows(cw, army)
+	cw.U64(cw.Sum())
+	if err := cw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "old.ckpt"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateRequest{Name: "v1", Restore: "old.ckpt"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("v1 restore without script: status %d, want 400", code)
+	}
+	if !strings.Contains(e.Error, "version 1") {
+		t.Errorf("error should name the version, got %q", e.Error)
+	}
+	var st Status
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateRequest{Name: "v1", Restore: "old.ckpt", Script: game.Script}, &st); code != http.StatusCreated {
+		t.Fatalf("v1 restore with explicit script: status %d, want 201", code)
+	}
+	if st.Tick != 2 {
+		t.Errorf("restored v1 tick = %d, want 2", st.Tick)
 	}
 }
 
@@ -853,5 +920,147 @@ func TestValidNameTable(t *testing.T) {
 		if got := ValidName(name); got != want {
 			t.Errorf("ValidName(%q) = %v, want %v", name, got, want)
 		}
+	}
+}
+
+// The command endpoint end to end: inject every op, step, and observe
+// the effects — a spawned unit queryable by key, a despawned one gone,
+// the population reflecting both, and the journal recording all of it.
+func TestCommandsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "cmd", nil)
+
+	var cr CommandsResponse
+	code := do(t, http.MethodPost, ts.URL+"/v1/sessions/cmd/commands", CommandsRequest{
+		Origin: "player-1",
+		Commands: []WireCommand{
+			{Op: "spawn", Key: 9000, Player: 0, UnitType: 1, X: 40, Y: 40},
+			{Op: "despawn", Key: 3},
+			{Op: "set", Key: 5, Col: "health", Val: 4},
+			{Op: "tune", Name: "_HEAL_AURA", Val: 7},
+		},
+	}, &cr)
+	if code != http.StatusOK {
+		t.Fatalf("commands: status %d", code)
+	}
+	if cr.Accepted != 4 || cr.Tick != 0 {
+		t.Errorf("response = %+v, want accepted 4 at tick 0", cr)
+	}
+	// Nothing applies until the next tick boundary.
+	var st Status
+	do(t, http.MethodGet, ts.URL+"/v1/sessions/cmd", nil, &st)
+	if st.Units != 64 {
+		t.Errorf("units before tick = %d, want 64", st.Units)
+	}
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/cmd/step", StepRequest{Ticks: 1}, &st)
+	if st.Units != 64 { // -1 despawn +1 spawn
+		t.Errorf("units after tick = %d, want 64", st.Units)
+	}
+	// The spawned unit answers unit-probe queries.
+	unit := int64(9000)
+	var qr QueryResponse
+	code = do(t, http.MethodPost, ts.URL+"/v1/sessions/cmd/query", QueryRequest{
+		Src:  "aggregate Self(u) := max(e.health) as hp over e where e.key = u.key;",
+		Unit: &unit,
+	}, &qr)
+	if code != http.StatusOK {
+		t.Fatalf("query spawned unit: %d", code)
+	}
+	// The despawned unit is gone.
+	gone := int64(3)
+	code = do(t, http.MethodPost, ts.URL+"/v1/sessions/cmd/query", QueryRequest{
+		Src:  "aggregate Self(u) := max(e.health) as hp over e where e.key = u.key;",
+		Unit: &gone,
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("query despawned unit: status %d, want 400", code)
+	}
+
+	var jr JournalResponse
+	if code := do(t, http.MethodGet, ts.URL+"/v1/sessions/cmd/journal", nil, &jr); code != http.StatusOK {
+		t.Fatalf("journal: %d", code)
+	}
+	if len(jr.Entries) != 4 || jr.Tick != 1 {
+		t.Fatalf("journal = %d entries at tick %d, want 4 at 1", len(jr.Entries), jr.Tick)
+	}
+	if jr.Entries[0].Origin != "player-1" || jr.Entries[0].Cmd.Op != engine.OpSpawn {
+		t.Errorf("journal head = %+v", jr.Entries[0])
+	}
+}
+
+// Command endpoint validation: bad ops, oversized batches, empty
+// batches, unknown sessions and invalid targets are all 4xx.
+func TestCommandsEndpointValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "val", nil)
+	post := func(req CommandsRequest) int {
+		t.Helper()
+		return do(t, http.MethodPost, ts.URL+"/v1/sessions/val/commands", req, nil)
+	}
+	if code := post(CommandsRequest{}); code != http.StatusBadRequest {
+		t.Errorf("empty batch: %d, want 400", code)
+	}
+	if code := post(CommandsRequest{Commands: []WireCommand{{Op: "explode", Key: 1}}}); code != http.StatusBadRequest {
+		t.Errorf("unknown op: %d, want 400", code)
+	}
+	if code := post(CommandsRequest{Commands: []WireCommand{{Op: "spawn", Key: 1, Player: 7}}}); code != http.StatusBadRequest {
+		t.Errorf("bad player: %d, want 400", code)
+	}
+	if code := post(CommandsRequest{Commands: []WireCommand{{Op: "spawn", Key: 1, UnitType: 9}}}); code != http.StatusBadRequest {
+		t.Errorf("bad unittype: %d, want 400", code)
+	}
+	if code := post(CommandsRequest{Commands: []WireCommand{{Op: "set", Key: 1, Col: "nosuch", Val: 1}}}); code != http.StatusBadRequest {
+		t.Errorf("unknown column: %d, want 400", code)
+	}
+	big := make([]WireCommand, MaxCommandsPerRequest+1)
+	for i := range big {
+		big[i] = WireCommand{Op: "set", Key: 1, Col: "health", Val: 1}
+	}
+	if code := post(CommandsRequest{Commands: big}); code != http.StatusBadRequest {
+		t.Errorf("oversized batch: %d, want 400", code)
+	}
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/ghost/commands",
+		CommandsRequest{Commands: []WireCommand{{Op: "despawn", Key: 1}}}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown session: %d, want 404", code)
+	}
+	// A valid batch afterwards proves the rejected ones left no residue.
+	var jr JournalResponse
+	do(t, http.MethodGet, ts.URL+"/v1/sessions/val/journal", nil, &jr)
+	if len(jr.Entries) != 0 {
+		t.Errorf("rejected batches reached the journal: %d entries", len(jr.Entries))
+	}
+}
+
+// A served world's interactive state — journal, pending commands, tuned
+// constants — survives checkpoint-to-file and restore, and the restored
+// world continues from it (the serving half of contract #5's mid-stream
+// story).
+func TestServedCommandsSurviveRestore(t *testing.T) {
+	ts, _ := newTestServer(t)
+	create(t, ts.URL, "donor", nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/donor/commands", CommandsRequest{
+		Origin:   "p1",
+		Commands: []WireCommand{{Op: "set", Key: 2, Col: "morale", Val: 11}},
+	}, nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/donor/step", StepRequest{Ticks: 2}, nil)
+	// Pending at checkpoint time:
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/donor/commands", CommandsRequest{
+		Origin:   "p1",
+		Commands: []WireCommand{{Op: "despawn", Key: 4}},
+	}, nil)
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/donor/checkpoint", CheckpointRequest{File: "donor.ckpt"}, nil)
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateRequest{Name: "heir", Restore: "donor.ckpt"}, nil); code != http.StatusCreated {
+		t.Fatal("restore failed")
+	}
+	var jr JournalResponse
+	do(t, http.MethodGet, ts.URL+"/v1/sessions/heir/journal", nil, &jr)
+	if len(jr.Entries) != 2 {
+		t.Fatalf("restored journal has %d entries, want 2", len(jr.Entries))
+	}
+	var st Status
+	do(t, http.MethodPost, ts.URL+"/v1/sessions/heir/step", StepRequest{Ticks: 1}, &st)
+	if st.Units != 63 {
+		t.Errorf("pending despawn did not apply after restore: units = %d, want 63", st.Units)
 	}
 }

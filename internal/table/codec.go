@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 )
 
 // FNV-1a parameters (shared with constFingerprint above).
@@ -31,6 +32,8 @@ const (
 	MaxAttrs = 1 << 10
 	// MaxNameLen bounds the byte length of one attribute name.
 	MaxNameLen = 1 << 10
+	// MaxConsts bounds the constant-table section (WriteConsts).
+	MaxConsts = 1 << 16
 )
 
 // Writer encodes primitives to an io.Writer with a running checksum.
@@ -240,6 +243,45 @@ func ReadSchema(r *Reader) (*Schema, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// WriteConsts encodes a name→value constant table: entry count, then
+// (name, float bits) pairs sorted by name, so equal maps always encode to
+// equal bytes (the checkpoint fixed-point property).
+func WriteConsts(w *Writer, consts map[string]float64) {
+	names := make([]string, 0, len(consts))
+	for n := range consts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.U32(uint32(len(names)))
+	for _, n := range names {
+		w.Str(n)
+		w.F64(consts[n])
+	}
+}
+
+// ReadConsts decodes a constant-table section written by WriteConsts.
+func ReadConsts(r *Reader) (map[string]float64, error) {
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > MaxConsts {
+		err := fmt.Errorf("table: constant table with %d entries exceeds limit %d", n, MaxConsts)
+		r.Fail(err)
+		return nil, err
+	}
+	consts := make(map[string]float64, n)
+	for i := uint32(0); i < n; i++ {
+		name := r.Str(MaxNameLen)
+		val := r.F64()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		consts[name] = val
+	}
+	return consts, nil
 }
 
 // WriteRows encodes a table's rows: row count, then every cell's float

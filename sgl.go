@@ -130,6 +130,43 @@
 // routes queries under a read lock, so any number of reader goroutines
 // run safely against Step.
 //
+// # Interactive sessions: injected commands
+//
+// Spectators read; players act. Session.Submit injects typed commands —
+// spawn a unit, despawn one, set a state column, retune a game constant
+// — into a per-tick input buffer that the engine drains at the next tick
+// boundary, before the effect query runs:
+//
+//	err = sess.Submit("player-1",
+//	    sgl.Command{Op: sgl.OpSet, Key: 17, Col: "morale", Val: 9},
+//	    sgl.Command{Op: sgl.OpDespawn, Key: 41},
+//	)
+//
+// Commands apply in a canonical order — (tick, origin, sequence), the
+// stamp Submit assigns — so the resulting world depends only on what was
+// submitted during a tick window, never on how the submissions
+// interleaved. Commands whose apply-time rules fail (a spawn onto an
+// occupied square, a despawn of a dead key) are rejected
+// deterministically and counted in RunStats.CommandsRejected.
+//
+// Every accepted command is also recorded in the session's input
+// journal (Session.Journal), which yields exactness contract #5: a run
+// replayed from the journal — same program, same initial environment,
+// same seed, each entry re-submitted before its tick — is byte-identical
+// to the live interactive run, at any Workers or Incremental setting
+// (TestReplayMatchesLive proves it over the script zoo and the battle
+// simulation).
+//
+// Checkpoints participate too: format version 2 embeds the script text,
+// the constant table, the journal and any still-pending commands, so a
+// checkpoint is one self-contained stream. Open reopens it with no
+// other artifact:
+//
+//	sess, err := sgl.Open(file, mech, sgl.EngineOptions{Workers: 8})
+//
+// Version-1 checkpoints (which predate the embedded script) remain
+// readable through Restore, which takes the program explicitly.
+//
 // # Serving many worlds
 //
 // One process can host many concurrent worlds: the sgld daemon
@@ -202,11 +239,36 @@ type (
 	StatsFunc = engine.StatsFunc
 	// Query is a compiled read-only observation query.
 	Query = engine.Query
+	// Command is one externally injected world mutation (spawn, despawn,
+	// set-column, tune-const), submitted through Session.Submit.
+	Command = engine.Command
+	// CommandOp selects a Command's mutation.
+	CommandOp = engine.CommandOp
+	// StampedCommand is a command plus its (tick, origin, sequence)
+	// stamp — the canonical application order and the journal entry.
+	StampedCommand = engine.StampedCommand
 )
 
-// CheckpointVersion is the checkpoint format version this build writes
-// (and the only one it reads). See ROADMAP.md for the version policy.
+// Command operations (see Command).
+const (
+	// OpSpawn inserts a new unit row (Command.Row, full schema width).
+	OpSpawn = engine.OpSpawn
+	// OpDespawn removes the unit with Command.Key.
+	OpDespawn = engine.OpDespawn
+	// OpSet overwrites one state column of the unit with Command.Key.
+	OpSet = engine.OpSet
+	// OpTune changes a named game constant from the next tick on.
+	OpTune = engine.OpTune
+)
+
+// CheckpointVersion is the checkpoint format version this build writes.
+// Reads accept it and CheckpointVersionV1. See ROADMAP.md for the
+// version policy.
 const CheckpointVersion = engine.CheckpointVersion
+
+// CheckpointVersionV1 is the previous checkpoint format (no embedded
+// script, constants or inputs); still readable through Restore.
+const CheckpointVersionV1 = engine.CheckpointVersionV1
 
 // Attribute combination kinds (paper Section 4.2).
 const (
@@ -263,11 +325,30 @@ func NewEngine(prog *Program, mech Mechanics, initial *Table, opts EngineOptions
 // that makes Step, Checkpoint and concurrent Query* calls safe together.
 func NewSession(e *Engine) *Session { return engine.NewSession(e) }
 
+// Open reopens a self-contained checkpoint (format version 2 or later)
+// as a ready-to-serve Session. The program is rebuilt from the script
+// text and constant table embedded in the stream, so no separate prog —
+// and no sidecar file — is needed: a checkpoint is the whole world. Of
+// tune, only the determinism-neutral knobs (Workers, Incremental,
+// IncrementalThreshold) are consulted; the restored session continues
+// byte-identically to the run that was never interrupted, including any
+// commands that were pending when the checkpoint was written. Version-1
+// checkpoints predate the embedded script and are rejected with an
+// explanatory error; reopen those with Restore.
+func Open(r io.Reader, mech Mechanics, tune EngineOptions) (*Session, error) {
+	return engine.Open(r, mech, tune)
+}
+
 // Restore reopens a checkpoint written by Engine.Checkpoint (or
 // Session.Checkpoint) with default execution tuning. prog must be the
 // program the checkpointed engine ran; the embedded schema is verified
 // against it. The restored engine continues byte-identically to the
 // uninterrupted run.
+//
+// Deprecated: use Open, which rebuilds the program from the
+// self-contained version-2 checkpoint itself. Restore remains the only
+// reader for version-1 checkpoints and for deliberately reopening a
+// checkpoint under a different (schema-compatible) program.
 func Restore(r io.Reader, prog *Program, mech Mechanics) (*Engine, error) {
 	return engine.Restore(r, prog, mech, engine.Options{})
 }
@@ -277,11 +358,15 @@ func Restore(r io.Reader, prog *Program, mech Mechanics) (*Engine, error) {
 // — are consulted; everything else (Mode, Seed, world geometry, ablation
 // switches) comes from the checkpoint, so resuming under different
 // tuning cannot change a single output bit.
+//
+// Deprecated: use Open (see Restore's deprecation note).
 func RestoreOpts(r io.Reader, prog *Program, mech Mechanics, tune EngineOptions) (*Engine, error) {
 	return engine.Restore(r, prog, mech, tune)
 }
 
 // RestoreSession is Restore composed with NewSession.
+//
+// Deprecated: use Open, which returns a Session directly.
 func RestoreSession(r io.Reader, prog *Program, mech Mechanics, tune EngineOptions) (*Session, error) {
 	return engine.RestoreSession(r, prog, mech, tune)
 }
