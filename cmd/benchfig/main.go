@@ -8,6 +8,7 @@
 //	benchfig -experiment capacity              # 10 ticks/s capacity per engine
 //	benchfig -experiment ticks                 # proportionality to tick count
 //	benchfig -experiment fig1                  # expressiveness-tier frontier
+//	benchfig -experiment exec                  # streaming vs materializing executor
 //	benchfig -experiment all -quick            # everything, reduced sizes
 package main
 
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig10", "fig10, density, capacity, ticks, fig1, or all")
+	experiment := flag.String("experiment", "fig10", "fig10, density, capacity, ticks, fig1, exec, or all")
 	quick := flag.Bool("quick", false, "smaller sizes and fewer measured ticks")
 	measure := flag.Int("measure", 0, "override measured ticks per point (0 = default)")
 	flag.Parse()
@@ -44,13 +45,15 @@ func main() {
 			ticks(r, *quick, *measure)
 		case "fig1":
 			fig1(r, *quick, *measure)
+		case "exec":
+			execCompare(r, *quick, *measure)
 		default:
 			fmt.Fprintf(os.Stderr, "benchfig: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig10", "density", "capacity", "ticks", "fig1"} {
+		for _, name := range []string{"fig10", "density", "capacity", "ticks", "fig1", "exec"} {
 			run(name)
 			fmt.Println()
 		}
@@ -145,6 +148,24 @@ func fig1(r *metrics.Runner, quick bool, measure int) {
 		fatal(err)
 	}
 	metrics.WriteFig1(os.Stdout, rows)
+}
+
+func execCompare(r *metrics.Runner, quick bool, measure int) {
+	fmt.Println("=== Streaming vs materializing executor (battle, indexed, 1% density) ===")
+	sizes := []int{2000, 10000}
+	if quick {
+		sizes = []int{1000, 4000}
+	}
+	for _, n := range sizes {
+		rows, err := r.ExecComparison(n, 0.01, pick(measure, 3, 10, quick))
+		if err != nil {
+			fatal(err)
+		}
+		metrics.WriteExec(os.Stdout, rows)
+	}
+	fmt.Println("(outcomes are bit-identical; the delta is executor overhead only.")
+	fmt.Println(" effect allocs/pass isolates the effect query — whole-tick allocation")
+	fmt.Println(" counts are dominated by per-tick index rebuilds)")
 }
 
 func fatal(err error) {

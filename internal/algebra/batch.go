@@ -14,12 +14,41 @@ type BatchAggProvider interface {
 	// EvalAggBatch evaluates def for every unit; args[i] are the parameter
 	// values for units[i] (nil when the definition has no parameters).
 	EvalAggBatch(def *ast.AggDef, units [][]float64, args [][]float64) [][]float64
+	// BatchBeneficial reports whether EvalAggBatch answers def with a
+	// genuinely set-at-a-time algorithm (the MIN/MAX sweep line) rather
+	// than looping the per-probe evaluator. The streaming executor only
+	// blocks its pipeline — collecting the surviving rows before the
+	// probe — for definitions where this is true; everything else streams
+	// one probe per row with bit-identical results.
+	BatchBeneficial(def *ast.AggDef) bool
 }
 
 // UnitsOf exposes memoized unit-set evaluation for external plan walkers
 // (the engine's decision phase walks Apply nodes itself to defer area
-// effects, Section 5.4).
+// effects, Section 5.4). It always uses the materializing path; walkers
+// on the hot path should prefer EachUnit, which streams.
 func (x *Executor) UnitsOf(n Node) ([]*Row, error) { return x.units(n) }
+
+// EachUnit invokes yield for every row of unit-set node n, in base-row
+// order — the serial effect fold order. By default rows stream through
+// the compiled pipeline of stream.go; after SetMaterialize(true) they
+// come from the memoized units() slices instead. The two paths yield the
+// same rows, in the same order, with the same extension values.
+func (x *Executor) EachUnit(n Node, yield func(*Row) error) error {
+	if x.materialize {
+		rows, err := x.units(n)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			if err := yield(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return x.streamUnits(n, yield)
+}
 
 // ApplyArgs evaluates an Apply node's argument terms for one row.
 func (x *Executor) ApplyArgs(a *Apply, row *Row) ([]float64, error) {
@@ -104,7 +133,15 @@ func (x *Executor) batchExtend(v *Extend, rows []*Row) (bool, error) {
 			}
 		}
 		results := bp.EvalAggBatch(def, units, args)
-		cache := make(map[*Row]interp.Value, len(rows))
+		// Merge rather than replace: the streaming pipelines may batch the
+		// same call for different row subsets (two Apply chains sharing the
+		// Extend reach it with different survivor sets), and earlier rows'
+		// results must stay visible to evalCall.
+		cache := x.batchCache[call]
+		if cache == nil {
+			cache = make(map[*Row]interp.Value, len(rows))
+			x.batchCache[call] = cache
+		}
 		for i, row := range rows {
 			outs := results[i]
 			if len(def.Outputs) == 1 {
@@ -117,7 +154,6 @@ func (x *Executor) batchExtend(v *Extend, rows []*Row) (bool, error) {
 				cache[row] = interp.RecVal(fields, outs)
 			}
 		}
-		x.batchCache[call] = cache
 	}
 	return true, nil
 }

@@ -18,6 +18,10 @@ import (
 type Row struct {
 	Unit []float64
 	Ext  []interp.Value
+	// ord is the row's ordinal within the executor's base shard — the
+	// index of the streaming path's flat memos (done bitset, Select
+	// verdicts). Rows built by the materializing path leave it zero.
+	ord int32
 }
 
 // Executor evaluates a plan over one tick's environment. Node results are
@@ -50,27 +54,110 @@ type Executor struct {
 	// lo/hi restrict the Base node to env.Rows[lo:hi) — the unit shard this
 	// executor is responsible for. hi < 0 means the full table.
 	lo, hi int
+
+	// materialize selects the legacy node-at-a-time path (units(), one
+	// []*Row slice memoized per plan node) over the streaming pipelines of
+	// stream.go. Both are byte-identical; the flag exists for differential
+	// tests and the allocation/throughput comparison.
+	materialize bool
+
+	// Streaming state (stream.go): flat row storage over the base shard,
+	// the per-(row, slot) extension done bitset, compiled pipelines per
+	// Apply input, shared Select verdict memos, and the survivor-index
+	// scratch buffer reused between blocking batch stages.
+	srows     []Row
+	done      []uint64
+	pipes     map[Node]*pipeline
+	selShares map[*Select]int
+	selMemo   map[*Select][]int8
+	scratch   []int32
+
+	// aggInto is the provider's zero-alloc probe API when it offers one
+	// (exec.Indexed does). The streaming path carves result destinations
+	// out of valArena — results are retained in Extend slots for their
+	// row's lifetime, so they cannot share one buffer, but chunked arena
+	// carving amortizes the per-probe allocation away. recFields caches
+	// the output-name slice of each multi-output aggregate (static per
+	// definition, shared read-only across rows).
+	aggInto   aggIntoProvider
+	valArena  []float64
+	recFields map[*ast.AggDef][]string
+}
+
+// aggIntoProvider is the optional provider fast path: EvalAgg writing
+// into a caller-owned destination of length len(def.Outputs) instead of
+// allocating. Implemented by exec.Indexed.
+type aggIntoProvider interface {
+	EvalAggInto(dst []float64, def *ast.AggDef, unit, args []float64) []float64
+}
+
+// arenaSlice carves an n-float destination out of the executor's arena,
+// starting a fresh chunk when the current one is exhausted. Full chunks
+// stay alive as long as any Extend slot references them — the executor
+// (and so the arena) lives for one tick.
+func (x *Executor) arenaSlice(n int) []float64 {
+	if len(x.valArena)+n > cap(x.valArena) {
+		size := 4096
+		if n > size {
+			size = n
+		}
+		x.valArena = make([]float64, 0, size)
+	}
+	s := x.valArena[len(x.valArena) : len(x.valArena)+n : len(x.valArena)+n]
+	x.valArena = x.valArena[:len(x.valArena)+n]
+	return s
+}
+
+// RangeError reports invalid shard bounds passed to NewExecutorRange.
+type RangeError struct {
+	Lo, Hi, Len int
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("algebra: executor row range [%d,%d) invalid for environment of %d rows", e.Lo, e.Hi, e.Len)
 }
 
 // NewExecutor binds a plan to an environment, provider, and tick source.
 func NewExecutor(prog *sem.Program, plan *Plan, env *table.Table, prov interp.Provider, r rng.TickSource) *Executor {
-	return NewExecutorRange(prog, plan, env, prov, r, 0, -1)
+	x := &Executor{
+		prog: prog, plan: plan, env: env, prov: prov, r: r,
+		ev:    interp.New(prog, env, prov, r),
+		cache: map[Node][]*Row{},
+		lo:    0, hi: -1,
+	}
+	x.aggInto, _ = prov.(aggIntoProvider)
+	return x
 }
 
 // NewExecutorRange is NewExecutor restricted to the unit shard
 // env.Rows[lo:hi): the plan's Base node produces only those rows, while
 // aggregates and action-target selection (which go through the provider)
-// still observe the entire environment. hi < 0 selects the full table.
-// Shard executors over disjoint ranges may run concurrently as long as each
-// has its own provider view (see the concurrency contract on Executor).
-func NewExecutorRange(prog *sem.Program, plan *Plan, env *table.Table, prov interp.Provider, r rng.TickSource, lo, hi int) *Executor {
-	return &Executor{
-		prog: prog, plan: plan, env: env, prov: prov, r: r,
-		ev:    interp.New(prog, env, prov, r),
-		cache: map[Node][]*Row{},
-		lo:    lo, hi: hi,
+// still observe the entire environment. hi < 0 selects the full table
+// (then lo must be 0); otherwise 0 ≤ lo ≤ hi ≤ env.Len() is required and
+// anything else — negative, inverted, or past-the-end bounds — returns a
+// *RangeError instead of letting the Base node's slice expression panic
+// mid-tick. Shard executors over disjoint ranges may run concurrently as
+// long as each has its own provider view (see the concurrency contract
+// on Executor).
+func NewExecutorRange(prog *sem.Program, plan *Plan, env *table.Table, prov interp.Provider, r rng.TickSource, lo, hi int) (*Executor, error) {
+	if hi < 0 {
+		if hi != -1 || lo != 0 {
+			return nil, &RangeError{Lo: lo, Hi: hi, Len: env.Len()}
+		}
+	} else if lo < 0 || lo > hi || hi > env.Len() {
+		return nil, &RangeError{Lo: lo, Hi: hi, Len: env.Len()}
 	}
+	x := NewExecutor(prog, plan, env, prov, r)
+	x.lo, x.hi = lo, hi
+	return x, nil
 }
+
+// SetMaterialize switches the executor to the legacy materializing
+// units() path (true) or the streaming pipelines (false, the default).
+// Must be called before the first evaluation; the two paths produce
+// byte-identical effects, so this is an ablation and test toggle, not a
+// semantic choice.
+func (x *Executor) SetMaterialize(on bool) { x.materialize = on }
 
 // baseRows returns the slice of environment rows this executor's Base node
 // produces.
@@ -108,12 +195,8 @@ func (x *Executor) effects(n Node, emit func([]float64)) error {
 		}
 		return nil
 	case *Apply:
-		rows, err := x.units(v.In)
-		if err != nil {
-			return err
-		}
 		args := make([]float64, len(v.Args))
-		for _, row := range rows {
+		return x.EachUnit(v.In, func(row *Row) error {
 			for i, a := range v.Args {
 				val, err := x.evalTerm(a, v.Env, row)
 				if err != nil {
@@ -136,11 +219,8 @@ func (x *Executor) effects(n Node, emit func([]float64)) error {
 				}
 				emit(eff)
 			})
-			if applyErr != nil {
-				return applyErr
-			}
-		}
-		return nil
+			return applyErr
+		})
 	default:
 		return fmt.Errorf("algebra: node %T does not produce effects", n)
 	}
@@ -329,6 +409,15 @@ func (x *Executor) evalTerm(t ast.Term, env *Env, row *Row) (interp.Value, error
 	return interp.Value{}, fmt.Errorf("algebra: unknown term node %T", t)
 }
 
+// applyBinop evaluates arithmetic with IEEE-754 semantics, exactly like
+// the interpreter: it is total — no operand combination is an error.
+// Division by zero yields ±Inf (x/0), NaN (0/0), and Mod with a zero
+// divisor yields NaN through math.Mod; every operator propagates NaN.
+// Comparisons over these values follow IEEE too: NaN compares false
+// under =, <, <=, >, >= and true under <> (see evalCond). These bits
+// flow into effect rows, the fold, and checkpoint bytes unchanged —
+// poisoned floats are deterministic, not rejected, which is what keeps
+// replayed ≡ live over any script (pinned by the NaN/Inf tests).
 func applyBinop(op ast.BinOp, x, y interp.Value) interp.Value {
 	apply := func(a, b float64) float64 {
 		switch op {
@@ -422,13 +511,28 @@ func (x *Executor) evalCall(n *ast.Call, env *Env, row *Row) (interp.Value, erro
 		}
 		args[i] = v.Num
 	}
-	outs := x.prov.EvalAgg(def, row.Unit, args)
+	var outs []float64
+	if x.aggInto != nil && !x.materialize {
+		// Streaming fast path: the destination comes from the arena (the
+		// result is retained in an Extend slot, so no shared scratch) and
+		// the probe itself runs allocation-free on provider scratch.
+		outs = x.aggInto.EvalAggInto(x.arenaSlice(len(def.Outputs)), def, row.Unit, args)
+	} else {
+		outs = x.prov.EvalAgg(def, row.Unit, args)
+	}
 	if len(def.Outputs) == 1 {
 		return interp.NumVal(outs[0]), nil
 	}
-	fields := make([]string, len(def.Outputs))
-	for i, o := range def.Outputs {
-		fields[i] = o.As
+	fields := x.recFields[def]
+	if fields == nil {
+		fields = make([]string, len(def.Outputs))
+		for i, o := range def.Outputs {
+			fields[i] = o.As
+		}
+		if x.recFields == nil {
+			x.recFields = map[*ast.AggDef][]string{}
+		}
+		x.recFields[def] = fields
 	}
 	return interp.RecVal(fields, outs), nil
 }

@@ -1,0 +1,557 @@
+// Streaming plan execution: the pull-based counterpart of the
+// materializing units() pipeline in exec.go.
+//
+// The materializing executor evaluates a unit-set node by producing the
+// complete []*Row slice of its input, then filtering or extending it into
+// a fresh slice, memoized per node. That costs one row allocation plus
+// one extension-slot allocation per environment row per tick before a
+// single effect is emitted. The streaming executor instead compiles each
+// Apply node's input chain (Base → Select* → Extend* in some
+// interleaving) into a pipeline of per-row stages and walks the base
+// shard once, pushing every row through all stages and yielding the
+// survivors one at a time. Row storage is flat and shared: one []Row
+// backing array, one []interp.Value extension backing array, one done
+// bitset — a constant number of allocations per executor, not per row.
+//
+// Three things make this byte-identical to the materializing path (and
+// therefore to the interpreter — the standing contracts re-prove over
+// this executor unchanged):
+//
+//   - Order. Rows are visited in base order for every Apply, and Applies
+//     are visited in Plan.Applies() order, so effects are emitted in
+//     exactly the serial fold order. Filtering and extension never
+//     reorder rows.
+//
+//   - Purity. Conditions and terms are total functions of the frozen
+//     snapshot: arithmetic is IEEE-754 (division by zero yields ±Inf or
+//     NaN, never an error — see applyBinop), and Random is counter-based
+//     on the unit key, so a term evaluates to the same bits no matter
+//     when, how often, or in which pipeline it runs. This is what makes
+//     the two reorderings below safe.
+//
+//   - Sharing. The plan is a DAG: branches share Select and Extend
+//     prefixes. Extension values are memoized per (row, slot) through the
+//     done bitset and multi-consumer Select verdicts through a tri-state
+//     memo, so shared work is still done once even though each Apply
+//     pulls its own pipeline (set-at-a-time sharing, paper Section 5.2).
+//
+// Two plan-order rewrites happen at pipeline-compile time, per pipeline,
+// without mutating the shared plan DAG:
+//
+//   - Guard pushdown: a Select stage moves below (i.e. runs before) every
+//     Extend stage whose slot its condition does not read. Rows that fail
+//     a cheap guard never reach the aggregate index probes inside the
+//     extension — the dynamic, per-pipeline generalization of optimizer
+//     rule B, which can only rewire single-consumer edges.
+//
+//   - Greedy conjunct ordering: a multi-clause Select condition is
+//     flattened into its AND-conjuncts and reordered by syntax-visible
+//     selectivity — equality guards first, then range guards, then
+//     residuals (anything containing a call, a disjunction, a negation,
+//     or an inequality). No statistics are consulted; the ordering is a
+//     total, deterministic function of the condition's syntax.
+//
+// Aggregates whose batch evaluation is genuinely set-at-a-time (the
+// MIN/MAX sweep line, BatchAggProvider.BatchBeneficial) cannot stream row
+// at a time without losing the sweep. An Extend containing such a call
+// becomes a blocking stage: the pipeline collects the surviving row set,
+// batches the extension exactly like the materializing path, and resumes
+// streaming. Per-probe sweep results depend only on the point set (the
+// frozen environment), never on the other probes, so the smaller probe
+// sets produced by pushdown return bit-identical values.
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/epicscale/sgl/internal/sgl/ast"
+	"github.com/epicscale/sgl/internal/sgl/interp"
+)
+
+// Tri-state Select memo verdicts (0 = not yet evaluated).
+const (
+	memoPass int8 = 1
+	memoFail int8 = 2
+)
+
+// stage is one per-row pipeline step: exactly one of sel/ext is set.
+type stage struct {
+	sel   *Select
+	conjs []ast.Cond // sel.Cond's AND-conjuncts in greedy order
+	memo  []int8     // shared verdict memo when sel feeds several pipelines
+	ext   *Extend
+}
+
+// segment is a maximal run of per-row stages, optionally closed by a
+// blocking set-at-a-time Extend.
+type segment struct {
+	stages []stage
+	batch  *Extend // nil for the final segment
+}
+
+// pipeline is one Apply input chain compiled to streaming form.
+type pipeline struct {
+	segs []segment
+}
+
+// ensureStreamRows builds the executor's flat row storage: every base row
+// of the shard gets a Row backed by one shared extension array, plus a
+// done bit per (row, slot). Built once per executor; Row pointers stay
+// stable for the batch cache.
+func (x *Executor) ensureStreamRows() {
+	if x.srows != nil {
+		return
+	}
+	base := x.baseRows()
+	n := len(base)
+	slots := x.plan.Slots
+	x.srows = make([]Row, n)
+	var back []interp.Value
+	if slots > 0 {
+		back = make([]interp.Value, n*slots)
+	}
+	for i, u := range base {
+		r := &x.srows[i]
+		r.Unit = u
+		r.ord = int32(i)
+		if slots > 0 {
+			r.Ext = back[i*slots : (i+1)*slots : (i+1)*slots]
+		}
+	}
+	if slots > 0 && n > 0 {
+		x.done = make([]uint64, (n*slots+63)/64)
+	}
+}
+
+func (x *Executor) slotDone(row *Row, slot int) bool {
+	i := int(row.ord)*x.plan.Slots + slot
+	return x.done[i>>6]&(1<<uint(i&63)) != 0
+}
+
+func (x *Executor) markSlotDone(row *Row, slot int) {
+	i := int(row.ord)*x.plan.Slots + slot
+	x.done[i>>6] |= 1 << uint(i&63)
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline compilation
+
+// pipelineFor returns the compiled pipeline for a unit-set node,
+// compiling every Apply input chain of the plan on first use so that
+// Selects shared between pipelines get their verdict memo.
+func (x *Executor) pipelineFor(n Node) (*pipeline, error) {
+	if x.pipes == nil {
+		if err := x.compilePipelines(); err != nil {
+			return nil, err
+		}
+	}
+	if p, ok := x.pipes[n]; ok {
+		return p, nil
+	}
+	// A walker asked for a node that is not an Apply input (possible for
+	// external callers): compile it on demand.
+	p, err := x.compileChain(n, x.selectShares())
+	if err != nil {
+		return nil, err
+	}
+	x.pipes[n] = p
+	return p, nil
+}
+
+// compilePipelines compiles the input chain of every Apply in the plan.
+// Selects appearing in more than one chain get a shared tri-state memo so
+// their condition is evaluated once per row across all pipelines.
+func (x *Executor) compilePipelines() error {
+	x.ensureStreamRows()
+	applies, err := x.plan.Applies()
+	if err != nil {
+		return err
+	}
+	// Count how many distinct chains each Select participates in.
+	shares := map[*Select]int{}
+	seen := map[Node]bool{}
+	for _, ap := range applies {
+		if seen[ap.In] {
+			continue
+		}
+		seen[ap.In] = true
+		for cur := ap.In; ; {
+			switch v := cur.(type) {
+			case *Select:
+				shares[v]++
+				cur = v.In
+			case *Extend:
+				cur = v.In
+			default:
+				cur = nil
+			}
+			if cur == nil {
+				break
+			}
+		}
+	}
+	x.selShares = shares
+	x.pipes = make(map[Node]*pipeline, len(seen))
+	for _, ap := range applies {
+		if _, ok := x.pipes[ap.In]; ok {
+			continue
+		}
+		p, err := x.compileChain(ap.In, shares)
+		if err != nil {
+			return err
+		}
+		x.pipes[ap.In] = p
+	}
+	return nil
+}
+
+func (x *Executor) selectShares() map[*Select]int {
+	if x.selShares == nil {
+		x.selShares = map[*Select]int{}
+	}
+	return x.selShares
+}
+
+// selMemoFor returns the shared verdict memo for a multi-pipeline Select.
+func (x *Executor) selMemoFor(s *Select) []int8 {
+	if x.selMemo == nil {
+		x.selMemo = map[*Select][]int8{}
+	}
+	m, ok := x.selMemo[s]
+	if !ok {
+		m = make([]int8, len(x.srows))
+		x.selMemo[s] = m
+	}
+	return m
+}
+
+// compileChain turns the Base→…→n operator chain into a pipeline:
+// collect stages base-first, push guards below independent extensions,
+// order conjuncts greedily, and split at blocking batch extensions.
+func (x *Executor) compileChain(n Node, shares map[*Select]int) (*pipeline, error) {
+	var rev []Node
+	for cur := n; ; {
+		switch v := cur.(type) {
+		case *Base:
+			cur = nil
+		case *Select:
+			rev = append(rev, v)
+			cur = v.In
+		case *Extend:
+			rev = append(rev, v)
+			cur = v.In
+		default:
+			return nil, fmt.Errorf("algebra: node %T does not produce a unit set", cur)
+		}
+		if cur == nil {
+			break
+		}
+	}
+	stages := make([]stage, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		switch v := rev[i].(type) {
+		case *Select:
+			st := stage{sel: v, conjs: orderConjuncts(v.Cond)}
+			if shares[v] > 1 {
+				st.memo = x.selMemoFor(v)
+			}
+			stages = append(stages, st)
+		case *Extend:
+			stages = append(stages, stage{ext: v})
+		}
+	}
+	pushdownGuards(stages)
+	return splitSegments(x, stages), nil
+}
+
+// pushdownGuards moves every Select stage below (before) the Extend
+// stages whose slots its condition does not read, preserving the relative
+// order of Selects. Safe because conditions are pure and total: filtering
+// earlier changes which rows an Extend computes, never the value any row
+// computes to, and never the survivor set or its order.
+func pushdownGuards(stages []stage) {
+	for i := 1; i < len(stages); i++ {
+		if stages[i].sel == nil {
+			continue
+		}
+		var condSlots []int
+		collectCondSlots(stages[i].sel.Cond, stages[i].sel.Env, &condSlots)
+		reads := func(slot int) bool {
+			for _, s := range condSlots {
+				if s == slot {
+					return true
+				}
+			}
+			return false
+		}
+		j := i
+		for j > 0 && stages[j-1].ext != nil && !reads(stages[j-1].ext.Slot) {
+			stages[j], stages[j-1] = stages[j-1], stages[j]
+			j--
+		}
+	}
+}
+
+// splitSegments cuts the stage list at every blocking (set-at-a-time)
+// Extend: stages before it stream per row, then the extension is batched
+// over the surviving row set, then streaming resumes.
+func splitSegments(x *Executor, stages []stage) *pipeline {
+	p := &pipeline{}
+	start := 0
+	for i := range stages {
+		if stages[i].ext != nil && x.extendBlocking(stages[i].ext) {
+			p.segs = append(p.segs, segment{stages: stages[start:i], batch: stages[i].ext})
+			start = i + 1
+		}
+	}
+	p.segs = append(p.segs, segment{stages: stages[start:]})
+	return p
+}
+
+// extendBlocking reports whether an Extend's value contains an aggregate
+// call whose batch evaluation is genuinely set-at-a-time (the MIN/MAX
+// sweep line). Everything else evaluates per row with identical results
+// — for non-MinMax classes EvalAggBatch is literally a loop over the
+// per-probe evaluator.
+func (x *Executor) extendBlocking(e *Extend) bool {
+	bp, ok := x.prov.(BatchAggProvider)
+	if !ok {
+		return false
+	}
+	var calls []*ast.Call
+	x.collectAggCalls(e.Value, &calls)
+	for _, c := range calls {
+		if def := x.prog.AggCalls[c]; def != nil && bp.BatchBeneficial(def) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Greedy conjunct ordering
+
+// flattenAnd appends the AND-conjuncts of c in source evaluation order.
+func flattenAnd(c ast.Cond, out *[]ast.Cond) {
+	if a, ok := c.(*ast.And); ok {
+		flattenAnd(a.X, out)
+		flattenAnd(a.Y, out)
+		return
+	}
+	*out = append(*out, c)
+}
+
+// Conjunct selectivity classes, most selective (and cheapest) first.
+const (
+	classEq       = 0 // call-free equality comparison
+	classRange    = 1 // call-free <, <=, >, >= comparison
+	classResidual = 2 // everything else: <>, or, not, literals, calls
+)
+
+// conjClass ranks one conjunct by syntax-visible selectivity. Only the
+// shape of the syntax is consulted — no statistics: equalities pin a
+// value (most selective), ranges halve one (somewhat selective), and
+// residuals — disjunctions, negations, inequalities, or anything that
+// must call an aggregate or builtin — run last so cheap guards shed rows
+// before expensive terms evaluate.
+func conjClass(c ast.Cond) int {
+	cmp, ok := c.(*ast.Compare)
+	if !ok {
+		return classResidual
+	}
+	if termHasCall(cmp.X) || termHasCall(cmp.Y) {
+		return classResidual
+	}
+	switch cmp.Op {
+	case ast.Eq:
+		return classEq
+	case ast.Lt, ast.Le, ast.Gt, ast.Ge:
+		return classRange
+	default: // Ne barely filters: treat like a residual
+		return classResidual
+	}
+}
+
+// orderConjuncts flattens a condition's AND-chain and stable-sorts the
+// conjuncts by class, preserving source order within a class. Reordering
+// is safe under short-circuit evaluation because every conjunct is a pure
+// total function of the row (see the package comment); it changes which
+// conjuncts get evaluated, never the verdict.
+func orderConjuncts(c ast.Cond) []ast.Cond {
+	var conjs []ast.Cond
+	flattenAnd(c, &conjs)
+	if len(conjs) > 1 {
+		sort.SliceStable(conjs, func(i, j int) bool {
+			return conjClass(conjs[i]) < conjClass(conjs[j])
+		})
+	}
+	return conjs
+}
+
+func termHasCall(t ast.Term) bool {
+	switch n := t.(type) {
+	case *ast.Field:
+		return termHasCall(n.X)
+	case *ast.Pair:
+		return termHasCall(n.X) || termHasCall(n.Y)
+	case *ast.Neg:
+		return termHasCall(n.X)
+	case *ast.Binary:
+		return termHasCall(n.X) || termHasCall(n.Y)
+	case *ast.Call:
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline execution
+
+// runStages pushes one row through a run of per-row stages; false means
+// the row was filtered out.
+func (x *Executor) runStages(stages []stage, row *Row) (bool, error) {
+	for i := range stages {
+		st := &stages[i]
+		if st.sel != nil {
+			if st.memo != nil {
+				switch st.memo[row.ord] {
+				case memoPass:
+					continue
+				case memoFail:
+					return false, nil
+				}
+			}
+			pass := true
+			for _, c := range st.conjs {
+				ok, err := x.evalCond(c, st.sel.Env, row)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					pass = false
+					break
+				}
+			}
+			if st.memo != nil {
+				if pass {
+					st.memo[row.ord] = memoPass
+				} else {
+					st.memo[row.ord] = memoFail
+				}
+			}
+			if !pass {
+				return false, nil
+			}
+			continue
+		}
+		if !x.slotDone(row, st.ext.Slot) {
+			val, err := x.evalTerm(st.ext.Value, st.ext.Env, row)
+			if err != nil {
+				return false, err
+			}
+			row.Ext[st.ext.Slot] = val
+			x.markSlotDone(row, st.ext.Slot)
+		}
+	}
+	return true, nil
+}
+
+// runBatchStage evaluates a blocking Extend for the surviving rows that
+// do not have it yet, through the same batchExtend the materializing path
+// uses — so the sweep-line technique is preserved verbatim.
+func (x *Executor) runBatchStage(e *Extend, work []int32) error {
+	rows := make([]*Row, 0, len(work))
+	for _, i := range work {
+		row := &x.srows[i]
+		if !x.slotDone(row, e.Slot) {
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if _, err := x.batchExtend(e, rows); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		val, err := x.evalTerm(e.Value, e.Env, row)
+		if err != nil {
+			return err
+		}
+		row.Ext[e.Slot] = val
+		x.markSlotDone(row, e.Slot)
+	}
+	return nil
+}
+
+// streamUnits yields the rows of unit-set node n one at a time, in base
+// order — the streaming equivalent of units(n). The common case (no
+// blocking batch stage) runs a single tight loop with no per-row
+// bookkeeping beyond the shared memos; pipelines with batch stages
+// collect survivor indexes into a reused scratch buffer between blocking
+// points.
+func (x *Executor) streamUnits(n Node, yield func(*Row) error) error {
+	p, err := x.pipelineFor(n)
+	if err != nil {
+		return err
+	}
+	x.ensureStreamRows()
+	if len(p.segs) == 1 {
+		stages := p.segs[0].stages
+		for i := range x.srows {
+			row := &x.srows[i]
+			ok, err := x.runStages(stages, row)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if err := yield(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	work := x.scratch[:0]
+	for i := range x.srows {
+		row := &x.srows[i]
+		ok, err := x.runStages(p.segs[0].stages, row)
+		if err != nil {
+			return err
+		}
+		if ok {
+			work = append(work, int32(i))
+		}
+	}
+	for si := range p.segs {
+		seg := &p.segs[si]
+		if si > 0 {
+			kept := work[:0]
+			for _, i := range work {
+				row := &x.srows[i]
+				ok, err := x.runStages(seg.stages, row)
+				if err != nil {
+					return err
+				}
+				if ok {
+					kept = append(kept, i)
+				}
+			}
+			work = kept
+		}
+		if seg.batch != nil {
+			if err := x.runBatchStage(seg.batch, work); err != nil {
+				return err
+			}
+		}
+	}
+	for _, i := range work {
+		if err := yield(&x.srows[i]); err != nil {
+			return err
+		}
+	}
+	x.scratch = work[:0]
+	return nil
+}

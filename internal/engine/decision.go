@@ -53,6 +53,7 @@ func (e *Engine) decideNaive(r rng.TickSource, acc *accumulator, keyIdx map[int6
 func (e *Engine) decideIndexed(r rng.TickSource, acc *accumulator, keyIdx map[int64]int) error {
 	prov := e.newIndexedProvider(r, keyIdx)
 	x := algebra.NewExecutor(e.prog, e.plan, e.env, prov, r)
+	x.SetMaterialize(e.opts.MaterializeExec)
 	kc := e.prog.Schema.KeyCol()
 
 	deferred := map[*ast.ActDef][]performer{}
@@ -63,12 +64,9 @@ func (e *Engine) decideIndexed(r rng.TickSource, acc *accumulator, keyIdx map[in
 		return err
 	}
 	for _, ap := range applies {
-		rows, err := x.UnitsOf(ap.In)
-		if err != nil {
-			return err
-		}
+		ap := ap
 		deferThis := e.an.Act(ap.Def).Deferrable && !e.opts.DisableAreaDefer
-		for _, row := range rows {
+		err := x.EachUnit(ap.In, func(row *algebra.Row) error {
 			args, err := x.ApplyArgs(ap, row)
 			if err != nil {
 				return err
@@ -78,7 +76,7 @@ func (e *Engine) decideIndexed(r rng.TickSource, acc *accumulator, keyIdx map[in
 					deferredOrder = append(deferredOrder, ap.Def)
 				}
 				deferred[ap.Def] = append(deferred[ap.Def], performer{unit: row.Unit, args: args})
-				continue
+				return nil
 			}
 			var applyErr error
 			prov.SelectTargets(ap.Def, row.Unit, args, func(tgt []float64) {
@@ -95,9 +93,10 @@ func (e *Engine) decideIndexed(r rng.TickSource, acc *accumulator, keyIdx map[in
 					e.countEffect(0)
 				}
 			})
-			if applyErr != nil {
-				return applyErr
-			}
+			return applyErr
+		})
+		if err != nil {
+			return err
 		}
 	}
 

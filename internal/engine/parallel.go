@@ -172,21 +172,22 @@ func (e *Engine) decideIndexedParallel(r rng.TickSource, acc *accumulator, keyId
 		out.effects = make([][][]float64, len(applies))
 		out.perf = make([][]performer, len(applies))
 		prov := master.Fork()
-		x := algebra.NewExecutorRange(e.prog, e.plan, e.env, prov, r, lo, hi)
+		x, err := algebra.NewExecutorRange(e.prog, e.plan, e.env, prov, r, lo, hi)
+		if err != nil {
+			return err
+		}
+		x.SetMaterialize(e.opts.MaterializeExec)
 		for j, ap := range applies {
-			rows, err := x.UnitsOf(ap.In)
-			if err != nil {
-				return err
-			}
+			j, ap := j, ap
 			deferThis := e.an.Act(ap.Def).Deferrable && !e.opts.DisableAreaDefer
-			for _, row := range rows {
+			err := x.EachUnit(ap.In, func(row *algebra.Row) error {
 				args, err := x.ApplyArgs(ap, row)
 				if err != nil {
 					return err
 				}
 				if deferThis {
 					out.perf[j] = append(out.perf[j], performer{unit: row.Unit, args: args})
-					continue
+					return nil
 				}
 				var applyErr error
 				prov.SelectTargets(ap.Def, row.Unit, args, func(tgt []float64) {
@@ -200,9 +201,10 @@ func (e *Engine) decideIndexedParallel(r rng.TickSource, acc *accumulator, keyId
 					}
 					out.effects[j] = append(out.effects[j], eff)
 				})
-				if applyErr != nil {
-					return applyErr
-				}
+				return applyErr
+			})
+			if err != nil {
+				return err
 			}
 		}
 		out.stats = prov.Stats

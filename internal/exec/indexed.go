@@ -55,6 +55,14 @@ type Indexed struct {
 	// call; reset at the start of every EvalAggBatch.
 	argFold map[[2]int]argState
 
+	// probeReqs, probeParts and probePayload are per-instance scratch for
+	// the EvalAggInto probe path. EvalAgg never touches them, so its
+	// returned slices stay safe to retain; Fork resets them so sibling
+	// views never share backing arrays.
+	probeReqs    []matchReq
+	probeParts   []*aggPart
+	probePayload []float64
+
 	// Stats counts index builds and probes for the benchmark reports.
 	Stats Stats
 }
@@ -135,6 +143,7 @@ func (p *Indexed) Fork() *Indexed {
 	c := *p
 	c.Stats = Stats{}
 	c.argFold = nil
+	c.probeReqs, c.probeParts, c.probePayload = nil, nil, nil
 	c.forked = true
 	return &c
 }
@@ -515,23 +524,35 @@ func (p *Indexed) probeRect(a *AggAnalysis, dl interp.DefLike, unit, args []floa
 	return r, nil
 }
 
+// matchReq is one compiled eq/neq requirement of a partition probe.
+type matchReq struct {
+	col int
+	val float64
+	neq bool
+}
+
 // matchParts returns the partitions consistent with the eq conjuncts for
-// one probing unit, in deterministic order.
-func (p *Indexed) matchParts(idx *aggIndex, dl interp.DefLike, eqs []EqCond, unit, args []float64) ([]*aggPart, error) {
-	type req struct {
-		col int
-		val float64
-		neq bool
+// one probing unit, in deterministic order. With scratch set it reuses the
+// per-instance probe buffers — the result is only valid until the next
+// scratch call on this view.
+func (p *Indexed) matchParts(idx *aggIndex, dl interp.DefLike, eqs []EqCond, unit, args []float64, scratch bool) ([]*aggPart, error) {
+	var reqs []matchReq
+	var out []*aggPart
+	if scratch {
+		reqs, out = p.probeReqs[:0], p.probeParts[:0]
+	} else {
+		reqs = make([]matchReq, 0, len(eqs))
 	}
-	reqs := make([]req, len(eqs))
-	for i, eq := range eqs {
+	for _, eq := range eqs {
 		v, err := interp.EvalDefTermWith(eq.Term, dl, unit, args, unit, p.prog, p.r)
 		if err != nil {
 			return nil, err
 		}
-		reqs[i] = req{col: eq.Col, val: v, neq: eq.Neq}
+		reqs = append(reqs, matchReq{col: eq.Col, val: v, neq: eq.Neq})
 	}
-	var out []*aggPart
+	if scratch {
+		p.probeReqs = reqs
+	}
 	for _, key := range idx.order {
 		part := idx.parts[key]
 		if len(part.rows) == 0 {
@@ -552,12 +573,20 @@ func (p *Indexed) matchParts(idx *aggIndex, dl interp.DefLike, eqs []EqCond, uni
 			out = append(out, part)
 		}
 	}
+	if scratch {
+		p.probeParts = out
+	}
 	return out, nil
 }
 
 // identityResults fills the empty-set identities for every output.
 func identityResults(def *ast.AggDef) []float64 {
-	out := make([]float64, len(def.Outputs))
+	return fillIdentities(make([]float64, len(def.Outputs)), def)
+}
+
+// fillIdentities writes the empty-set identity of every output into out,
+// which must have length len(def.Outputs).
+func fillIdentities(out []float64, def *ast.AggDef) []float64 {
 	for i, o := range def.Outputs {
 		switch o.Func {
 		case ast.Min:
@@ -582,14 +611,35 @@ func identityResults(def *ast.AggDef) []float64 {
 // lookups; MinMax-class outputs fall back to a partition scan on this
 // single-probe path (the batch path in EvalAggBatch uses the sweep line).
 func (p *Indexed) EvalAgg(def *ast.AggDef, unit []float64, args []float64) []float64 {
-	return p.evalCore(def, unit, args, false)
+	return p.evalCore(nil, def, unit, args, false)
 }
 
-func (p *Indexed) evalCore(def *ast.AggDef, unit []float64, args []float64, skipMinMax bool) []float64 {
+// EvalAggInto is EvalAgg writing its results into dst, which must have
+// length len(def.Outputs); it returns dst. The probe runs on per-instance
+// scratch buffers, so a serial caller that owns this view (each engine
+// shard works on its own Fork) pays no allocation per probe. Results must
+// be copied out before the next EvalAggInto call if they are retained —
+// callers that keep slices across probes belong on EvalAgg.
+func (p *Indexed) EvalAggInto(dst []float64, def *ast.AggDef, unit []float64, args []float64) []float64 {
+	return p.evalCore(dst, def, unit, args, false)
+}
+
+// evalCore answers one probe. A nil dst allocates fresh result (and
+// internal) slices, so the return is safe to retain; a non-nil dst of
+// length len(def.Outputs) receives the results in place and switches the
+// probe internals to the per-instance scratch buffers — the zero-alloc
+// path behind EvalAggInto.
+func (p *Indexed) evalCore(dst []float64, def *ast.AggDef, unit []float64, args []float64, skipMinMax bool) []float64 {
+	scratch := dst != nil
 	a := p.an.Agg(def)
 	if !a.Indexable {
 		p.Stats.ScanProbes++
-		return p.naive.EvalAgg(def, unit, args)
+		out := p.naive.EvalAgg(def, unit, args)
+		if scratch {
+			copy(dst, out)
+			return dst
+		}
+		return out
 	}
 	dl := interp.DefParams(def)
 	// u-only conjuncts: false ⇒ empty set ⇒ identities.
@@ -599,11 +649,14 @@ func (p *Indexed) evalCore(def *ast.AggDef, unit []float64, args []float64, skip
 			panic("exec: " + err.Error())
 		}
 		if !ok {
+			if scratch {
+				return fillIdentities(dst, def)
+			}
 			return identityResults(def)
 		}
 	}
 	idx := p.aggIndexFor(def)
-	parts, err := p.matchParts(idx, dl, a.Eqs, unit, args)
+	parts, err := p.matchParts(idx, dl, a.Eqs, unit, args, scratch)
 	if err != nil {
 		panic("exec: " + err.Error())
 	}
@@ -612,11 +665,26 @@ func (p *Indexed) evalCore(def *ast.AggDef, unit []float64, args []float64, skip
 		panic("exec: " + err.Error())
 	}
 
-	out := identityResults(def)
+	var out []float64
+	if scratch {
+		out = fillIdentities(dst, def)
+	} else {
+		out = identityResults(def)
+	}
 	w := len(idx.payload.terms)
 	var payload []float64
 	if w > 0 {
-		payload = make([]float64, w)
+		if scratch {
+			if cap(p.probePayload) < w {
+				p.probePayload = make([]float64, w)
+			}
+			payload = p.probePayload[:w]
+			for i := range payload {
+				payload[i] = 0
+			}
+		} else {
+			payload = make([]float64, w)
+		}
 	}
 	needPayload := false
 	for i := range def.Outputs {
@@ -779,10 +847,34 @@ func (p *Indexed) EvalAggBatch(def *ast.AggDef, units [][]float64, args [][]floa
 	return results
 }
 
+// BatchBeneficial reports whether EvalAggBatch answers def with a
+// genuinely set-at-a-time algorithm: an indexable definition with at
+// least one MIN/MAX-class output, where the whole probe set is sorted
+// and swept in one pass. For every other definition EvalAggBatch is a
+// loop over EvalAgg, so per-row (streaming) evaluation is bit-identical
+// and batching buys nothing. Streaming callers use this to decide where
+// a pipeline must block and collect its probe set; because each probe's
+// sweep answer depends only on the indexed point set — never on the
+// other probes — the guard-filtered (pushed-down) probe sets the
+// streaming executor produces return exactly the values a full batch
+// would.
+func (p *Indexed) BatchBeneficial(def *ast.AggDef) bool {
+	a := p.an.Agg(def)
+	if !a.Indexable {
+		return false
+	}
+	for i := range def.Outputs {
+		if a.OutClass[i] == ClassMinMax {
+			return true
+		}
+	}
+	return false
+}
+
 // evalNonMinMax computes every output except MinMax ones, which stay at
 // their identities for the sweep to overwrite.
 func (p *Indexed) evalNonMinMax(def *ast.AggDef, a *AggAnalysis, unit, args []float64) []float64 {
-	return p.evalCore(def, unit, args, true)
+	return p.evalCore(nil, def, unit, args, true)
 }
 
 type sweepGroup struct {
@@ -832,7 +924,7 @@ func (p *Indexed) evalMinMaxBatch(def *ast.AggDef, a *AggAnalysis, units [][]flo
 		if err != nil {
 			panic("exec: " + err.Error())
 		}
-		parts, err := p.matchParts(idx, dl, a.Eqs, unit, arg)
+		parts, err := p.matchParts(idx, dl, a.Eqs, unit, arg, false)
 		if err != nil {
 			panic("exec: " + err.Error())
 		}

@@ -104,6 +104,22 @@ function main(u) {
   }
 }`},
 
+	{"multi-conjunct-greedy", `
+aggregate Foes(u) :=
+  count(*) as n, min(e.health) as low
+  over e where e.posx >= u.posx - 9 and e.posx <= u.posx + 9
+    and e.posy >= u.posy - 9 and e.posy <= u.posy + 9
+    and e.player <> u.player;
+action Tag(u, v) := on e where e.key = u.key set damage = v;
+function main(u) {
+  (let f = Foes(u)) {
+    if u.cooldown = 0 and f.n >= 1 and u.health > 3 and u.unittype <> 9 then
+      perform Tag(u, f.low);
+    if u.cooldown = 1 and u.health > 6 then
+      perform Tag(u, f.n)
+  }
+}`},
+
 	{"empty-world-guards", `
 aggregate Foes(u) :=
   count(*)

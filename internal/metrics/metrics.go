@@ -16,11 +16,16 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
+	"github.com/epicscale/sgl/internal/algebra"
 	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/exec"
 	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/rng"
 	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/table"
 	"github.com/epicscale/sgl/internal/workload"
 )
 
@@ -195,6 +200,125 @@ func (r *Runner) MaintainComparison(n int, density float64, measureTicks int) ([
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// ExecRow is one point of the streaming-vs-materializing executor
+// comparison.
+type ExecRow struct {
+	Units          int
+	Streaming      bool
+	SecondsPerTick float64
+	// Speedup is this row's throughput relative to the materializing row
+	// at the same unit count (1.0 for the materializing row itself).
+	Speedup float64
+	// EffectAllocs is the heap allocations of one effect-query pass in
+	// isolation (executor construction + plan evaluation over the frozen
+	// army, per-tick indexes prebuilt) — the budget the streaming rewrite
+	// targets. Whole-tick allocation counts are dominated by index
+	// rebuilds and would bury this number.
+	EffectAllocs float64
+}
+
+// effectPassAllocs measures heap allocations of a single effect-query
+// pass over env, excluding index construction (a warm-up pass builds the
+// provider's lazy per-tick indexes before the measured window). A fresh
+// executor is built per pass, exactly as the engine does per tick.
+func (r *Runner) effectPassAllocs(env *table.Table, mat bool) (float64, error) {
+	plan, err := algebra.Translate(r.prog)
+	if err != nil {
+		return 0, err
+	}
+	algebra.Optimize(plan)
+	rt := rng.New(42).Tick(1)
+	prov := exec.NewIndexed(exec.NewAnalyzer(r.prog, game.Categoricals()), env, rt)
+	pass := func() error {
+		x := algebra.NewExecutor(r.prog, plan, env, prov, rt)
+		x.SetMaterialize(mat)
+		return x.Effects(func([]float64) {})
+	}
+	if err := pass(); err != nil { // warm-up: index builds happen here
+		return 0, err
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	const runs = 5
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		if err := pass(); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs, nil
+}
+
+// ExecComparison measures the battle at n units under the legacy
+// materializing executor vs the streaming pipelines (Options.
+// MaterializeExec), returning one row per path. The two are bit-identical
+// in outcome — TestStreamingMatchesMaterializing — so the delta is pure
+// executor overhead: per-row []*Row and extension-slot allocation versus
+// the flat streaming storage, plus whatever the guard pushdown saves in
+// index probes.
+func (r *Runner) ExecComparison(n int, density float64, measureTicks int) ([]ExecRow, error) {
+	var rows []ExecRow
+	var allocEnv *table.Table
+	for _, mat := range []bool{true, false} {
+		spec := workload.Spec{Units: n, Density: density, Seed: 42, Formation: workload.BattleLines}
+		e, err := engine.New(r.prog, game.NewMechanics(), workload.Generate(spec), engine.Options{
+			Mode:            engine.Indexed,
+			Categoricals:    game.Categoricals(),
+			Seed:            42,
+			Side:            spec.Side(),
+			MoveSpeed:       1,
+			Workers:         r.Workers,
+			MaterializeExec: mat,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Run(r.Warmup); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := e.Run(measureTicks); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Seconds()
+		if allocEnv == nil {
+			// Snapshot the post-combat army once so both rows measure
+			// their effect pass over identical data.
+			allocEnv = e.Env().Clone()
+		}
+		rows = append(rows, ExecRow{
+			Units:          n,
+			Streaming:      !mat,
+			SecondsPerTick: elapsed / float64(measureTicks),
+		})
+	}
+	base := rows[0].SecondsPerTick // materializing runs first
+	for i := range rows {
+		if rows[i].SecondsPerTick > 0 {
+			rows[i].Speedup = base / rows[i].SecondsPerTick
+		}
+		allocs, err := r.effectPassAllocs(allocEnv, !rows[i].Streaming)
+		if err != nil {
+			return nil, err
+		}
+		rows[i].EffectAllocs = allocs
+	}
+	return rows, nil
+}
+
+// WriteExec renders the materializing-vs-streaming executor table.
+func WriteExec(w io.Writer, rows []ExecRow) {
+	fmt.Fprintf(w, "%-8s %-12s %14s %9s %18s\n", "units", "executor", "sec/tick", "speedup", "effect allocs/pass")
+	for _, row := range rows {
+		exec := "materialize"
+		if row.Streaming {
+			exec = "stream"
+		}
+		fmt.Fprintf(w, "%-8d %-12s %14.6f %8.2fx %18.0f\n", row.Units, exec, row.SecondsPerTick, row.Speedup, row.EffectAllocs)
+	}
 }
 
 // WriteMaintain renders the rebuild-vs-maintain table.

@@ -229,6 +229,39 @@ func TestMaintainComparison(t *testing.T) {
 	}
 }
 
+func TestExecComparison(t *testing.T) {
+	r := runner(t)
+	rows, err := r.ExecComparison(80, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Streaming || !rows[1].Streaming {
+		t.Fatalf("want [materialize, stream] rows, got %+v", rows)
+	}
+	for _, row := range rows {
+		if row.SecondsPerTick <= 0 || row.Speedup <= 0 {
+			t.Fatalf("non-positive measurement: %+v", row)
+		}
+	}
+	if rows[0].Speedup != 1 {
+		t.Fatalf("materializing row speedup = %v, want 1 (its own baseline)", rows[0].Speedup)
+	}
+	// The effect-path allocation claim the streaming rewrite makes: at
+	// least 50% fewer allocations per pass than the materializing path.
+	if rows[0].EffectAllocs <= 0 {
+		t.Fatalf("materializing effect pass reported %v allocs", rows[0].EffectAllocs)
+	}
+	if rows[1].EffectAllocs > rows[0].EffectAllocs/2 {
+		t.Fatalf("streaming effect pass allocates %.0f vs materializing %.0f: less than 2x reduction",
+			rows[1].EffectAllocs, rows[0].EffectAllocs)
+	}
+	var buf bytes.Buffer
+	WriteExec(&buf, rows)
+	if !strings.Contains(buf.String(), "materialize") || !strings.Contains(buf.String(), "stream") {
+		t.Fatalf("table missing executor modes:\n%s", buf.String())
+	}
+}
+
 func TestQueryFanout(t *testing.T) {
 	r, err := NewRunner()
 	if err != nil {
