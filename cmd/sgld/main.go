@@ -17,7 +17,9 @@
 //
 // Load-generator mode drives a fleet of worlds with spectator query
 // fan-out — and, with -actors, command-injecting actors exercising the
-// write path — and prints per-session tick-rate and latency tables.
+// write path, and with -subscribers, SSE push subscribers holding
+// …/subscribe streams — and prints per-session tick-rate and latency
+// tables (plus pushed-vs-poll-equivalent volume for subscribers).
 // With -base it targets a running daemon; without, it spins up an
 // in-process server first, so one command proves the serving layer end
 // to end:
@@ -58,6 +60,7 @@ func main() {
 		tickrate   = flag.Float64("tickrate", 10, "loadgen: clock target per world in ticks/s (0 = uncapped)")
 		spectators = flag.Int("spectators", 4, "loadgen: concurrent spectators per world")
 		actors     = flag.Int("actors", 0, "loadgen: concurrent command-injecting actors per world")
+		subs       = flag.Int("subscribers", 0, "loadgen: push subscribers (SSE) per world")
 		duration   = flag.Duration("duration", 10*time.Second, "loadgen: measurement window")
 		workers    = flag.Int("workers", 1, "loadgen: engine workers per world")
 		incr       = flag.Bool("incremental", false, "loadgen: incremental index maintenance per world")
@@ -69,7 +72,7 @@ func main() {
 		loadgen: *loadgen, base: *base,
 		lg: server.LoadGenConfig{
 			Worlds: *worlds, Units: *units, Density: *density, Seed: *seed,
-			TickRate: *tickrate, Spectators: *spectators, Actors: *actors, Duration: *duration,
+			TickRate: *tickrate, Spectators: *spectators, Actors: *actors, Subscribers: *subs, Duration: *duration,
 			Workers: *workers, Incremental: *incr,
 		},
 	}, os.Stdout); err != nil {
@@ -160,8 +163,8 @@ func runLoadGen(cfg runConfig, out io.Writer) error {
 
 	lg := cfg.lg
 	lg.BaseURL = baseURL
-	fmt.Fprintf(out, "sgld: loadgen — %d worlds × %d units, %d spectators + %d actors/world, %.0f ticks/s target, %s window\n",
-		lg.Worlds, lg.Units, lg.Spectators, lg.Actors, lg.TickRate, lg.Duration)
+	fmt.Fprintf(out, "sgld: loadgen — %d worlds × %d units, %d spectators + %d actors + %d subscribers/world, %.0f ticks/s target, %s window\n",
+		lg.Worlds, lg.Units, lg.Spectators, lg.Actors, lg.Subscribers, lg.TickRate, lg.Duration)
 	rows, err := server.LoadGen(lg)
 	if err != nil {
 		return err

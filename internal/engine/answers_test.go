@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/epicscale/sgl/internal/exec"
+)
+
+// runMaintainedDifferential drives the maintained-answer contract over
+// one engine configuration: every zoo query, compiled once and held
+// across ticks so its answers are actually maintained (the harness in
+// query_test.go recompiles per tick, which would defeat the cache),
+// must agree with the naive scan oracle at every tick. When exact is
+// set, divisible queries must match the scan bit for bit — the refold
+// guarantee — not merely within tolerance.
+func runMaintainedDifferential(t *testing.T, workers int, incremental bool, threshold float64, ticks int, exact bool) *Engine {
+	t.Helper()
+	prog := battleProg(t)
+	e := newEngine(t, prog, 90, Indexed, 13, func(o *Options) {
+		o.Workers = workers
+		o.Incremental = incremental
+		o.IncrementalThreshold = threshold
+	})
+	type zooQuery struct {
+		name      string
+		q         *Query
+		kind      queryKind
+		args      []float64
+		divisible bool
+	}
+	queries := make([]zooQuery, 0, len(queryZoo))
+	for _, zq := range queryZoo {
+		q := compileQuery(t, zq.src)
+		queries = append(queries, zooQuery{
+			name: zq.name, q: q, kind: zq.kind, args: zq.args,
+			divisible: exec.NewAnswerPlan(q.prog, q.def).Divisible(),
+		})
+	}
+	probes := [][2]float64{{0, 0}, {10, 14}, {25, 3}}
+	keys := []int64{0, 17, 42}
+	check := func(tick int, zq zooQuery, got, scan []float64, err1, err2 error) {
+		t.Helper()
+		if err1 != nil {
+			t.Fatalf("tick %d, %s: maintained: %v", tick, zq.name, err1)
+		}
+		if err2 != nil {
+			t.Fatalf("tick %d, %s: scan: %v", tick, zq.name, err2)
+		}
+		if len(got) != len(scan) {
+			t.Fatalf("tick %d, %s: output arity mismatch", tick, zq.name)
+		}
+		for i := range got {
+			if exact && zq.divisible {
+				if got[i] != scan[i] && !(got[i] != got[i] && scan[i] != scan[i]) {
+					t.Fatalf("tick %d, %s, output %s: maintained %v != scan %v (divisible answers must be bit-exact)",
+						tick, zq.name, zq.q.Outputs()[i], got[i], scan[i])
+				}
+				continue
+			}
+			if !closeEnough(got[i], scan[i]) {
+				t.Fatalf("tick %d, %s, output %s: maintained %v != scan %v",
+					tick, zq.name, zq.q.Outputs()[i], got[i], scan[i])
+			}
+		}
+	}
+	for tick := 0; tick < ticks; tick++ {
+		for _, zq := range queries {
+			switch zq.kind {
+			case qWorld:
+				got, err1 := e.QueryMaintained(zq.q, zq.args...)
+				scan, err2 := e.QueryScan(zq.q, zq.args...)
+				check(tick, zq, got, scan, err1, err2)
+			case qAt:
+				for _, p := range probes {
+					got, err1 := e.QueryMaintainedAt(zq.q, p[0], p[1], zq.args...)
+					scan, err2 := e.QueryScanAt(zq.q, p[0], p[1], zq.args...)
+					check(tick, zq, got, scan, err1, err2)
+				}
+			case qUnit:
+				for _, key := range keys {
+					got, err1 := e.QueryMaintainedUnit(zq.q, key, zq.args...)
+					scan, err2 := e.QueryScanUnit(zq.q, key, zq.args...)
+					check(tick, zq, got, scan, err1, err2)
+				}
+			}
+		}
+		if err := e.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// TestMaintainedMatchesScan is the contract-family member for query
+// answers: maintained answers ≡ QueryScan* every tick over the whole
+// query zoo × Workers {1,4} × Incremental {off,on}.
+func TestMaintainedMatchesScan(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, inc := range []bool{false, true} {
+			workers, inc := workers, inc
+			name := "workers=1/inc=off"
+			switch {
+			case workers == 1 && inc:
+				name = "workers=1/inc=on"
+			case workers == 4 && !inc:
+				name = "workers=4/inc=off"
+			case workers == 4 && inc:
+				name = "workers=4/inc=on"
+			}
+			t.Run(name, func(t *testing.T) {
+				e := runMaintainedDifferential(t, workers, inc, 0, 10, false)
+				// The cache must actually have worked: some answers
+				// survived ticks untouched, and the first tick (no
+				// baseline delta) forced rederives.
+				if e.Stats.AnswerHits == 0 {
+					t.Fatal("no answer classified untouched across 10 battle ticks")
+				}
+				if e.Stats.AnswerRederives == 0 {
+					t.Fatal("no answer rederived (the first tick alone must rederive)")
+				}
+			})
+		}
+	}
+}
+
+// At threshold 1 every touched divisible answer is patched in place, and
+// a patched answer must equal the from-scratch scan bit for bit — the
+// exactness claim answers.go's refold design rests on.
+func TestMaintainedAlwaysPatchBitExact(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		name := "workers=1"
+		if workers == 4 {
+			name = "workers=4"
+		}
+		t.Run(name, func(t *testing.T) {
+			e := runMaintainedDifferential(t, workers, true, 1, 10, true)
+			if e.Stats.AnswerPatches == 0 {
+				t.Fatal("threshold 1 never patched an answer in 10 battle ticks")
+			}
+		})
+	}
+}
+
+// A query whose read set no tick touches (player assignments never
+// change) must hit the cache every tick after the first, with zero
+// patches or provider detours after the initial derivations.
+func TestMaintainedUntouchedQueryHits(t *testing.T) {
+	prog := battleProg(t)
+	e := newEngine(t, prog, 90, Indexed, 13, nil)
+	q := compileQuery(t, `aggregate A(u, p) := count(*) as n over e where e.player = p;`)
+	first, err := e.QueryMaintained(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 8
+	for i := 0; i < ticks; i++ {
+		if err := e.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.QueryMaintained(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != first[0] {
+			t.Fatalf("tick %d: count by player drifted: %v -> %v", i, first[0], got[0])
+		}
+	}
+	// First tick end has no baseline delta (one rederive); every later
+	// tick must classify the answer untouched.
+	if e.Stats.AnswerHits < ticks-1 {
+		t.Fatalf("AnswerHits = %d, want >= %d", e.Stats.AnswerHits, ticks-1)
+	}
+	if e.Stats.AnswerPatches != 0 {
+		t.Fatalf("AnswerPatches = %d for a query no tick touches", e.Stats.AnswerPatches)
+	}
+	if e.Stats.AnswerRederives != 1 {
+		t.Fatalf("AnswerRederives = %d, want exactly the baseline-less first tick", e.Stats.AnswerRederives)
+	}
+}
+
+// Maintained-answer state is bounded: probe fan-out within one query is
+// capped, and answers unread for a few ticks die with their query cache
+// entry.
+func TestMaintainedAnswerEviction(t *testing.T) {
+	prog := battleProg(t)
+	e := newEngine(t, prog, 48, Indexed, 1, nil)
+	q := compileQuery(t, `
+aggregate Here(u, r) :=
+  count(*) as n, avg(e.posx) as cx
+  over e where e.posx >= u.posx - r and e.posx <= u.posx + r;`)
+	for i := 0; i < maxAnswersPerQuery+10; i++ {
+		if _, err := e.QueryMaintainedAt(q, float64(i), 0, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.qmu.Lock()
+	ent := e.queries.cache[q]
+	e.qmu.Unlock()
+	if ent == nil {
+		t.Fatal("query entry missing after maintained evaluations")
+	}
+	ent.amu.Lock()
+	live := len(ent.answers)
+	ent.amu.Unlock()
+	if live > maxAnswersPerQuery {
+		t.Fatalf("answer cache grew to %d entries (cap %d)", live, maxAnswersPerQuery)
+	}
+
+	// Stop reading; the query cache generation eviction must release the
+	// whole entry — answers included — within a few ticks.
+	for i := 0; i < queryEvictAfter+2; i++ {
+		if err := e.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.qmu.Lock()
+	_, alive := e.queries.cache[q]
+	e.qmu.Unlock()
+	if alive {
+		t.Fatal("unread query entry (and its maintained answers) survived generation eviction")
+	}
+}
+
+// Delta capture engages on demand for maintained answers even with
+// Options.Incremental off, and disengages — dropping the baseline — when
+// the last answer dies, so a later re-engagement cannot diff against a
+// stale snapshot (the ABA hazard).
+func TestMaintainedCaptureLifecycle(t *testing.T) {
+	prog := battleProg(t)
+	e := newEngine(t, prog, 48, Indexed, 1, nil)
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if e.incSnap != nil {
+		t.Fatal("delta capture active with no consumer")
+	}
+	q := compileQuery(t, `aggregate N(u) := count(*) as n, sum(e.health) as hp over e;`)
+	if _, err := e.QueryMaintained(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if e.incSnap == nil {
+		t.Fatal("delta capture did not engage for a live maintained answer")
+	}
+	// Abandon the query; after eviction the baseline must be dropped.
+	for i := 0; i < queryEvictAfter+2; i++ {
+		if err := e.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.incSnap != nil {
+		t.Fatal("delta capture still active after the last maintained answer was evicted")
+	}
+}

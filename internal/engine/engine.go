@@ -198,7 +198,14 @@ type RunStats struct {
 	// was valid and is in the journal).
 	CommandsApplied  int
 	CommandsRejected int
-	IndexStats       exec.Stats
+	// Maintained-answer verdicts (answers.go): cached answers returned
+	// untouched, patched in place, and marked for re-derivation. Like
+	// IndexStats, deliberately not checkpoint-serialized — they depend on
+	// which spectators were watching, not on the world.
+	AnswerHits      int
+	AnswerPatches   int
+	AnswerRederives int
+	IndexStats      exec.Stats
 	// EffectsByWorker splits EffectsApplied by the worker shard that
 	// produced each effect row (all in slot 0 on the serial path).
 	EffectsByWorker []int
@@ -358,6 +365,10 @@ func (e *Engine) Tick() error {
 	// Record which rows this tick changed, so the next tick can patch the
 	// previous indexes instead of rebuilding them.
 	e.captureIncremental()
+
+	// Classify every maintained answer against the fresh delta before the
+	// query caches are invalidated.
+	e.maintainAnswers()
 
 	// The environment mutated: every cached observation-query provider
 	// indexes a stale snapshot now.

@@ -61,7 +61,16 @@ func (e *Engine) newIndexedProvider(r rng.TickSource, keyIdx map[int64]int) *exe
 // index build pipeline is a pure function of row bits, so bit equality is
 // exactly the "nothing this index consumed changed" predicate.
 func (e *Engine) captureIncremental() {
-	if !e.opts.Incremental || e.opts.Mode != Indexed {
+	// Index maintenance and answer maintenance (answers.go) share the
+	// delta; capture runs when either consumer is live. When neither is,
+	// the snapshot is dropped entirely: a baseline that skipped ticks
+	// would under-report rows that changed and changed back, so capture
+	// must restart from scratch when it re-engages.
+	incIdx := e.opts.Incremental && e.opts.Mode == Indexed
+	if !incIdx && !e.hasMaintainedAnswers() {
+		e.incSnap = nil
+		e.deltaOK = false
+		e.prevProv, e.tickProv = nil, nil
 		return
 	}
 	n, w := e.env.Len(), e.prog.Schema.NumAttrs()
@@ -73,7 +82,7 @@ func (e *Engine) captureIncremental() {
 			copy(e.incSnap[i*w:(i+1)*w], row)
 		}
 		e.deltaOK = false
-		e.prevProv, e.tickProv = e.tickProv, nil
+		e.retireTickProv(incIdx)
 		return
 	}
 	dirty, masks := e.incDirty[:0], e.incMasks[:0]
@@ -98,5 +107,16 @@ func (e *Engine) captureIncremental() {
 	e.incDirty, e.incMasks = dirty, masks
 	e.delta = exec.Delta{Dirty: dirty, Masks: masks}
 	e.deltaOK = true
-	e.prevProv, e.tickProv = e.tickProv, nil
+	e.retireTickProv(incIdx)
+}
+
+// retireTickProv rotates the tick's provider into prevProv when index
+// maintenance will patch from it next tick, and drops both otherwise
+// (answer-only capture has no use for a frozen index set).
+func (e *Engine) retireTickProv(incIdx bool) {
+	if incIdx {
+		e.prevProv, e.tickProv = e.tickProv, nil
+	} else {
+		e.prevProv, e.tickProv = nil, nil
+	}
 }

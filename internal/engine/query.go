@@ -188,6 +188,13 @@ type queryCacheEntry struct {
 	an      *exec.Analyzer
 	prov    *exec.Indexed
 	provGen uint64
+	// Maintained answers (answers.go). amu guards plan and answers; it
+	// is never held while qmu is taken... except through queryProvider on
+	// the re-derive path, which nests qmu (then ent.mu) under amu — safe
+	// because no code path takes amu while holding qmu or ent.mu.
+	amu     sync.Mutex
+	plan    *exec.AnswerPlan
+	answers map[answerKey]*answerEntry
 	// Recency bookkeeping, guarded by the engine's qmu.
 	lastGen uint64
 	lastSeq uint64
@@ -225,13 +232,10 @@ func (e *Engine) invalidateQueries() {
 	e.qmu.Unlock()
 }
 
-// queryProvider returns the frozen indexed provider for q over the
-// current environment, building it at most once per tick. The first
-// caller after a tick pays the build; everyone else forks it. The build
-// runs under the entry's own lock, so concurrent queries for other
-// shapes proceed, and concurrent callers for the same shape wait for the
-// one build instead of duplicating it.
-func (e *Engine) queryProvider(q *Query) *exec.Indexed {
+// queryEntry returns (creating if needed) q's cache entry and stamps its
+// recency, evicting the least-recently-used entry past the cap. Returns
+// the current generation and the use stamp just assigned.
+func (e *Engine) queryEntry(q *Query) (*queryCacheEntry, uint64, uint64) {
 	e.qmu.Lock()
 	if e.queries.cache == nil {
 		e.queries.cache = map[*Query]*queryCacheEntry{}
@@ -255,8 +259,19 @@ func (e *Engine) queryProvider(q *Query) *exec.Indexed {
 	}
 	e.queries.seq++
 	ent.lastGen, ent.lastSeq = e.queries.gen, e.queries.seq
-	gen := e.queries.gen
+	gen, seq := e.queries.gen, e.queries.seq
 	e.qmu.Unlock()
+	return ent, gen, seq
+}
+
+// queryProvider returns the frozen indexed provider for q over the
+// current environment, building it at most once per tick. The first
+// caller after a tick pays the build; everyone else forks it. The build
+// runs under the entry's own lock, so concurrent queries for other
+// shapes proceed, and concurrent callers for the same shape wait for the
+// one build instead of duplicating it.
+func (e *Engine) queryProvider(q *Query) *exec.Indexed {
+	ent, gen, _ := e.queryEntry(q)
 
 	ent.mu.Lock()
 	defer ent.mu.Unlock()

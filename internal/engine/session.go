@@ -138,6 +138,29 @@ func (s *Session) QueryUnit(q *Query, key int64, args ...float64) ([]float64, er
 	return s.e.QueryUnit(q, key, args...)
 }
 
+// QueryMaintained is Query backed by the maintained-answer cache (see
+// answers.go): repeated evaluations across ticks reuse and patch the
+// cached answer instead of re-deriving it through a fresh index build.
+func (s *Session) QueryMaintained(q *Query, args ...float64) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.QueryMaintained(q, args...)
+}
+
+// QueryMaintainedAt is QueryAt backed by the maintained-answer cache.
+func (s *Session) QueryMaintainedAt(q *Query, x, y float64, args ...float64) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.QueryMaintainedAt(q, x, y, args...)
+}
+
+// QueryMaintainedUnit is QueryUnit backed by the maintained-answer cache.
+func (s *Session) QueryMaintainedUnit(q *Query, key int64, args ...float64) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.QueryMaintainedUnit(q, key, args...)
+}
+
 // QueryScan is the naive-scan twin of Query under the same reader lock
 // (see Engine.QueryScan): identical semantics evaluated by an O(n)
 // environment scan instead of the shared per-tick indexes.

@@ -34,6 +34,16 @@ type LoadGenRow struct {
 	CmdP50Micros float64
 	CmdP99Micros float64
 	CmdErrors    int
+	// Push-subscription accounting (all zero when the run had no
+	// subscribers): live SSE subscribers, answer events they received,
+	// their rate, and the polls that many subscribers would have issued
+	// for the same freshness — one per subscriber per tick. Pushes ≪
+	// PollEquiv is the point of maintained answers + push delivery.
+	Subscribers int
+	Pushes      int
+	PushRate    float64
+	PollEquiv   int64
+	SubErrors   int
 }
 
 // LatencySummary reduces a sample of latencies (microseconds) to the
@@ -58,11 +68,13 @@ func LatencySummary(micros []float64) (mean, p50, p99, max float64) {
 // line, in the style of the other experiment tables. The actor-command
 // columns appear only when some row actually submitted commands.
 func WriteLoadGen(w io.Writer, rows []LoadGenRow) {
-	withCmds := false
+	withCmds, withSubs := false, false
 	for _, r := range rows {
 		if r.Commands > 0 || r.CmdErrors > 0 {
 			withCmds = true
-			break
+		}
+		if r.Subscribers > 0 || r.SubErrors > 0 {
+			withSubs = true
 		}
 	}
 	fmt.Fprintf(w, "%-14s %8s %10s %10s %9s %9s %10s %10s %10s %10s %7s",
@@ -70,10 +82,13 @@ func WriteLoadGen(w io.Writer, rows []LoadGenRow) {
 	if withCmds {
 		fmt.Fprintf(w, " %8s %8s %10s %10s %8s", "cmds", "cmd/s", "cmd p50 µs", "cmd p99 µs", "cmderrs")
 	}
+	if withSubs {
+		fmt.Fprintf(w, " %6s %8s %8s %9s %8s", "subs", "pushes", "push/s", "polls≡", "suberrs")
+	}
 	fmt.Fprintln(w)
-	var ticks int64
-	var queries, errs, cmds, cmdErrs int
-	var qps, rate, cps float64
+	var ticks, pollEquiv int64
+	var queries, errs, cmds, cmdErrs, subs, pushes, subErrs int
+	var qps, rate, cps, pushRate float64
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-14s %8d %10.1f %10.1f %9d %9.0f %10.1f %10.1f %10.1f %10.1f %7d",
 			r.World, r.Ticks, r.TickRate, r.TargetRate, r.Queries, r.QPS,
@@ -81,6 +96,10 @@ func WriteLoadGen(w io.Writer, rows []LoadGenRow) {
 		if withCmds {
 			fmt.Fprintf(w, " %8d %8.0f %10.1f %10.1f %8d",
 				r.Commands, r.CPS, r.CmdP50Micros, r.CmdP99Micros, r.CmdErrors)
+		}
+		if withSubs {
+			fmt.Fprintf(w, " %6d %8d %8.1f %9d %8d",
+				r.Subscribers, r.Pushes, r.PushRate, r.PollEquiv, r.SubErrors)
 		}
 		fmt.Fprintln(w)
 		ticks += r.Ticks
@@ -91,11 +110,19 @@ func WriteLoadGen(w io.Writer, rows []LoadGenRow) {
 		cmds += r.Commands
 		cps += r.CPS
 		cmdErrs += r.CmdErrors
+		subs += r.Subscribers
+		pushes += r.Pushes
+		pushRate += r.PushRate
+		pollEquiv += r.PollEquiv
+		subErrs += r.SubErrors
 	}
 	fmt.Fprintf(w, "%-14s %8d %10.1f %10s %9d %9.0f %10s %10s %10s %10s %7d",
 		"TOTAL", ticks, rate, "", queries, qps, "", "", "", "", errs)
 	if withCmds {
 		fmt.Fprintf(w, " %8d %8.0f %10s %10s %8d", cmds, cps, "", "", cmdErrs)
+	}
+	if withSubs {
+		fmt.Fprintf(w, " %6d %8d %8.1f %9d %8d", subs, pushes, pushRate, pollEquiv, subErrs)
 	}
 	fmt.Fprintln(w)
 }

@@ -16,11 +16,15 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strings"
 	"sync"
 	"time"
 
@@ -50,6 +54,12 @@ type LoadGenConfig struct {
 	// per world (0 = spectators only). Each actor rotates set-column
 	// commands across the army through POST …/commands.
 	Actors int
+	// Subscribers is the number of push subscribers per world (0 =
+	// none). Each holds one GET …/subscribe SSE stream on a fixed probe
+	// window for the whole run and counts the answer events pushed; the
+	// report compares that count against the polls the same freshness
+	// would have cost (one per subscriber per tick).
+	Subscribers int
 	// Duration is the measurement window.
 	Duration time.Duration
 	// Workers / Incremental tune each session's engine.
@@ -70,7 +80,7 @@ const loadgenQuery = metrics.FanoutQuery
 // non-nil only for setup/teardown failures; individual query failures
 // are counted in the rows instead (a load generator that aborts on the
 // first timeout measures nothing).
-func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
+func LoadGen(cfg LoadGenConfig) (rows []metrics.LoadGenRow, err error) {
 	if cfg.Worlds <= 0 {
 		cfg.Worlds = 8
 	}
@@ -89,7 +99,9 @@ func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
 
 	// Teardown registered before creation: a mid-loop create failure
 	// must still delete the worlds already created (their clocks are
-	// running on the target daemon), not leak them.
+	// running on the target daemon), not leak them. A failed delete is a
+	// run failure (unless an earlier error already is): a world left
+	// ticking on the daemon would silently poison the next run's numbers.
 	created := 0
 	defer func() {
 		if cfg.KeepSessions {
@@ -97,9 +109,13 @@ func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
 		}
 		for i := 0; i < created; i++ {
 			req, _ := http.NewRequest(http.MethodDelete, cfg.BaseURL+"/v1/sessions/"+name(i), nil)
-			if resp, err := client.Do(req); err == nil {
-				io.Copy(io.Discard, resp.Body)
+			resp, derr := client.Do(req)
+			if derr == nil {
+				derr = decodeResponse(resp, nil)
 				resp.Body.Close()
+			}
+			if derr != nil && err == nil {
+				err = fmt.Errorf("loadgen: delete %s: %w", name(i), derr)
 			}
 		}
 	}()
@@ -148,6 +164,8 @@ func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
 		errs       int
 		cmdLatency []float64 // micros
 		cmdErrs    int
+		pushes     int
+		subErrs    int
 	}
 	samples := make([]worldSample, cfg.Worlds)
 	stop := make(chan struct{})
@@ -235,6 +253,58 @@ func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
 			}(i, a)
 		}
 	}
+	// Subscriber fan-out: each subscriber holds one SSE stream on a fixed
+	// probe window (fixed on purpose — a maintained answer is per probe,
+	// so a stable probe is what a dashboard or client widget looks like)
+	// and counts the answer events pushed. The stream client has no
+	// timeout: the connection is supposed to outlive the whole window.
+	// Streams end via context cancel after the window closes.
+	subCtx, subCancel := context.WithCancel(context.Background())
+	defer subCancel()
+	streamClient := &http.Client{}
+	for i := 0; i < cfg.Worlds; i++ {
+		for sb := 0; sb < cfg.Subscribers; sb++ {
+			wg.Add(1)
+			go func(i, sb int) {
+				defer wg.Done()
+				ws := &samples[i]
+				x := float64((17*sb + 7) % 97)
+				y := float64((23*sb + 31) % 89)
+				u := fmt.Sprintf("%s/v1/sessions/%s/subscribe?q=%s&args=%g,%g,12",
+					cfg.BaseURL, name(i), url.QueryEscape(loadgenQuery), x, y)
+				req, rerr := http.NewRequestWithContext(subCtx, http.MethodGet, u, nil)
+				if rerr != nil {
+					ws.mu.Lock()
+					ws.subErrs++
+					ws.mu.Unlock()
+					return
+				}
+				resp, rerr := streamClient.Do(req)
+				if rerr != nil {
+					ws.mu.Lock()
+					ws.subErrs++
+					ws.mu.Unlock()
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode/100 != 2 {
+					io.Copy(io.Discard, resp.Body)
+					ws.mu.Lock()
+					ws.subErrs++
+					ws.mu.Unlock()
+					return
+				}
+				sc := bufio.NewScanner(resp.Body)
+				for sc.Scan() {
+					if strings.HasPrefix(sc.Text(), "data: ") {
+						ws.mu.Lock()
+						ws.pushes++
+						ws.mu.Unlock()
+					}
+				}
+			}(i, sb)
+		}
+	}
 	windowStart := time.Now()
 	time.Sleep(cfg.Duration)
 	// The QPS window closes when spectators are told to stop — the
@@ -242,13 +312,14 @@ func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
 	// saturated daemon) must not deflate the throughput denominator.
 	window := time.Since(windowStart).Seconds()
 	close(stop)
+	subCancel() // unblock the SSE readers
 	wg.Wait()
 
 	// Collect: end ticks and per-world rows. Tick rates use each world's
 	// own start/end fetch times — the clocks keep running while the
 	// sequential end-of-window fetches drain, and the shared window would
 	// misattribute those extra ticks.
-	rows := make([]metrics.LoadGenRow, 0, cfg.Worlds)
+	rows = make([]metrics.LoadGenRow, 0, cfg.Worlds)
 	for i := 0; i < cfg.Worlds; i++ {
 		var st Status
 		if err := getJSON(client, cfg.BaseURL+"/v1/sessions/"+name(i), &st); err != nil {
@@ -263,6 +334,8 @@ func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
 		_, cmdP50, cmdP99, _ := metrics.LatencySummary(ws.cmdLatency)
 		nc := len(ws.cmdLatency)
 		cmdErrs := ws.cmdErrs
+		pushes := ws.pushes
+		subErrs := ws.subErrs
 		ws.mu.Unlock()
 		ticks := st.Tick - startTicks[i]
 		rows = append(rows, metrics.LoadGenRow{
@@ -277,7 +350,12 @@ func LoadGen(cfg LoadGenConfig) ([]metrics.LoadGenRow, error) {
 			Commands:     nc,
 			CPS:          float64(nc) / window,
 			CmdP50Micros: cmdP50, CmdP99Micros: cmdP99,
-			CmdErrors: cmdErrs,
+			CmdErrors:   cmdErrs,
+			Subscribers: cfg.Subscribers,
+			Pushes:      pushes,
+			PushRate:    float64(pushes) / window,
+			PollEquiv:   int64(cfg.Subscribers) * ticks,
+			SubErrors:   subErrs,
 		})
 	}
 	return rows, nil

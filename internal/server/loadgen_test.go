@@ -25,15 +25,16 @@ func TestLoadGenEightWorlds(t *testing.T) {
 	}()
 
 	rows, err := LoadGen(LoadGenConfig{
-		BaseURL:    ts.URL,
-		Worlds:     8,
-		Units:      128,
-		Density:    0.02,
-		Seed:       1,
-		TickRate:   20,
-		Spectators: 2,
-		Actors:     1,
-		Duration:   1500 * time.Millisecond,
+		BaseURL:     ts.URL,
+		Worlds:      8,
+		Units:       128,
+		Density:     0.02,
+		Seed:        1,
+		TickRate:    20,
+		Spectators:  2,
+		Actors:      1,
+		Subscribers: 2,
+		Duration:    1500 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +42,7 @@ func TestLoadGenEightWorlds(t *testing.T) {
 	if len(rows) != 8 {
 		t.Fatalf("rows = %d, want 8", len(rows))
 	}
+	var totalPushes, totalPollEquiv int64
 	for _, r := range rows {
 		if r.Ticks <= 0 {
 			t.Errorf("world %s made no clock progress", r.World)
@@ -63,6 +65,21 @@ func TestLoadGenEightWorlds(t *testing.T) {
 		if r.CmdP99Micros < r.CmdP50Micros {
 			t.Errorf("world %s: non-monotone command quantiles %+v", r.World, r)
 		}
+		if r.SubErrors != 0 {
+			t.Errorf("world %s: %d subscriber errors", r.World, r.SubErrors)
+		}
+		if r.Pushes <= 0 {
+			t.Errorf("world %s: subscribers received no pushes", r.World)
+		}
+		totalPushes += int64(r.Pushes)
+		totalPollEquiv += r.PollEquiv
+	}
+	// The push-vs-poll claim, on the fleet aggregate (a single world's
+	// probe can sit on a busy box and change every tick): pushing only
+	// changed answers must cost fewer events than one poll per subscriber
+	// per tick would at the same freshness.
+	if totalPushes >= totalPollEquiv {
+		t.Errorf("fleet pushed %d events ≥ %d poll-equivalents — push suppression not working", totalPushes, totalPollEquiv)
 	}
 
 	// The table must render one line per world plus totals, including
@@ -70,7 +87,7 @@ func TestLoadGenEightWorlds(t *testing.T) {
 	var b strings.Builder
 	metrics.WriteLoadGen(&b, rows)
 	out := b.String()
-	for _, want := range []string{"loadgen-0", "loadgen-7", "TOTAL", "cmd/s"} {
+	for _, want := range []string{"loadgen-0", "loadgen-7", "TOTAL", "cmd/s", "push/s"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table missing %q:\n%s", want, out)
 		}

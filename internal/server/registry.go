@@ -129,7 +129,16 @@ type World struct {
 	stepMu sync.Mutex
 
 	qmu     sync.Mutex
-	queries map[string]*engine.Query // compile-once cache, keyed by source
+	queries map[string]*cachedQuery // compile-once cache, keyed by source
+	qseq    uint64                  // use counter for LRU eviction
+
+	// Push subscriptions (subscribe.go). submu guards subs and subsClosed;
+	// subsDone is closed exactly once, when the world is deleted, to
+	// release every streaming handler.
+	submu      sync.Mutex
+	subs       map[*subscriber]struct{}
+	subsClosed bool
+	subsDone   chan struct{}
 
 	ticks         *metrics.Counter
 	queriesTotal  *metrics.Counter
@@ -139,6 +148,16 @@ type World struct {
 	commandsTotal *metrics.Counter
 	commandSecs   *metrics.Counter
 	commandErrs   *metrics.Counter
+	subscribers   *metrics.Gauge
+	pushes        *metrics.Counter
+	pushDrops     *metrics.Counter
+}
+
+// cachedQuery is one compile-once cache slot; seq is the recency stamp
+// (guarded by qmu) LRU eviction compares.
+type cachedQuery struct {
+	q   *engine.Query
+	seq uint64
 }
 
 // clock is one run of a world's clock goroutine. The stop channel is
@@ -229,8 +248,17 @@ func (w *World) Step(n int) error {
 	w.mu.Unlock()
 	// Count the ticks that actually ran: a mid-batch error still
 	// advanced the world, and the counter must track the real clock.
+	// Stepping one tick at a time (instead of one Step(n) batch) keeps
+	// push subscribers at full freshness: they see every tick boundary,
+	// exactly as under the clock.
 	before := w.sess.Tick()
-	err := w.sess.Step(n)
+	var err error
+	for i := 0; i < n; i++ {
+		if err = w.sess.Step(1); err != nil {
+			break
+		}
+		w.notifySubscribers()
+	}
 	w.ticks.Add(float64(w.sess.Tick() - before))
 	w.mu.Lock()
 	w.stepping--
@@ -297,6 +325,7 @@ func (w *World) clockLoop(clk *clock, rate float64) {
 			return
 		}
 		w.ticks.Inc()
+		w.notifySubscribers()
 		if period > 0 {
 			next := start.Add(time.Duration(n) * period)
 			if d := time.Until(next); d > 0 {
@@ -346,25 +375,44 @@ func (w *World) Running() bool {
 func (w *World) CompiledQuery(src string) (*engine.Query, error) {
 	w.qmu.Lock()
 	defer w.qmu.Unlock()
-	if q, ok := w.queries[src]; ok {
-		return q, nil
+	w.qseq++
+	if c, ok := w.queries[src]; ok {
+		c.seq = w.qseq
+		return c.q, nil
 	}
 	q, err := engine.CompileQuery(src, w.prog.Schema, w.prog.Consts)
 	if err != nil {
 		return nil, err
 	}
 	if w.queries == nil {
-		w.queries = map[string]*engine.Query{}
+		w.queries = map[string]*cachedQuery{}
 	}
 	// Bound the cache like the engine bounds its provider cache: a client
 	// generating unbounded distinct sources must not pin unbounded
-	// programs. Dropping the whole map is crude but safe — the next
-	// request recompiles.
-	if len(w.queries) >= maxCachedQuerySources {
-		w.queries = map[string]*engine.Query{}
+	// programs. Eviction is LRU by use stamp — safe because CompileQuery
+	// is pure, so an evicted hot source merely recompiles — and keeps the
+	// popular sources (and their engine-side shared index builds) warm
+	// where dropping the whole map would cold-start every spectator at
+	// once.
+	for len(w.queries) >= maxCachedQuerySources {
+		var lruSrc string
+		var lru *cachedQuery
+		for s, c := range w.queries {
+			if lru == nil || c.seq < lru.seq {
+				lruSrc, lru = s, c
+			}
+		}
+		delete(w.queries, lruSrc)
 	}
-	w.queries[src] = q
+	w.queries[src] = &cachedQuery{q: q, seq: w.qseq}
 	return q, nil
+}
+
+// cachedQueryCount reports the live compile-once cache size (tests).
+func (w *World) cachedQueryCount() int {
+	w.qmu.Lock()
+	defer w.qmu.Unlock()
+	return len(w.queries)
 }
 
 // maxCachedQuerySources bounds a world's source-text query cache.
@@ -403,6 +451,9 @@ func NewRegistry() *Registry {
 	r.Metrics.Help("sgld_command_seconds_total", "Time spent accepting injected commands, per session.")
 	r.Metrics.Help("sgld_command_errors_total", "Injected command batches rejected, per session.")
 	r.Metrics.Help("sgld_restores_total", "Worlds created by restoring a checkpoint.")
+	r.Metrics.Help("sgld_subscribers", "Live push subscribers, per session.")
+	r.Metrics.Help("sgld_pushes_total", "Answer events pushed to subscribers, per session.")
+	r.Metrics.Help("sgld_push_drops_total", "Answer events dropped on slow subscribers (resynced on the next push), per session.")
 	// Materialize the unlabeled series eagerly: a fresh daemon must
 	// expose sgld_worlds 0 (not an absent metric that trips no-data
 	// alerts) before the first session ever arrives.
@@ -444,6 +495,9 @@ func (r *Registry) attachCounters(w *World) {
 	w.commandsTotal = r.Metrics.Counter("sgld_commands_total", l)
 	w.commandSecs = r.Metrics.Counter("sgld_command_seconds_total", l)
 	w.commandErrs = r.Metrics.Counter("sgld_command_errors_total", l)
+	w.subscribers = r.Metrics.Gauge("sgld_subscribers", l)
+	w.pushes = r.Metrics.Counter("sgld_pushes_total", l)
+	w.pushDrops = r.Metrics.Counter("sgld_push_drops_total", l)
 }
 
 // Create builds a fresh world from spec and registers it under name.
@@ -541,7 +595,7 @@ func (r *Registry) Restore(name string, ck io.Reader, scriptOverride string, tun
 // world between becoming visible and reaching its requested state, so
 // the clock start cannot fail and no rollback path exists.
 func (r *Registry) register(name string, sess *engine.Session, prog *sem.Program, script string, tickRate float64) (*World, error) {
-	w := &World{Name: name, sess: sess, prog: prog, script: script, created: time.Now()}
+	w := &World{Name: name, sess: sess, prog: prog, script: script, created: time.Now(), subsDone: make(chan struct{})}
 	r.mu.Lock()
 	if _, dup := r.worlds[name]; dup {
 		r.mu.Unlock()
@@ -607,6 +661,9 @@ func (r *Registry) Delete(name string) bool {
 	w.deleted = true
 	w.mu.Unlock()
 	w.StopClock()
+	// Release every streaming subscriber handler; new Subscribe calls on
+	// the unregistered world refuse from here on.
+	w.closeSubscribers()
 	r.Metrics.Counter("sgld_sessions_deleted_total").Inc()
 	return true
 }

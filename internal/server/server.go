@@ -9,6 +9,7 @@
 //	POST   /v1/sessions/{name}/run          start the clock at a tick rate
 //	POST   /v1/sessions/{name}/stop         stop the clock
 //	POST   /v1/sessions/{name}/query        evaluate an observation query
+//	GET    /v1/sessions/{name}/subscribe    push changed answers (SSE)
 //	POST   /v1/sessions/{name}/commands     inject commands (spawn/despawn/set/tune)
 //	GET    /v1/sessions/{name}/journal      download the input journal
 //	POST   /v1/sessions/{name}/checkpoint   write a checkpoint into the data dir
@@ -63,6 +64,7 @@ func New(reg *Registry, dataDir string) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{name}/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/stop", s.handleStop)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/commands", s.handleCommands)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/journal", s.handleJournal)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/checkpoint", s.handleCheckpointFile)
@@ -229,8 +231,11 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 
 // decodeJSON decodes a request body strictly (unknown fields are errors,
 // catching misspelled tuning knobs instead of silently ignoring them).
-func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxRequestBytes))
+// Bodies over maxRequestBytes are rejected with 413 — distinguishable
+// from malformed JSON, and MaxBytesReader gets the ResponseWriter so the
+// oversized connection is closed instead of draining the rest.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return err
@@ -242,8 +247,32 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
+// writeBodyErr maps a decodeJSON failure to its status: 413 for an
+// oversized body, 400 for everything else.
+func writeBodyErr(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+}
+
 // maxRequestBytes bounds request bodies; scripts are small.
 const maxRequestBytes = 1 << 20
+
+// dataPath resolves a client-supplied checkpoint file name inside the
+// data dir. The name must already satisfy ValidFileName (a flat path
+// component, no "..", no separators); this re-checks the joined result
+// as defense in depth, so no future relaxation of the name rules can
+// silently open directory escape.
+func (s *Server) dataPath(file string) (string, error) {
+	path := filepath.Join(s.dataDir, file)
+	if filepath.Dir(path) != filepath.Clean(s.dataDir) || filepath.Base(path) != file {
+		return "", fmt.Errorf("checkpoint file name %q escapes the data directory", file)
+	}
+	return path, nil
+}
 
 // maxStepTicks bounds one synchronous step request. Session.Step has no
 // cancellation — neither client disconnect nor DELETE interrupts it —
@@ -268,8 +297,8 @@ func (s *Server) world(w http.ResponseWriter, r *http.Request) (*World, bool) {
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeBodyErr(w, err)
 		return
 	}
 	if !ValidName(req.Name) {
@@ -349,7 +378,11 @@ func (s *Server) restoreFromFile(req CreateRequest, tune engine.Options) (*World
 	if !ValidFileName(req.Restore) {
 		return nil, fmt.Errorf("server: invalid checkpoint file name %q", req.Restore)
 	}
-	f, err := os.Open(filepath.Join(s.dataDir, req.Restore))
+	path, err := s.dataPath(req.Restore)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("server: open checkpoint: %w", err)
 	}
@@ -382,8 +415,8 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req StepRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeBodyErr(w, err)
 		return
 	}
 	if req.Ticks <= 0 {
@@ -413,8 +446,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RunRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeBodyErr(w, err)
 		return
 	}
 	rate := req.TickRate
@@ -443,8 +476,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req QueryRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeBodyErr(w, err)
 		return
 	}
 	if req.Src == "" {
@@ -523,8 +556,8 @@ func (s *Server) handleCommands(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req CommandsRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeBodyErr(w, err)
 		return
 	}
 	if len(req.Commands) == 0 {
@@ -610,8 +643,8 @@ func (s *Server) handleCheckpointFile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req CheckpointRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeBodyErr(w, err)
 		return
 	}
 	// The derived default is safe by construction (validated session name
@@ -625,7 +658,12 @@ func (s *Server) handleCheckpointFile(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid checkpoint file name %q", file)
 		return
 	}
-	tick, err := s.writeCheckpointFile(wd, filepath.Join(s.dataDir, file))
+	path, err := s.dataPath(file)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tick, err := s.writeCheckpointFile(wd, path)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return

@@ -1,0 +1,287 @@
+// Push subscriptions: GET /v1/sessions/{name}/subscribe streams a
+// query's answer over Server-Sent Events, pushing only when the value
+// changes. This is the delivery half of maintained query answers — the
+// world's clock evaluates every live subscription once per tick through
+// Session.QueryMaintained* (so N subscribers on the same source share
+// one maintained answer and one classification per tick), compares the
+// result bitwise against the last pushed value, and enqueues an event
+// only on change.
+//
+// Backpressure policy: the tick never blocks on a subscriber. Each
+// subscriber owns a small buffered channel; when it is full the event is
+// dropped, the drop is counted (sgld_push_drops_total), and the
+// subscriber is marked for resync — the next tick pushes unconditionally
+// (with "resync": true) so a slow client that catches up is current
+// again after one event, having missed intermediate values, never having
+// stalled the simulation.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/epicscale/sgl/internal/engine"
+)
+
+// subSpec is one subscription's evaluation: a compiled query plus the
+// probe form, mirroring QueryRequest.
+type subSpec struct {
+	q    *engine.Query
+	args []float64
+	x, y float64
+	pos  bool // probe at (x, y)
+	unit int64
+	byID bool // probe from live unit `unit`
+}
+
+// eval runs the spec against the engine through the maintained-answer
+// path. Must be called under a Session view (the clock's notify does).
+func (sp *subSpec) eval(e *engine.Engine) ([]float64, error) {
+	switch {
+	case sp.byID:
+		return e.QueryMaintainedUnit(sp.q, sp.unit, sp.args...)
+	case sp.pos:
+		return e.QueryMaintainedAt(sp.q, sp.x, sp.y, sp.args...)
+	default:
+		return e.QueryMaintained(sp.q, sp.args...)
+	}
+}
+
+// SubscribeEvent is the JSON payload of one SSE "answer" event.
+type SubscribeEvent struct {
+	Tick   int64     `json:"tick"`
+	Values []float64 `json:"values,omitempty"`
+	// Error carries a per-tick evaluation failure (e.g. the probed unit
+	// despawned); the subscription stays live and recovers when the
+	// query evaluates again.
+	Error string `json:"error,omitempty"`
+	// Resync marks the first event after the subscriber fell behind and
+	// intermediate events were dropped.
+	Resync bool `json:"resync,omitempty"`
+}
+
+// subEventBuffer is each subscriber's channel depth. Small on purpose:
+// an SSE writer that cannot drain a handful of per-tick events is slow,
+// and the policy for slow is drop-and-resync, not buffer.
+const subEventBuffer = 8
+
+type subscriber struct {
+	spec subSpec
+	ch   chan SubscribeEvent
+	// Notify-side state, touched only by the single notifying goroutine
+	// (clock or synchronous Step, never both — Step refuses while the
+	// clock runs).
+	last    []float64
+	lastErr string
+	hasLast bool
+	dropped bool
+}
+
+// Subscribe registers a push subscriber and returns it along with the
+// initial answer event (evaluated inside the same view that snapshots
+// the tick). It fails if the world was deleted or the query's probe form
+// rejects the spec.
+func (w *World) Subscribe(spec subSpec) (*subscriber, SubscribeEvent, error) {
+	var ev SubscribeEvent
+	var err error
+	w.sess.View(func(e *engine.Engine) {
+		ev.Tick = e.TickCount()
+		ev.Values, err = spec.eval(e)
+	})
+	if err != nil {
+		return nil, ev, err
+	}
+	sub := &subscriber{spec: spec, ch: make(chan SubscribeEvent, subEventBuffer)}
+	sub.last, sub.hasLast = ev.Values, true
+	w.submu.Lock()
+	defer w.submu.Unlock()
+	if w.subsClosed {
+		return nil, ev, fmt.Errorf("server: world %s: deleted", w.Name)
+	}
+	if w.subs == nil {
+		w.subs = map[*subscriber]struct{}{}
+	}
+	w.subs[sub] = struct{}{}
+	w.subscribers.Set(float64(len(w.subs)))
+	w.pushes.Inc() // the initial answer is a push too
+	return sub, ev, nil
+}
+
+// Unsubscribe removes a subscriber; idempotent.
+func (w *World) Unsubscribe(sub *subscriber) {
+	w.submu.Lock()
+	defer w.submu.Unlock()
+	delete(w.subs, sub)
+	w.subscribers.Set(float64(len(w.subs)))
+}
+
+// closeSubscribers releases every streaming handler and refuses new
+// subscriptions; called exactly once, by Registry.Delete.
+func (w *World) closeSubscribers() {
+	w.submu.Lock()
+	defer w.submu.Unlock()
+	if w.subsClosed {
+		return
+	}
+	w.subsClosed = true
+	close(w.subsDone)
+}
+
+// notifySubscribers evaluates every live subscription against the
+// post-tick snapshot and pushes the answers that changed. Runs on the
+// world's single notifying goroutine right after a successful Step(1);
+// the nonblocking send is the whole backpressure policy.
+func (w *World) notifySubscribers() {
+	w.submu.Lock()
+	defer w.submu.Unlock()
+	if len(w.subs) == 0 {
+		return
+	}
+	w.sess.View(func(e *engine.Engine) {
+		tick := e.TickCount()
+		for sub := range w.subs {
+			vals, err := sub.spec.eval(e)
+			errStr := ""
+			if err != nil {
+				errStr = err.Error()
+			}
+			if !sub.dropped && sub.hasLast && errStr == sub.lastErr && sameValues(vals, sub.last) {
+				continue
+			}
+			ev := SubscribeEvent{Tick: tick, Values: vals, Error: errStr, Resync: sub.dropped}
+			select {
+			case sub.ch <- ev:
+				sub.last, sub.lastErr, sub.hasLast = vals, errStr, true
+				sub.dropped = false
+				w.pushes.Inc()
+			default:
+				sub.dropped = true
+				w.pushDrops.Inc()
+			}
+		}
+	})
+}
+
+// sameValues compares answer vectors bitwise, so NaN outputs compare
+// stable instead of pushing every tick.
+func sameValues(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSubSpec builds a subscription spec from the request's query
+// string: q (required source), args (comma-separated floats), and at
+// most one probe — x & y, or unit.
+func parseSubSpec(wd *World, r *http.Request) (subSpec, error) {
+	var sp subSpec
+	src := r.URL.Query().Get("q")
+	if src == "" {
+		return sp, errors.New("query parameter q is required")
+	}
+	q, err := wd.CompiledQuery(src)
+	if err != nil {
+		return sp, err
+	}
+	sp.q = q
+	if raw := r.URL.Query().Get("args"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return sp, fmt.Errorf("bad args value %q: %v", part, err)
+			}
+			sp.args = append(sp.args, v)
+		}
+	}
+	xs, ys := r.URL.Query().Get("x"), r.URL.Query().Get("y")
+	if (xs == "") != (ys == "") {
+		return sp, errors.New("positional subscription needs both x and y")
+	}
+	if xs != "" {
+		if sp.x, err = strconv.ParseFloat(xs, 64); err != nil {
+			return sp, fmt.Errorf("bad x %q: %v", xs, err)
+		}
+		if sp.y, err = strconv.ParseFloat(ys, 64); err != nil {
+			return sp, fmt.Errorf("bad y %q: %v", ys, err)
+		}
+		sp.pos = true
+	}
+	if us := r.URL.Query().Get("unit"); us != "" {
+		if sp.pos {
+			return sp, errors.New("unit and x/y probes are mutually exclusive")
+		}
+		if sp.unit, err = strconv.ParseInt(us, 10, 64); err != nil {
+			return sp, fmt.Errorf("bad unit %q: %v", us, err)
+		}
+		sp.byID = true
+	}
+	return sp, nil
+}
+
+// handleSubscribe streams maintained answers as SSE "answer" events.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	wd, ok := s.world(w, r)
+	if !ok {
+		return
+	}
+	spec, err := parseSubSpec(wd, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	sub, initial, err := wd.Subscribe(spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer wd.Unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // common reverse proxies buffer SSE otherwise
+	w.WriteHeader(http.StatusOK)
+	if err := writeSSE(w, initial); err != nil {
+		return
+	}
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wd.subsDone:
+			return
+		case ev := <-sub.ch:
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE renders one "answer" event in SSE framing.
+func writeSSE(w http.ResponseWriter, ev SubscribeEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: answer\ndata: %s\n\n", data)
+	return err
+}
