@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/epicscale/sgl/internal/exec"
@@ -12,8 +13,11 @@ import (
 // query_test.go recompiles per tick, which would defeat the cache),
 // must agree with the naive scan oracle at every tick. When exact is
 // set, divisible queries must match the scan bit for bit — the refold
-// guarantee — not merely within tolerance.
-func runMaintainedDifferential(t *testing.T, workers int, incremental bool, threshold float64, ticks int, exact bool) *Engine {
+// guarantee — not merely within tolerance. A non-nil inject hook runs
+// before each Tick and may Submit commands, so the contract also covers
+// edits that enter through the command pipeline rather than the tick
+// itself.
+func runMaintainedDifferential(t *testing.T, workers int, incremental bool, threshold float64, ticks int, exact bool, inject func(t *testing.T, e *Engine, tick int)) *Engine {
 	t.Helper()
 	prog := battleProg(t)
 	e := newEngine(t, prog, 90, Indexed, 13, func(o *Options) {
@@ -84,6 +88,9 @@ func runMaintainedDifferential(t *testing.T, workers int, incremental bool, thre
 				}
 			}
 		}
+		if inject != nil {
+			inject(t, e, tick)
+		}
 		if err := e.Tick(); err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +115,7 @@ func TestMaintainedMatchesScan(t *testing.T) {
 				name = "workers=4/inc=on"
 			}
 			t.Run(name, func(t *testing.T) {
-				e := runMaintainedDifferential(t, workers, inc, 0, 10, false)
+				e := runMaintainedDifferential(t, workers, inc, 0, 10, false, nil)
 				// The cache must actually have worked: some answers
 				// survived ticks untouched, and the first tick (no
 				// baseline delta) forced rederives.
@@ -134,11 +141,110 @@ func TestMaintainedAlwaysPatchBitExact(t *testing.T) {
 			name = "workers=4"
 		}
 		t.Run(name, func(t *testing.T) {
-			e := runMaintainedDifferential(t, workers, true, 1, 10, true)
+			e := runMaintainedDifferential(t, workers, true, 1, 10, true, nil)
 			if e.Stats.AnswerPatches == 0 {
 				t.Fatal("threshold 1 never patched an answer in 10 battle ticks")
 			}
 		})
+	}
+}
+
+// injectAnswerCommands is the command stream the command-injecting
+// differential drives: set edits on columns the tick itself never
+// rewrites (morale) and ones it does (health), plus a population change
+// and a constant tune, so every delta interaction the command pipeline
+// has — snapshot sync, delta merge, baseline drop — faces the oracle.
+func injectAnswerCommands(t *testing.T, e *Engine, tick int) {
+	t.Helper()
+	submit := func(cmds ...Command) {
+		t.Helper()
+		if err := e.Submit("diff", cmds...); err != nil {
+			t.Fatalf("tick %d: submit: %v", tick, err)
+		}
+	}
+	switch tick {
+	case 2:
+		// The sim never writes morale: without command-edit carry-over the
+		// tick-end diff is blind to this and cached answers go stale.
+		submit(Command{Op: OpSet, Key: 3, Col: "morale", Val: 11})
+	case 4:
+		submit(Command{Op: OpSet, Key: 5, Col: "health", Val: 2},
+			Command{Op: OpSet, Key: 17, Col: "morale", Val: 1})
+	case 6:
+		submit(Command{Op: OpDespawn, Key: 9}) // population change: baseline drops
+	case 7:
+		submit(Command{Op: OpTune, Col: "_HEAL_AURA", Val: 5})
+	case 8:
+		submit(Command{Op: OpSet, Key: 42, Col: "morale", Val: 7})
+	}
+}
+
+// TestMaintainedMatchesScanWithCommands re-runs the contract with
+// externally injected commands in the stream. This is the regression net
+// for the synced-snapshot hole: an OpSet under Incremental+Indexed used
+// to reach only the previous tick's delta, so the fresh delta
+// maintainAnswers classifies against omitted the edit and the
+// pre-command cached answer was served as a hit forever.
+func TestMaintainedMatchesScanWithCommands(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, inc := range []bool{false, true} {
+			workers, inc := workers, inc
+			name := fmt.Sprintf("workers=%d/inc=%v", workers, inc)
+			t.Run(name, func(t *testing.T) {
+				runMaintainedDifferential(t, workers, inc, 0, 10, false, injectAnswerCommands)
+			})
+		}
+	}
+}
+
+// The distilled bug: a maintained answer over a column only commands
+// ever write (the sim never touches morale) must see an OpSet edit the
+// very next tick under Incremental+Indexed — the configuration where
+// applyCommands syncs the snapshot and the tick-end diff alone cannot
+// see the edit.
+func TestMaintainedAnswerSeesCommandEdit(t *testing.T) {
+	prog := battleProg(t)
+	e := newEngine(t, prog, 48, Indexed, 7, func(o *Options) { o.Incremental = true })
+	q := compileQuery(t, `aggregate M(u) := sum(e.morale) as m over e;`)
+	read := func() float64 {
+		t.Helper()
+		got, err := e.QueryMaintained(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan, err := e.QueryScan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != scan[0] {
+			t.Fatalf("tick %d: maintained sum(morale) %v != scan %v", e.TickCount(), got[0], scan[0])
+		}
+		return got[0]
+	}
+	// Prime the cache past the baseline-less ticks so maintenance is live.
+	for i := 0; i < 3; i++ {
+		read()
+		if err := e.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := read()
+	if err := e.Submit("cmd", Command{Op: OpSet, Key: 3, Col: "morale", Val: before + 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	after := read()
+	if after == before {
+		t.Fatal("the set command did not move the answer; the stale-hit regression is not exercised")
+	}
+	// And the answer must stay correct on later quiet ticks too.
+	for i := 0; i < 3; i++ {
+		if err := e.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		read()
 	}
 }
 

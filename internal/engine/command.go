@@ -421,6 +421,12 @@ func (e *Engine) applyCommands() {
 			if e.deltaOK {
 				e.delta.Add(i, ^uint64(0))
 			}
+			// The sync just hid this edit from the tick-end diff: if the
+			// tick leaves the row alone, captureIncremental's fresh delta
+			// would omit it and maintainAnswers would classify answers
+			// reading it as untouched against their pre-command values.
+			// Remember the row so capture can re-add it.
+			e.cmdSetRows = append(e.cmdSetRows, i)
 		}
 	}
 }

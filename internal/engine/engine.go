@@ -169,6 +169,11 @@ type Engine struct {
 	incMasks []uint64
 	delta    exec.Delta
 	deltaOK  bool
+	// cmdSetRows holds the row indexes OpSet commands edited this tick
+	// when applyCommands synced the snapshot to the post-command values:
+	// the sync makes the tick-end diff blind to the edit, so capture must
+	// re-add these rows to the fresh delta for maintainAnswers.
+	cmdSetRows []int
 
 	// Observation-query state (see query.go): qmu guards the cached
 	// per-query analyzers and frozen providers, so any number of reader

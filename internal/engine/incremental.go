@@ -61,6 +61,13 @@ func (e *Engine) newIndexedProvider(r rng.TickSource, keyIdx map[int64]int) *exe
 // index build pipeline is a pure function of row bits, so bit equality is
 // exactly the "nothing this index consumed changed" predicate.
 func (e *Engine) captureIncremental() {
+	// Rows OpSet commands edited this tick under a synced snapshot (see
+	// applyCommands): the sync makes the diff below blind to those edits,
+	// so they are re-added to the fresh delta by hand. Consumed (and
+	// cleared) every tick, whatever path returns.
+	cmdRows := e.cmdSetRows
+	e.cmdSetRows = e.cmdSetRows[:0]
+
 	// Index maintenance and answer maintenance (answers.go) share the
 	// delta; capture runs when either consumer is live. When neither is,
 	// the snapshot is dropped entirely: a baseline that skipped ticks
@@ -106,6 +113,17 @@ func (e *Engine) captureIncremental() {
 	}
 	e.incDirty, e.incMasks = dirty, masks
 	e.delta = exec.Delta{Dirty: dirty, Masks: masks}
+	// Command-set rows enter with a conservative full mask, whether or
+	// not the tick touched them again: the delta must span the whole
+	// pre-command → post-tick window maintainAnswers classifies over.
+	// Over-reporting is safe for both consumers (rows re-derive from the
+	// live table); the synced snapshot is what keeps next tick's baseline
+	// honest.
+	for _, i := range cmdRows {
+		if i < n {
+			e.delta.Add(i, ^uint64(0))
+		}
+	}
 	e.deltaOK = true
 	e.retireTickProv(incIdx)
 }

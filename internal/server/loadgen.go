@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -295,12 +296,25 @@ func LoadGen(cfg LoadGenConfig) (rows []metrics.LoadGenRow, err error) {
 					return
 				}
 				sc := bufio.NewScanner(resp.Body)
+				// Answer vectors scale with query outputs; the default 64KB
+				// token cap would kill the stream mid-window on a long data
+				// line and silently under-count pushes.
+				sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 				for sc.Scan() {
 					if strings.HasPrefix(sc.Text(), "data: ") {
 						ws.mu.Lock()
 						ws.pushes++
 						ws.mu.Unlock()
 					}
+				}
+				// A stream that died mid-window (network failure, oversized
+				// line) must count as an error, or the report under-states
+				// pushes with zero recorded failures. The window-close
+				// cancel is the one expected way out.
+				if err := sc.Err(); err != nil && !errors.Is(err, context.Canceled) {
+					ws.mu.Lock()
+					ws.subErrs++
+					ws.mu.Unlock()
 				}
 			}(i, sb)
 		}

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/epicscale/sgl/internal/engine"
 )
@@ -73,13 +74,18 @@ const subEventBuffer = 8
 type subscriber struct {
 	spec subSpec
 	ch   chan SubscribeEvent
-	// Notify-side state, touched only by the single notifying goroutine
-	// (clock or synchronous Step, never both — Step refuses while the
-	// clock runs).
-	last    []float64
-	lastErr string
-	hasLast bool
-	dropped bool
+	// mu guards the compare-and-push state below. The notifying
+	// goroutine is single (clock or synchronous Step, never both — Step
+	// refuses while the clock runs), but Subscribe's post-registration
+	// catch-up push may race one notify run, so the state needs a real
+	// lock; it is per-subscriber and held only across a compare+send, so
+	// it never serializes the fan-out.
+	mu       sync.Mutex
+	last     []float64
+	lastErr  string
+	hasLast  bool
+	dropped  bool
+	lastTick int64 // tick of the newest state in last/lastErr
 }
 
 // Subscribe registers a push subscriber and returns it along with the
@@ -97,10 +103,10 @@ func (w *World) Subscribe(spec subSpec) (*subscriber, SubscribeEvent, error) {
 		return nil, ev, err
 	}
 	sub := &subscriber{spec: spec, ch: make(chan SubscribeEvent, subEventBuffer)}
-	sub.last, sub.hasLast = ev.Values, true
+	sub.last, sub.hasLast, sub.lastTick = ev.Values, true, ev.Tick
 	w.submu.Lock()
-	defer w.submu.Unlock()
 	if w.subsClosed {
+		w.submu.Unlock()
 		return nil, ev, fmt.Errorf("server: world %s: deleted", w.Name)
 	}
 	if w.subs == nil {
@@ -109,6 +115,42 @@ func (w *World) Subscribe(spec subSpec) (*subscriber, SubscribeEvent, error) {
 	w.subs[sub] = struct{}{}
 	w.subscribers.Set(float64(len(w.subs)))
 	w.pushes.Inc() // the initial answer is a push too
+	w.submu.Unlock()
+
+	// A tick that landed between the initial evaluation above and the
+	// registration just made was notified before this subscriber existed;
+	// without a re-check the client would hold the pre-tick answer until
+	// the value next changes — forever, if the clock stops here. Evaluate
+	// once more and enqueue a catch-up event if the world moved on.
+	w.sess.View(func(e *engine.Engine) {
+		tick := e.TickCount()
+		if tick == ev.Tick {
+			return
+		}
+		vals, verr := sub.spec.eval(e)
+		errStr := ""
+		if verr != nil {
+			errStr = verr.Error()
+		}
+		sub.mu.Lock()
+		defer sub.mu.Unlock()
+		if tick <= sub.lastTick {
+			return // a concurrent notify already pushed fresher state
+		}
+		if errStr == sub.lastErr && sameValues(vals, sub.last) {
+			sub.lastTick = tick
+			return
+		}
+		select {
+		case sub.ch <- SubscribeEvent{Tick: tick, Values: vals, Error: errStr}:
+			sub.last, sub.lastErr, sub.hasLast = vals, errStr, true
+			sub.lastTick = tick
+			w.pushes.Inc()
+		default:
+			sub.dropped = true
+			w.pushDrops.Inc()
+		}
+	})
 	return sub, ev, nil
 }
 
@@ -135,32 +177,46 @@ func (w *World) closeSubscribers() {
 // notifySubscribers evaluates every live subscription against the
 // post-tick snapshot and pushes the answers that changed. Runs on the
 // world's single notifying goroutine right after a successful Step(1);
-// the nonblocking send is the whole backpressure policy.
+// the nonblocking send is the whole backpressure policy. submu is held
+// only to snapshot the subscriber set — never across the evaluation
+// fan-out, so Subscribe/Unsubscribe (and SSE handler teardown) are not
+// serialized behind the tick. A subscriber removed concurrently may
+// still receive one last event into its buffered channel; the handler
+// is gone, so it is simply never read.
 func (w *World) notifySubscribers() {
 	w.submu.Lock()
-	defer w.submu.Unlock()
-	if len(w.subs) == 0 {
+	subs := make([]*subscriber, 0, len(w.subs))
+	for sub := range w.subs {
+		subs = append(subs, sub)
+	}
+	w.submu.Unlock()
+	if len(subs) == 0 {
 		return
 	}
 	w.sess.View(func(e *engine.Engine) {
 		tick := e.TickCount()
-		for sub := range w.subs {
+		for _, sub := range subs {
 			vals, err := sub.spec.eval(e)
 			errStr := ""
 			if err != nil {
 				errStr = err.Error()
 			}
+			sub.mu.Lock()
 			if !sub.dropped && sub.hasLast && errStr == sub.lastErr && sameValues(vals, sub.last) {
+				sub.mu.Unlock()
 				continue
 			}
 			ev := SubscribeEvent{Tick: tick, Values: vals, Error: errStr, Resync: sub.dropped}
 			select {
 			case sub.ch <- ev:
 				sub.last, sub.lastErr, sub.hasLast = vals, errStr, true
+				sub.lastTick = tick
 				sub.dropped = false
+				sub.mu.Unlock()
 				w.pushes.Inc()
 			default:
 				sub.dropped = true
+				sub.mu.Unlock()
 				w.pushDrops.Inc()
 			}
 		}

@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -258,6 +259,58 @@ func TestSubscribeBackpressureDropAndResync(t *testing.T) {
 		}
 	}
 	t.Fatal("no change event in 20 ticks after resync")
+}
+
+// TestSubscribeChurnDuringTicks races subscriber registration and
+// teardown against a running clock's notify fan-out — the window where
+// a tick can land between Subscribe's initial evaluation and its
+// registration, and where notify must not hold the subscriber-set lock
+// across the evaluation sweep. Under -race this pins the per-subscriber
+// locking; the assertions pin freshness: on a world whose answer moves
+// every tick, every subscriber must receive a push newer than its
+// initial answer, and never one older.
+func TestSubscribeChurnDuringTicks(t *testing.T) {
+	reg := NewRegistry()
+	defer reg.Close()
+	wd, err := reg.Create("churn", WorldSpec{
+		Units: 64, Density: 0.02, Seed: 11,
+		Formation: workload.BattleLines, Mode: engine.Indexed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := wd.CompiledQuery(posSumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.StartClock(200); err != nil {
+		t.Fatal(err)
+	}
+	defer wd.StopClock()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sub, initial, err := wd.Subscribe(subSpec{q: q})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				select {
+				case ev := <-sub.ch:
+					if ev.Tick <= initial.Tick {
+						t.Errorf("pushed event tick %d not newer than initial tick %d", ev.Tick, initial.Tick)
+					}
+				case <-time.After(10 * time.Second):
+					t.Error("no push within 10s of subscribing on a running clock")
+				}
+				wd.Unsubscribe(sub)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestSlowSubscriberDoesNotPerturbCheckpoint stacks the push path onto
