@@ -5,8 +5,11 @@
 //
 // Usage:
 //
-//	sglc [-explain] [-classify] [-no-opt] script.sgl
+//	sglc [-explain] [-classify] [-no-opt] [-vet] script.sgl
 //	sglc -builtin            # inspect the built-in battle script
+//
+// -vet additionally runs the lint diagnostics engine (the same rules as
+// the sglvet command) and prints its findings after the plan.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"github.com/epicscale/sgl/internal/algebra"
 	"github.com/epicscale/sgl/internal/exec"
 	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/sgl/lint"
 	"github.com/epicscale/sgl/internal/sgl/parser"
 	"github.com/epicscale/sgl/internal/sgl/sem"
 )
@@ -26,6 +30,7 @@ func main() {
 	classify := flag.Bool("classify", true, "print per-definition index classification")
 	noOpt := flag.Bool("no-opt", false, "skip the algebraic optimizer")
 	builtin := flag.Bool("builtin", false, "compile the built-in battle script instead of a file")
+	vet := flag.Bool("vet", false, "run the lint diagnostics engine and print its findings")
 	flag.Parse()
 
 	var src string
@@ -85,6 +90,24 @@ func main() {
 			fmt.Println("unoptimized plan:")
 		}
 		fmt.Print(plan.Explain())
+	}
+
+	if *vet {
+		diags := lint.Lint(src, lint.Options{
+			Mode:         lint.ModeScript,
+			Schema:       game.Schema(),
+			Consts:       game.Consts(),
+			Categoricals: game.Categoricals(),
+		})
+		fmt.Println()
+		if len(diags) == 0 {
+			fmt.Println("vet: clean")
+		} else {
+			fmt.Println("vet:")
+			for _, d := range diags {
+				fmt.Printf("  %s\n", d)
+			}
+		}
 	}
 }
 

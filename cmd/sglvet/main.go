@@ -1,0 +1,103 @@
+// Command sglvet runs the SGL diagnostics engine (internal/sgl/lint) over
+// scripts and reports coded, positioned findings: SGL0xx correctness
+// issues and SGL1xx performance classifications derived from the
+// executor's own analyzers.
+//
+// Usage:
+//
+//	sglvet [-json] [-query] script.sgl...
+//	sglvet -builtin          # vet the built-in battle script
+//	sglvet -zoo              # vet the exec script zoo
+//
+// Exit status is 0 when every input is clean, 1 when any diagnostic was
+// reported, 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/epicscale/sgl/internal/exec"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/sgl/lint"
+)
+
+// fileDiag is one diagnostic tagged with the input it came from, for the
+// -json stream.
+type fileDiag struct {
+	File string `json:"file"`
+	lint.Diagnostic
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	query := flag.Bool("query", false, "lint inputs as observation queries instead of behavior scripts")
+	builtin := flag.Bool("builtin", false, "vet the built-in battle script instead of files")
+	zoo := flag.Bool("zoo", false, "vet every program of the exec script zoo")
+	flag.Parse()
+
+	type input struct {
+		name string
+		src  string
+	}
+	var inputs []input
+	switch {
+	case *builtin:
+		inputs = append(inputs, input{"builtin", game.Script})
+	case *zoo:
+		for _, p := range exec.Zoo {
+			inputs = append(inputs, input{"zoo/" + p.Name, p.Src})
+		}
+	case flag.NArg() > 0:
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sglvet:", err)
+				os.Exit(2)
+			}
+			inputs = append(inputs, input{path, string(data)})
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: sglvet [-json] [-query] script.sgl... | sglvet -builtin | sglvet -zoo")
+		os.Exit(2)
+	}
+
+	opts := lint.Options{
+		Mode:         lint.ModeScript,
+		Schema:       game.Schema(),
+		Consts:       game.Consts(),
+		Categoricals: game.Categoricals(),
+	}
+	if *query {
+		opts.Mode = lint.ModeQuery
+		opts.Consts = nil // queries reference no game constants
+	}
+	if *zoo {
+		opts.Consts = nil // zoo programs are schema-only by design
+	}
+
+	all := []fileDiag{} // non-nil so -json renders [] when clean
+	for _, in := range inputs {
+		for _, d := range lint.Lint(in.src, opts) {
+			all = append(all, fileDiag{File: in.name, Diagnostic: d})
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "sglvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range all {
+			fmt.Printf("%s:%s\n", d.File, d.Diagnostic)
+		}
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+}

@@ -65,6 +65,7 @@ func usedSlots(p *Plan) map[Node]map[int]bool {
 		n := nodes[i]
 		set := map[int]bool{}
 		for _, c := range cons[n] {
+			//sgl:unordered set union; insertion order cannot reach the resulting set
 			for s := range used[c] {
 				set[s] = true
 			}
@@ -188,6 +189,7 @@ func applyRuleA(p *Plan) bool {
 // consumer and the selection condition does not read the extension.
 func applyRuleB(p *Plan) bool {
 	cons := consumers(p)
+	//sgl:unordered the rewrite system is terminating and locally confluent, so the fixpoint plan is the same whichever candidate fires first
 	for ext, extConsumers := range cons {
 		e, ok := ext.(*Extend)
 		if !ok || len(extConsumers) != 1 {

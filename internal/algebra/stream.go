@@ -226,10 +226,14 @@ func (x *Executor) selMemoFor(s *Select) []int8 {
 	return m
 }
 
-// compileChain turns the Base→…→n operator chain into a pipeline:
-// collect stages base-first, push guards below independent extensions,
-// order conjuncts greedily, and split at blocking batch extensions.
-func (x *Executor) compileChain(n Node, shares map[*Select]int) (*pipeline, error) {
+// chainStages turns the Base→…→n operator chain into its per-row stage
+// list: stages collected base-first, guards pushed below independent
+// extensions, conjuncts ordered greedily. This is the provider-independent
+// core of pipeline compilation — the lint report (report.go) runs exactly
+// this function, so static guard-placement diagnostics can never disagree
+// with the live executor. Memo attachment and batch splitting, which do
+// depend on the executor and its provider, happen in compileChain.
+func chainStages(n Node) ([]stage, error) {
 	var rev []Node
 	for cur := n; ; {
 		switch v := cur.(type) {
@@ -252,16 +256,28 @@ func (x *Executor) compileChain(n Node, shares map[*Select]int) (*pipeline, erro
 	for i := len(rev) - 1; i >= 0; i-- {
 		switch v := rev[i].(type) {
 		case *Select:
-			st := stage{sel: v, conjs: orderConjuncts(v.Cond)}
-			if shares[v] > 1 {
-				st.memo = x.selMemoFor(v)
-			}
-			stages = append(stages, st)
+			stages = append(stages, stage{sel: v, conjs: orderConjuncts(v.Cond)})
 		case *Extend:
 			stages = append(stages, stage{ext: v})
 		}
 	}
 	pushdownGuards(stages)
+	return stages, nil
+}
+
+// compileChain turns the Base→…→n operator chain into a pipeline:
+// collect stages base-first, push guards below independent extensions,
+// order conjuncts greedily, and split at blocking batch extensions.
+func (x *Executor) compileChain(n Node, shares map[*Select]int) (*pipeline, error) {
+	stages, err := chainStages(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range stages {
+		if stages[i].sel != nil && shares[stages[i].sel] > 1 {
+			stages[i].memo = x.selMemoFor(stages[i].sel)
+		}
+	}
 	return splitSegments(x, stages), nil
 }
 
@@ -342,34 +358,52 @@ func flattenAnd(c ast.Cond, out *[]ast.Cond) {
 	*out = append(*out, c)
 }
 
-// Conjunct selectivity classes, most selective (and cheapest) first.
+// ConjunctClass is the syntax-only selectivity class of one AND-conjunct,
+// most selective (and cheapest) first. It is exported because the lint
+// pass (internal/sgl/lint) reports the same classification the executor
+// orders by — one classifier, shared, so the two can never disagree.
+type ConjunctClass int
+
+// Conjunct selectivity classes.
 const (
-	classEq       = 0 // call-free equality comparison
-	classRange    = 1 // call-free <, <=, >, >= comparison
-	classResidual = 2 // everything else: <>, or, not, literals, calls
+	ClassEqGuard    ConjunctClass = iota // call-free equality comparison
+	ClassRangeGuard                      // call-free <, <=, >, >= comparison
+	ClassResidual                        // everything else: <>, or, not, literals, calls
 )
 
-// conjClass ranks one conjunct by syntax-visible selectivity. Only the
-// shape of the syntax is consulted — no statistics: equalities pin a
+// String renders the class the way Explain and the lint report spell it.
+func (c ConjunctClass) String() string {
+	switch c {
+	case ClassEqGuard:
+		return "eq"
+	case ClassRangeGuard:
+		return "range"
+	default:
+		return "residual"
+	}
+}
+
+// ClassifyConjunct ranks one conjunct by syntax-visible selectivity. Only
+// the shape of the syntax is consulted — no statistics: equalities pin a
 // value (most selective), ranges halve one (somewhat selective), and
 // residuals — disjunctions, negations, inequalities, or anything that
 // must call an aggregate or builtin — run last so cheap guards shed rows
 // before expensive terms evaluate.
-func conjClass(c ast.Cond) int {
+func ClassifyConjunct(c ast.Cond) ConjunctClass {
 	cmp, ok := c.(*ast.Compare)
 	if !ok {
-		return classResidual
+		return ClassResidual
 	}
 	if termHasCall(cmp.X) || termHasCall(cmp.Y) {
-		return classResidual
+		return ClassResidual
 	}
 	switch cmp.Op {
 	case ast.Eq:
-		return classEq
+		return ClassEqGuard
 	case ast.Lt, ast.Le, ast.Gt, ast.Ge:
-		return classRange
+		return ClassRangeGuard
 	default: // Ne barely filters: treat like a residual
-		return classResidual
+		return ClassResidual
 	}
 }
 
@@ -383,7 +417,7 @@ func orderConjuncts(c ast.Cond) []ast.Cond {
 	flattenAnd(c, &conjs)
 	if len(conjs) > 1 {
 		sort.SliceStable(conjs, func(i, j int) bool {
-			return conjClass(conjs[i]) < conjClass(conjs[j])
+			return ClassifyConjunct(conjs[i]) < ClassifyConjunct(conjs[j])
 		})
 	}
 	return conjs

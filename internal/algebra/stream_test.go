@@ -395,9 +395,9 @@ func TestPipelineConjunctOrdering(t *testing.T) {
 				}
 				found = true
 				for i := 1; i < len(st.conjs); i++ {
-					if conjClass(st.conjs[i-1]) > conjClass(st.conjs[i]) {
+					if ClassifyConjunct(st.conjs[i-1]) > ClassifyConjunct(st.conjs[i]) {
 						t.Fatalf("conjuncts out of greedy order: class %d before class %d",
-							conjClass(st.conjs[i-1]), conjClass(st.conjs[i]))
+							ClassifyConjunct(st.conjs[i-1]), ClassifyConjunct(st.conjs[i]))
 					}
 				}
 			}
@@ -415,22 +415,22 @@ func TestConjClass(t *testing.T) {
 	cases := []struct {
 		name string
 		cond ast.Cond
-		want int
+		want ConjunctClass
 	}{
-		{"eq", cmp(ast.Eq, num(1), num(2)), classEq},
-		{"lt", cmp(ast.Lt, num(1), num(2)), classRange},
-		{"le", cmp(ast.Le, num(1), num(2)), classRange},
-		{"gt", cmp(ast.Gt, num(1), num(2)), classRange},
-		{"ge", cmp(ast.Ge, num(1), num(2)), classRange},
-		{"ne-is-residual", cmp(ast.Ne, num(1), num(2)), classResidual},
-		{"call-poisons-eq", cmp(ast.Eq, &ast.Call{Name: "abs", Args: []ast.Term{num(1)}}, num(2)), classResidual},
-		{"nested-call-poisons", cmp(ast.Lt, &ast.Binary{Op: ast.Add, X: num(1), Y: &ast.Call{Name: "abs", Args: []ast.Term{num(1)}}}, num(2)), classResidual},
-		{"or", &ast.Or{X: cmp(ast.Eq, num(1), num(1)), Y: cmp(ast.Eq, num(2), num(2))}, classResidual},
-		{"not", &ast.Not{X: cmp(ast.Eq, num(1), num(1))}, classResidual},
-		{"boollit", &ast.BoolLit{Val: true}, classResidual},
+		{"eq", cmp(ast.Eq, num(1), num(2)), ClassEqGuard},
+		{"lt", cmp(ast.Lt, num(1), num(2)), ClassRangeGuard},
+		{"le", cmp(ast.Le, num(1), num(2)), ClassRangeGuard},
+		{"gt", cmp(ast.Gt, num(1), num(2)), ClassRangeGuard},
+		{"ge", cmp(ast.Ge, num(1), num(2)), ClassRangeGuard},
+		{"ne-is-residual", cmp(ast.Ne, num(1), num(2)), ClassResidual},
+		{"call-poisons-eq", cmp(ast.Eq, &ast.Call{Name: "abs", Args: []ast.Term{num(1)}}, num(2)), ClassResidual},
+		{"nested-call-poisons", cmp(ast.Lt, &ast.Binary{Op: ast.Add, X: num(1), Y: &ast.Call{Name: "abs", Args: []ast.Term{num(1)}}}, num(2)), ClassResidual},
+		{"or", &ast.Or{X: cmp(ast.Eq, num(1), num(1)), Y: cmp(ast.Eq, num(2), num(2))}, ClassResidual},
+		{"not", &ast.Not{X: cmp(ast.Eq, num(1), num(1))}, ClassResidual},
+		{"boollit", &ast.BoolLit{Val: true}, ClassResidual},
 	}
 	for _, c := range cases {
-		if got := conjClass(c.cond); got != c.want {
+		if got := ClassifyConjunct(c.cond); got != c.want {
 			t.Errorf("%s: class = %d, want %d", c.name, got, c.want)
 		}
 	}
@@ -451,7 +451,7 @@ func TestConjClass(t *testing.T) {
 	for i := range want {
 		if ordered[i] != want[i] {
 			t.Fatalf("position %d: got class %d, want class %d (stable order violated)",
-				i, conjClass(ordered[i]), conjClass(want[i]))
+				i, ClassifyConjunct(ordered[i]), ClassifyConjunct(want[i]))
 		}
 	}
 }

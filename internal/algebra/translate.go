@@ -298,6 +298,7 @@ func (tr *translator) renameAction(a ast.Action, suffix string, renames map[stri
 	case *ast.Let:
 		value := tr.renameTerm(n.Value, renames)
 		inner := make(map[string]string, len(renames)+1)
+		//sgl:unordered map copy; insertion order cannot reach the resulting map
 		for k, v := range renames {
 			inner[k] = v
 		}

@@ -120,6 +120,21 @@ func (e *Engine) QueryMaintainedUnit(q *Query, unitKey int64, args ...float64) (
 	return e.maintainedRow(q, key, row, args)
 }
 
+// MaintainedPlan returns the answer-maintenance plan maintained
+// evaluations of q run with, building it exactly as maintainedRow would.
+// Exposed for explain tooling and the lint/runtime consistency tests: the
+// plan's Divisible() is the patch-vs-rederive decision the maintainer
+// makes every dirty tick.
+func (e *Engine) MaintainedPlan(q *Query) *exec.AnswerPlan {
+	ent, _, _ := e.queryEntry(q)
+	ent.amu.Lock()
+	defer ent.amu.Unlock()
+	if ent.plan == nil {
+		ent.plan = exec.NewAnswerPlan(q.prog, q.def)
+	}
+	return ent.plan
+}
+
 // maintainedRow returns the cached answer for (q, key), deriving it if
 // absent or stale. Lock order: queryEntry's qmu section completes before
 // amu is taken; the provider fallback nests qmu→ent.mu under amu, which
@@ -144,6 +159,7 @@ func (e *Engine) maintainedRow(q *Query, key answerKey, unit, args []float64) ([
 		for len(ent.answers) > maxAnswersPerQuery {
 			var lruKey answerKey
 			var lru *answerEntry
+			//sgl:unordered LRU victim search is a min-fold; a lastSeq tie evicts an arbitrary entry, which costs one rederive but never changes answer values
 			for k, cand := range ent.answers {
 				if k == key {
 					continue
@@ -192,6 +208,7 @@ func (e *Engine) maintainAnswers() {
 	e.qmu.Lock()
 	gen := e.queries.gen
 	ents := make([]qe, 0, len(e.queries.cache))
+	//sgl:unordered snapshot into a slice; per-entry maintenance below is independent of visit order
 	for q, ent := range e.queries.cache {
 		ents = append(ents, qe{q, ent})
 	}
@@ -208,6 +225,7 @@ func (e *Engine) maintainAnswers() {
 	var dirtyKeys map[int64]uint64
 	for _, x := range ents {
 		x.ent.amu.Lock()
+		//sgl:unordered per-answer maintenance touches only its own entry; stats counters are sums
 		for key, a := range x.ent.answers {
 			if gen-a.lastGen > queryEvictAfter {
 				delete(x.ent.answers, key)
@@ -272,6 +290,7 @@ func (e *Engine) maintainAnswers() {
 func (e *Engine) hasMaintainedAnswers() bool {
 	e.qmu.Lock()
 	ents := make([]*queryCacheEntry, 0, len(e.queries.cache))
+	//sgl:unordered existence check (any-live fold); order cannot reach the boolean
 	for _, ent := range e.queries.cache {
 		ents = append(ents, ent)
 	}

@@ -211,6 +211,7 @@ func readCommands(cr *table.Reader, section string) ([]StampedCommand, error) {
 // equal maps always encode to equal bytes.
 func writeSeqs(cw *table.Writer, seqs map[string]uint64) {
 	origins := make([]string, 0, len(seqs))
+	//sgl:unordered keys are collected and sorted before encoding
 	for o := range seqs {
 		origins = append(origins, o)
 	}

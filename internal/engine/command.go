@@ -416,6 +416,7 @@ func (e *Engine) applyCommands() {
 		e.deltaOK = false
 		e.incSnap = nil
 	} else if w := e.prog.Schema.NumAttrs(); e.opts.Incremental && e.opts.Mode == Indexed && len(e.incSnap) == e.env.Len()*w {
+		//sgl:unordered per-row snapshot sync is independent per row; cmdSetRows is consumed as a set by captureIncremental
 		for i := range setRows {
 			copy(e.incSnap[i*w:(i+1)*w], e.env.Rows[i])
 			if e.deltaOK {

@@ -248,6 +248,7 @@ func New(prog *sem.Program, game Game, initial *table.Table, opts Options) (*Eng
 	// schema and resolution maps are immutable and stay shared.
 	p := *prog
 	p.Consts = make(map[string]float64, len(prog.Consts))
+	//sgl:unordered map copy; insertion order cannot reach the resulting map
 	for k, v := range prog.Consts {
 		p.Consts[k] = v
 	}
@@ -289,6 +290,10 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Plan returns the compiled plan (for explain tooling).
 func (e *Engine) Plan() *algebra.Plan { return e.plan }
+
+// Analyzer returns the index-usability analysis the engine runs with (for
+// explain tooling and the lint/runtime consistency tests).
+func (e *Engine) Analyzer() *exec.Analyzer { return e.an }
 
 // Run advances the simulation n ticks.
 func (e *Engine) Run(n int) error {

@@ -162,6 +162,7 @@ func unitCols(def *ast.AggDef, schema *table.Schema) []int {
 		}
 	}
 	var list []int
+	//sgl:unordered columns are collected and sorted before return
 	for c := range cols {
 		list = append(list, c)
 	}
@@ -220,6 +221,7 @@ const maxCachedQueries = 64
 func (e *Engine) invalidateQueries() {
 	e.qmu.Lock()
 	e.queries.gen++
+	//sgl:unordered per-entry invalidation and eviction touch only their own entry
 	for q, ent := range e.queries.cache {
 		if e.queries.gen-ent.lastGen > queryEvictAfter {
 			delete(e.queries.cache, q)
@@ -246,6 +248,7 @@ func (e *Engine) queryEntry(q *Query) (*queryCacheEntry, uint64, uint64) {
 		e.queries.cache[q] = ent
 		for len(e.queries.cache) > maxCachedQueries {
 			var lru *Query
+			//sgl:unordered LRU victim search is a min-fold; a lastSeq tie evicts an arbitrary entry, which costs one recompile but never changes answer values
 			for cand, ce := range e.queries.cache {
 				if cand == q {
 					continue

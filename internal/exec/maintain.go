@@ -98,6 +98,7 @@ func (p *Indexed) MaintainFrom(prev *Indexed, d Delta, threshold float64) bool {
 	n := p.env.Len()
 	limit := threshold * float64(n)
 	maintained := false
+	//sgl:unordered per-definition maintenance writes only its own index; fallback counters are sums
 	for def, old := range prev.aggIdx {
 		a := p.an.Agg(def)
 		if !a.Indexable || len(old.rowPart) != n {
@@ -110,6 +111,7 @@ func (p *Indexed) MaintainFrom(prev *Indexed, d Delta, threshold float64) bool {
 		p.aggIdx[def] = p.maintainAgg(def, a, old, d)
 		maintained = true
 	}
+	//sgl:unordered per-definition maintenance writes only its own index; fallback counters are sums
 	for def, old := range prev.actIdx {
 		a := p.an.Act(def)
 		if a.Class != ActArea || len(old.rowPart) != n {
@@ -299,6 +301,7 @@ func (p *Indexed) maintainAgg(def *ast.AggDef, a *AggAnalysis, old *aggIndex, d 
 
 	// Partitions born this tick (arrivals to keys the old index lacked).
 	newKeys := make([]string, 0, len(arrivals))
+	//sgl:unordered keys are collected and sorted before partitions are built
 	for key := range arrivals {
 		newKeys = append(newKeys, key)
 	}
@@ -310,6 +313,7 @@ func (p *Indexed) maintainAgg(def *ast.AggDef, a *AggAnalysis, old *aggIndex, d 
 	}
 
 	idx.order = make([]string, 0, len(idx.parts))
+	//sgl:unordered partition order is re-derived by sortedByFirstRow below
 	for key := range idx.parts {
 		idx.order = append(idx.order, key)
 	}
@@ -363,6 +367,7 @@ func (p *Indexed) maintainAct(def *ast.ActDef, a *ActAnalysis, old *actIndex, d 
 	}
 
 	newKeys := make([]string, 0, len(arrivals))
+	//sgl:unordered keys are collected and sorted before partitions are built
 	for key := range arrivals {
 		newKeys = append(newKeys, key)
 	}
@@ -374,6 +379,7 @@ func (p *Indexed) maintainAct(def *ast.ActDef, a *ActAnalysis, old *actIndex, d 
 	}
 
 	idx.order = make([]string, 0, len(idx.parts))
+	//sgl:unordered partition order is re-derived by sortedByFirstRow below
 	for key := range idx.parts {
 		idx.order = append(idx.order, key)
 	}

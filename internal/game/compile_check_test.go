@@ -7,7 +7,7 @@ func TestCompileSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(prog.Script.Aggs) != 12 || len(prog.Script.Acts) != 5 {
+	if len(prog.Script.Aggs) != 11 || len(prog.Script.Acts) != 5 {
 		t.Fatalf("aggs=%d acts=%d", len(prog.Script.Aggs), len(prog.Script.Acts))
 	}
 }

@@ -113,7 +113,7 @@ aggregate FriendlyKnightLine(u) :=
   over e where e.player = u.player and e.unittype = 0;
 
 aggregate KnightFormation(u) :=
-  count(*) as n, avg(e.posx) as cx, avg(e.posy) as cy,
+  avg(e.posx) as cx, avg(e.posy) as cy,
   stddev(e.posx) as sx, stddev(e.posy) as sy
   over e where e.player = u.player and e.unittype = 0;
 
@@ -124,7 +124,7 @@ aggregate KnightsWithin(u, r) :=
     and e.player = u.player and e.unittype = 0;
 
 aggregate WeakestEnemyInReach(u) :=
-  argmin(e.health) as key, min(e.health) as hp
+  argmin(e.health) as key
   over e where e.posx >= u.posx - u.range and e.posx <= u.posx + u.range
     and e.posy >= u.posy - u.range and e.posy <= u.posy + u.range
     and e.player <> u.player;
@@ -133,10 +133,6 @@ aggregate NearestEnemy(u) :=
   nearestkey() as key, nearestdist() as dist,
   nearestx() as x, nearesty() as y
   over e where e.player <> u.player;
-
-aggregate NearestHealer(u) :=
-  nearestkey() as key, nearestdist() as dist
-  over e where e.player = u.player and e.unittype = 2;
 
 aggregate MostWoundedFriend(u) :=
   argmax(e.maxhealth - e.health) as key, max(e.maxhealth - e.health) as missing
@@ -181,10 +177,10 @@ action HealAura(u) :=
 
 function attackWeakest(u) {
   (let w = WeakestEnemyInReach(u)) {
-    if w.key >= 0 then {
+    if w >= 0 then {
       (let roll = Random(1) % 20 + 1)
       (let dmgroll = Random(2) % u.dmgsides + 1 + u.dmgbonus) {
-        perform Strike(u, w.key, roll, dmgroll);
+        perform Strike(u, w, roll, dmgroll);
         perform MarkAttack(u)
       }
     }
@@ -197,7 +193,7 @@ function knightMain(u) {
       perform MoveAway(u, EnemyCentroidInSight(u));
     else if u.cooldown = 0 then {
       (let w = WeakestEnemyInReach(u)) {
-        if w.key >= 0 then perform attackWeakest(u);
+        if w >= 0 then perform attackWeakest(u);
         else (let form = KnightFormation(u)) {
           (let spread = max(form.sx, form.sy)) {
             if spread > _SPREAD_LIMIT and KnightsWithin(u, spread * 2) < _PACK_COUNT then

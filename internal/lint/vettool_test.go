@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolEndToEnd drives the real protocol: build cmd/sglvet-go,
+// synthesize a module that claims this repo's module path (so its
+// packages land on determinism-critical import paths), and run
+// `go vet -vettool=…` over it. This is the integration pin for the
+// hand-rolled unitchecker plumbing — the -V=full handshake, the -flags
+// query, the per-package .cfg decode, export-data importing, and the
+// exit/diagnostic convention — all of which only `go vet` itself
+// exercises.
+func TestVettoolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not found: %v", err)
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	tool := filepath.Join(dir, "sglvet-go")
+	build := exec.Command(goBin, "build", "-o", tool, "./cmd/sglvet-go")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build sglvet-go: %v\n%s", err, out)
+	}
+
+	// The module path must be the real one: Critical() gates on the
+	// github.com/epicscale/sgl/internal/... import paths.
+	mod := filepath.Join(dir, "mod")
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module github.com/epicscale/sgl\n\ngo 1.24\n")
+	write("internal/engine/bad.go", `package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad(m map[string]int) int {
+	s := rand.Intn(3)
+	_ = time.Now()
+	for _, v := range m {
+		s += v
+	}
+	//sgl:unordered sum is a commutative fold
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	// Same sins in a non-critical package: must vet clean.
+	write("internal/server/ok.go", `package server
+
+import "time"
+
+func uptime(start time.Time) time.Duration { return time.Since(start) }
+`)
+	// And in a _test.go file of a critical package: also clean.
+	write("internal/engine/bad_test.go", `package engine
+
+import "time"
+
+func elapsed(start time.Time) time.Duration { return time.Since(start) }
+`)
+
+	vet := exec.Command(goBin, "vet", "-vettool="+tool, "./...")
+	vet.Dir = mod
+	vet.Env = append(os.Environ(), "GOPROXY=off", "GOWORK=off", "GOFLAGS=")
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed on a module with determinism violations\n%s", out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"bad.go:4:2: import of math/rand is nondeterministic",
+		"bad.go:10:6: time.Now reads the wall clock",
+		"bad.go:11:2: map iteration order is randomized",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("go vet output missing %q\n%s", want, text)
+		}
+	}
+	for _, banned := range []string{"ok.go", "bad_test.go", "bad.go:15"} {
+		if strings.Contains(text, banned) {
+			t.Errorf("go vet flagged %s, which must be exempt\n%s", banned, text)
+		}
+	}
+
+	// A clean critical package passes — the nonzero exit above was the
+	// diagnostics, not a protocol failure.
+	if err := os.Remove(filepath.Join(mod, "internal/engine/bad.go")); err != nil {
+		t.Fatal(err)
+	}
+	write("internal/engine/good.go", `package engine
+
+func good(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+`)
+	vet = exec.Command(goBin, "vet", "-vettool="+tool, "./...")
+	vet.Dir = mod
+	vet.Env = append(os.Environ(), "GOPROXY=off", "GOWORK=off", "GOFLAGS=")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}

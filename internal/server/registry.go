@@ -32,6 +32,7 @@ import (
 	"github.com/epicscale/sgl/internal/engine"
 	"github.com/epicscale/sgl/internal/game"
 	"github.com/epicscale/sgl/internal/metrics"
+	"github.com/epicscale/sgl/internal/sgl/lint"
 	"github.com/epicscale/sgl/internal/sgl/parser"
 	"github.com/epicscale/sgl/internal/sgl/sem"
 	"github.com/epicscale/sgl/internal/workload"
@@ -110,6 +111,10 @@ type World struct {
 	prog    *sem.Program
 	script  string // source the program was compiled from (checkpoint sidecar)
 	created time.Time
+	// warnings are the script's lint diagnostics, computed once at
+	// registration (a registered script compiles, so they are all
+	// warn-severity). Returned in the create response and by Warnings().
+	warnings []lint.Diagnostic
 
 	mu  sync.Mutex // guards clk, clockErr, rate, stepping, deleted
 	clk *clock
@@ -154,10 +159,12 @@ type World struct {
 }
 
 // cachedQuery is one compile-once cache slot; seq is the recency stamp
-// (guarded by qmu) LRU eviction compares.
+// (guarded by qmu) LRU eviction compares. The lint warnings ride the
+// cache so N spectators of one source pay for one lint run.
 type cachedQuery struct {
-	q   *engine.Query
-	seq uint64
+	q     *engine.Query
+	warns []lint.Diagnostic
+	seq   uint64
 }
 
 // clock is one run of a world's clock goroutine. The stop channel is
@@ -175,6 +182,10 @@ func (w *World) Session() *engine.Session { return w.sess }
 // Script returns the SGL source this world runs, in the engine's
 // canonical printed form (the same text checkpoint v2 embeds).
 func (w *World) Script() string { return w.script }
+
+// Warnings returns the script's lint diagnostics (never nil). The slice
+// is computed once at registration and must not be mutated.
+func (w *World) Warnings() []lint.Diagnostic { return w.warnings }
 
 // SubmitCommands injects a validated command batch into the world's
 // input buffer (see engine.Submit), counting acceptances and rejections
@@ -372,18 +383,27 @@ func (w *World) Running() bool {
 // the same source is what lets N spectators share one engine-side index
 // build per tick — the engine's provider cache is keyed by query
 // identity, not source text.
-func (w *World) CompiledQuery(src string) (*engine.Query, error) {
+func (w *World) CompiledQuery(src string) (*engine.Query, []lint.Diagnostic, error) {
 	w.qmu.Lock()
 	defer w.qmu.Unlock()
 	w.qseq++
 	if c, ok := w.queries[src]; ok {
 		c.seq = w.qseq
-		return c.q, nil
+		return c.q, c.warns, nil
 	}
 	q, err := engine.CompileQuery(src, w.prog.Schema, w.prog.Consts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	// Lint once per cached source: the compile succeeded, so everything
+	// the linter finds is warn-severity (notably SGL102, "this maintained
+	// answer rederives instead of patching").
+	warns := lint.Lint(src, lint.Options{
+		Mode:         lint.ModeQuery,
+		Schema:       w.prog.Schema,
+		Consts:       w.prog.Consts,
+		Categoricals: game.Categoricals(),
+	})
 	if w.queries == nil {
 		w.queries = map[string]*cachedQuery{}
 	}
@@ -404,8 +424,8 @@ func (w *World) CompiledQuery(src string) (*engine.Query, error) {
 		}
 		delete(w.queries, lruSrc)
 	}
-	w.queries[src] = &cachedQuery{q: q, seq: w.qseq}
-	return q, nil
+	w.queries[src] = &cachedQuery{q: q, warns: warns, seq: w.qseq}
+	return q, warns, nil
 }
 
 // cachedQueryCount reports the live compile-once cache size (tests).
@@ -596,6 +616,18 @@ func (r *Registry) Restore(name string, ck io.Reader, scriptOverride string, tun
 // the clock start cannot fail and no rollback path exists.
 func (r *Registry) register(name string, sess *engine.Session, prog *sem.Program, script string, tickRate float64) (*World, error) {
 	w := &World{Name: name, sess: sess, prog: prog, script: script, created: time.Now(), subsDone: make(chan struct{})}
+	// Lint the canonical source once, outside the registry lock. The
+	// program compiled, so every finding is warn-severity; []
+	// (not nil) keeps the create response's warnings field an array.
+	w.warnings = lint.Lint(script, lint.Options{
+		Mode:         lint.ModeScript,
+		Schema:       prog.Schema,
+		Consts:       prog.Consts,
+		Categoricals: game.Categoricals(),
+	})
+	if w.warnings == nil {
+		w.warnings = []lint.Diagnostic{}
+	}
 	r.mu.Lock()
 	if _, dup := r.worlds[name]; dup {
 		r.mu.Unlock()

@@ -38,6 +38,7 @@ import (
 	"github.com/epicscale/sgl/internal/engine"
 	"github.com/epicscale/sgl/internal/game"
 	"github.com/epicscale/sgl/internal/geom"
+	"github.com/epicscale/sgl/internal/sgl/lint"
 	"github.com/epicscale/sgl/internal/table"
 	"github.com/epicscale/sgl/internal/workload"
 )
@@ -139,12 +140,25 @@ type QueryRequest struct {
 	Scan bool      `json:"scan,omitempty"`
 }
 
-// QueryResponse carries one evaluation's outputs.
+// QueryResponse carries one evaluation's outputs. Warnings holds the
+// query's lint findings (computed once per cached source, all
+// warn-severity since the query compiled) so clients see the SGL1xx
+// performance classification of what they just ran.
 type QueryResponse struct {
-	Name    string    `json:"name"`
-	Tick    int64     `json:"tick"`
-	Outputs []string  `json:"outputs"`
-	Values  []float64 `json:"values"`
+	Name     string            `json:"name"`
+	Tick     int64             `json:"tick"`
+	Outputs  []string          `json:"outputs"`
+	Values   []float64         `json:"values"`
+	Warnings []lint.Diagnostic `json:"warnings,omitempty"`
+}
+
+// CreateResponse is the body of a successful create/restore: the
+// world's status plus the script's lint findings. Warnings is always an
+// array (possibly empty), never null — the script compiled, so every
+// finding is warn-severity.
+type CreateResponse struct {
+	Status
+	Warnings []lint.Diagnostic `json:"warnings"`
 }
 
 // CommandsRequest injects a batch of typed commands into a world's
@@ -362,7 +376,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, world.Status())
+	writeJSON(w, http.StatusCreated, CreateResponse{Status: world.Status(), Warnings: world.Warnings()})
 }
 
 // restoreFromFile is the arrival half of live migration: open the named
@@ -503,7 +517,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // evalQuery compiles (once) and dispatches one query evaluation to the
 // probe form the request selects.
 func (s *Server) evalQuery(wd *World, req QueryRequest) (*QueryResponse, error) {
-	q, err := wd.CompiledQuery(req.Src)
+	q, warns, err := wd.CompiledQuery(req.Src)
 	if err != nil {
 		return nil, err
 	}
@@ -542,6 +556,7 @@ func (s *Server) evalQuery(wd *World, req QueryRequest) (*QueryResponse, error) 
 	return &QueryResponse{
 		Name: q.Name(), Tick: tick,
 		Outputs: q.Outputs(), Values: vals,
+		Warnings: warns,
 	}, nil
 }
 

@@ -396,11 +396,11 @@ func TestQueryCompileOnce(t *testing.T) {
 	ts, reg := newTestServer(t)
 	create(t, ts.URL, "cc", nil)
 	w, _ := reg.Get("cc")
-	q1, err := w.CompiledQuery(testCountQuery)
+	q1, _, err := w.CompiledQuery(testCountQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q2, err := w.CompiledQuery(testCountQuery)
+	q2, _, err := w.CompiledQuery(testCountQuery)
 	if err != nil {
 		t.Fatal(err)
 	}

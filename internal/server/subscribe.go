@@ -27,17 +27,19 @@ import (
 	"sync"
 
 	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/sgl/lint"
 )
 
 // subSpec is one subscription's evaluation: a compiled query plus the
 // probe form, mirroring QueryRequest.
 type subSpec struct {
-	q    *engine.Query
-	args []float64
-	x, y float64
-	pos  bool // probe at (x, y)
-	unit int64
-	byID bool // probe from live unit `unit`
+	q     *engine.Query
+	warns []lint.Diagnostic // the query's lint findings, pushed once at stream start
+	args  []float64
+	x, y  float64
+	pos   bool // probe at (x, y)
+	unit  int64
+	byID  bool // probe from live unit `unit`
 }
 
 // eval runs the spec against the engine through the maintained-answer
@@ -246,11 +248,11 @@ func parseSubSpec(wd *World, r *http.Request) (subSpec, error) {
 	if src == "" {
 		return sp, errors.New("query parameter q is required")
 	}
-	q, err := wd.CompiledQuery(src)
+	q, warns, err := wd.CompiledQuery(src)
 	if err != nil {
 		return sp, err
 	}
-	sp.q = q
+	sp.q, sp.warns = q, warns
 	if raw := r.URL.Query().Get("args"); raw != "" {
 		for _, part := range strings.Split(raw, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
@@ -313,6 +315,15 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no") // common reverse proxies buffer SSE otherwise
 	w.WriteHeader(http.StatusOK)
+	// Lint findings ride the stream once, before the first answer, so a
+	// subscriber learns up front that (say) its non-divisible aggregate
+	// rederives the full answer every dirty tick — and then keeps
+	// receiving correct answers anyway.
+	if len(spec.warns) > 0 {
+		if err := writeSSEWarnings(w, spec.warns); err != nil {
+			return
+		}
+	}
 	if err := writeSSE(w, initial); err != nil {
 		return
 	}
@@ -339,5 +350,16 @@ func writeSSE(w http.ResponseWriter, ev SubscribeEvent) error {
 		return err
 	}
 	_, err = fmt.Fprintf(w, "event: answer\ndata: %s\n\n", data)
+	return err
+}
+
+// writeSSEWarnings renders the subscription's lint findings as a single
+// "warnings" event carrying a JSON array of diagnostics.
+func writeSSEWarnings(w http.ResponseWriter, warns []lint.Diagnostic) error {
+	data, err := json.Marshal(warns)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: warnings\ndata: %s\n\n", data)
 	return err
 }

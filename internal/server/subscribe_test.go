@@ -192,7 +192,7 @@ func TestSubscribeBackpressureDropAndResync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := wd.CompiledQuery(posSumSrc)
+	q, _, err := wd.CompiledQuery(posSumSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestSubscribeChurnDuringTicks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := wd.CompiledQuery(posSumSrc)
+	q, _, err := wd.CompiledQuery(posSumSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +338,7 @@ func TestSlowSubscriberDoesNotPerturbCheckpoint(t *testing.T) {
 	if !ok {
 		t.Fatal("world not registered")
 	}
-	q, err := wd.CompiledQuery(posSumSrc)
+	q, _, err := wd.CompiledQuery(posSumSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +401,7 @@ func TestCompiledQueryCacheLRU(t *testing.T) {
 		t.Fatal(err)
 	}
 	hot := `aggregate Hot(u) := count(*) over e;`
-	p0, err := wd.CompiledQuery(hot)
+	p0, _, err := wd.CompiledQuery(hot)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,7 +410,7 @@ func TestCompiledQueryCacheLRU(t *testing.T) {
 	}
 	var q0 *engine.Query
 	for i := 0; i < maxCachedQuerySources+40; i++ {
-		q, err := wd.CompiledQuery(coldSrc(i))
+		q, _, err := wd.CompiledQuery(coldSrc(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -418,7 +418,7 @@ func TestCompiledQueryCacheLRU(t *testing.T) {
 			q0 = q
 		}
 		// Keep the hot source recent; it must never be the LRU victim.
-		if p, err := wd.CompiledQuery(hot); err != nil || p != p0 {
+		if p, _, err := wd.CompiledQuery(hot); err != nil || p != p0 {
 			t.Fatalf("hot source evicted after %d cold inserts (err %v)", i+1, err)
 		}
 	}
@@ -426,7 +426,7 @@ func TestCompiledQueryCacheLRU(t *testing.T) {
 		t.Errorf("cache holds %d sources, bound is %d", got, maxCachedQuerySources)
 	}
 	// The first cold source aged out; re-requesting it recompiles.
-	if q, err := wd.CompiledQuery(coldSrc(0)); err != nil {
+	if q, _, err := wd.CompiledQuery(coldSrc(0)); err != nil {
 		t.Fatal(err)
 	} else if q == q0 {
 		t.Error("oldest cold source survived past the cache bound")

@@ -308,10 +308,11 @@ func (*Nop) isAction()     {}
 // FuncDef is an SGL action function. The entry point is the function named
 // "main" ("each script has a main action function called MAIN").
 type FuncDef struct {
-	P      token.Pos
-	Name   string
-	Params []string // first is the unit parameter, conventionally u
-	Body   Action
+	P        token.Pos
+	Name     string
+	Params   []string    // first is the unit parameter, conventionally u
+	ParamPos []token.Pos // position of each parameter; parallel to Params
+	Body     Action
 }
 
 // AggFunc identifies the SQL aggregate of one aggregate output column.
@@ -375,11 +376,12 @@ type AggOutput struct {
 //
 // Semantically: SELECT a1(h1(u,e,r)) …, ak(hk(u,e,r)) FROM E e WHERE φ(u,e,r).
 type AggDef struct {
-	P       token.Pos
-	Name    string
-	Params  []string // first is the unit parameter
-	Outputs []AggOutput
-	Where   Cond // may be nil (no predicate: aggregate over all of E)
+	P        token.Pos
+	Name     string
+	Params   []string    // first is the unit parameter
+	ParamPos []token.Pos // position of each parameter; parallel to Params
+	Outputs  []AggOutput
+	Where    Cond // may be nil (no predicate: aggregate over all of E)
 }
 
 // SetClause assigns an effect attribute in an action definition.
@@ -396,11 +398,12 @@ type SetClause struct {
 // Semantically: SELECT e.K, h1(u,e,r) AS A1, … FROM E e WHERE φ(u,e,r),
 // with every unmentioned effect attribute left at its identity.
 type ActDef struct {
-	P      token.Pos
-	Name   string
-	Params []string
-	Where  Cond // may be nil (applies to every unit)
-	Sets   []SetClause
+	P        token.Pos
+	Name     string
+	Params   []string
+	ParamPos []token.Pos // position of each parameter; parallel to Params
+	Where    Cond        // may be nil (applies to every unit)
+	Sets     []SetClause
 }
 
 // Script is a parsed SGL compilation unit.

@@ -1,0 +1,178 @@
+package ast
+
+// Inspect walks the AST rooted at n in source order, calling fn for every
+// node it encounters: declarations (*FuncDef, *AggDef, *ActDef), output and
+// set clauses (*AggOutput, *SetClause), and every Term, Cond and Action.
+// If fn returns false the node's children are skipped. n may be a *Script,
+// any declaration, or any Term/Cond/Action; nil nodes are skipped.
+func Inspect(n any, fn func(any) bool) {
+	if n == nil {
+		return
+	}
+	switch x := n.(type) {
+	case *Script:
+		for _, f := range x.Funcs {
+			Inspect(f, fn)
+		}
+		for _, a := range x.Aggs {
+			Inspect(a, fn)
+		}
+		for _, a := range x.Acts {
+			Inspect(a, fn)
+		}
+	case *FuncDef:
+		if fn(x) {
+			inspectAction(x.Body, fn)
+		}
+	case *AggDef:
+		if fn(x) {
+			for i := range x.Outputs {
+				Inspect(&x.Outputs[i], fn)
+			}
+			inspectCond(x.Where, fn)
+		}
+	case *ActDef:
+		if fn(x) {
+			inspectCond(x.Where, fn)
+			for i := range x.Sets {
+				Inspect(&x.Sets[i], fn)
+			}
+		}
+	case *AggOutput:
+		if fn(x) {
+			inspectTerm(x.Arg, fn)
+		}
+	case *SetClause:
+		if fn(x) {
+			inspectTerm(x.Value, fn)
+		}
+	case Term:
+		inspectTerm(x, fn)
+	case Cond:
+		inspectCond(x, fn)
+	case Action:
+		inspectAction(x, fn)
+	}
+}
+
+func inspectTerm(t Term, fn func(any) bool) {
+	if t == nil || isNilTerm(t) || !fn(t) {
+		return
+	}
+	switch x := t.(type) {
+	case *Binary:
+		inspectTerm(x.X, fn)
+		inspectTerm(x.Y, fn)
+	case *Neg:
+		inspectTerm(x.X, fn)
+	case *Call:
+		for _, a := range x.Args {
+			inspectTerm(a, fn)
+		}
+	case *Pair:
+		inspectTerm(x.X, fn)
+		inspectTerm(x.Y, fn)
+	case *Field:
+		inspectTerm(x.X, fn)
+	}
+}
+
+func inspectCond(c Cond, fn func(any) bool) {
+	if c == nil || isNilCond(c) || !fn(c) {
+		return
+	}
+	switch x := c.(type) {
+	case *Compare:
+		inspectTerm(x.X, fn)
+		inspectTerm(x.Y, fn)
+	case *And:
+		inspectCond(x.X, fn)
+		inspectCond(x.Y, fn)
+	case *Or:
+		inspectCond(x.X, fn)
+		inspectCond(x.Y, fn)
+	case *Not:
+		inspectCond(x.X, fn)
+	}
+}
+
+func inspectAction(a Action, fn func(any) bool) {
+	if a == nil || isNilAction(a) || !fn(a) {
+		return
+	}
+	switch x := a.(type) {
+	case *Let:
+		inspectTerm(x.Value, fn)
+		inspectAction(x.Body, fn)
+	case *Seq:
+		for _, s := range x.Acts {
+			inspectAction(s, fn)
+		}
+	case *If:
+		inspectCond(x.Cond, fn)
+		inspectAction(x.Then, fn)
+		inspectAction(x.Else, fn)
+	case *Perform:
+		for _, t := range x.Args {
+			inspectTerm(t, fn)
+		}
+	}
+}
+
+// The interface values may wrap typed nil pointers when callers build ASTs
+// by hand; treat those as absent rather than panicking in the type switch.
+func isNilTerm(t Term) bool {
+	switch x := t.(type) {
+	case *NumLit:
+		return x == nil
+	case *ConstRef:
+		return x == nil
+	case *VarRef:
+		return x == nil
+	case *FieldRef:
+		return x == nil
+	case *Binary:
+		return x == nil
+	case *Neg:
+		return x == nil
+	case *Call:
+		return x == nil
+	case *Pair:
+		return x == nil
+	case *Field:
+		return x == nil
+	}
+	return false
+}
+
+func isNilCond(c Cond) bool {
+	switch x := c.(type) {
+	case *Compare:
+		return x == nil
+	case *And:
+		return x == nil
+	case *Or:
+		return x == nil
+	case *Not:
+		return x == nil
+	case *BoolLit:
+		return x == nil
+	}
+	return false
+}
+
+func isNilAction(a Action) bool {
+	switch x := a.(type) {
+	case *Let:
+		return x == nil
+	case *Seq:
+		return x == nil
+	case *If:
+		return x == nil
+	case *Perform:
+		return x == nil
+	case *Nop:
+		return x == nil
+	}
+	return false
+}

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"math"
+
+	"github.com/epicscale/sgl/internal/sgl/ast"
+)
+
+// Interval analysis over call-free comparisons: within one AND-chain,
+// every conjunct of the form <term> op <constant> narrows an interval
+// keyed by the term's canonical spelling. A conjunct that empties its
+// interval can never hold (SGL006); one that cannot narrow it further is
+// always true given the earlier conjuncts (SGL007). Constant-only
+// conditions are decided outright by folding with the runtime's own
+// IEEE-754 arithmetic. Negations are left alone (¬unsat is not unsat);
+// disjunction arms are analyzed as independent chains.
+
+// checkConjunctions runs the interval analysis over every condition site.
+func (l *linter) checkConjunctions(script *ast.Script) {
+	for _, site := range condSites(script) {
+		l.analyzeChain(ast.Conjuncts(site.cond), site.owner)
+	}
+}
+
+// Tri-state constant verdict of a condition.
+const (
+	vUnknown = iota
+	vTrue
+	vFalse
+)
+
+// condVerdict decides a condition from constants alone, if possible.
+func (l *linter) condVerdict(c ast.Cond) int {
+	switch n := c.(type) {
+	case *ast.BoolLit:
+		if n.Val {
+			return vTrue
+		}
+		return vFalse
+	case *ast.Not:
+		switch l.condVerdict(n.X) {
+		case vTrue:
+			return vFalse
+		case vFalse:
+			return vTrue
+		}
+		return vUnknown
+	case *ast.And:
+		x, y := l.condVerdict(n.X), l.condVerdict(n.Y)
+		if x == vFalse || y == vFalse {
+			return vFalse
+		}
+		if x == vTrue && y == vTrue {
+			return vTrue
+		}
+		return vUnknown
+	case *ast.Or:
+		x, y := l.condVerdict(n.X), l.condVerdict(n.Y)
+		if x == vTrue || y == vTrue {
+			return vTrue
+		}
+		if x == vFalse && y == vFalse {
+			return vFalse
+		}
+		return vUnknown
+	case *ast.Compare:
+		x, okx := l.fold(n.X)
+		y, oky := l.fold(n.Y)
+		if !okx || !oky {
+			return vUnknown
+		}
+		if cmpHolds(n.Op, x, y) {
+			return vTrue
+		}
+		return vFalse
+	}
+	return vUnknown
+}
+
+// cmpHolds applies a comparison with the executor's IEEE semantics
+// (every comparison with NaN is false).
+func cmpHolds(op ast.CmpOp, x, y float64) bool {
+	switch op {
+	case ast.Eq:
+		return x == y
+	case ast.Ne:
+		return x != y
+	case ast.Lt:
+		return x < y
+	case ast.Le:
+		return x <= y
+	case ast.Gt:
+		return x > y
+	case ast.Ge:
+		return x >= y
+	}
+	return false
+}
+
+// interval is a (possibly open) range of feasible values for one term,
+// with point exclusions from ≠-conjuncts.
+type interval struct {
+	lo, hi         float64
+	loOpen, hiOpen bool
+	neq            []float64
+}
+
+func fullInterval() *interval {
+	return &interval{lo: math.Inf(-1), hi: math.Inf(1)}
+}
+
+func (iv *interval) empty() bool {
+	if iv.lo > iv.hi {
+		return true
+	}
+	if iv.lo == iv.hi && (iv.loOpen || iv.hiOpen) {
+		return true
+	}
+	// A pinned point excluded by a ≠ is empty.
+	if iv.lo == iv.hi {
+		for _, x := range iv.neq {
+			if x == iv.lo {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// contains reports whether v is feasible under the interval.
+func (iv *interval) contains(v float64) bool {
+	if v < iv.lo || (v == iv.lo && iv.loOpen) {
+		return false
+	}
+	if v > iv.hi || (v == iv.hi && iv.hiOpen) {
+		return false
+	}
+	for _, x := range iv.neq {
+		if x == v {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetOf reports whether every value feasible under iv is feasible
+// under the constraint interval c (c's neq holes are checked against iv).
+func (iv *interval) subsetOf(c *interval) bool {
+	if iv.lo < c.lo || (iv.lo == c.lo && c.loOpen && !iv.loOpen) {
+		return false
+	}
+	if iv.hi > c.hi || (iv.hi == c.hi && c.hiOpen && !iv.hiOpen) {
+		return false
+	}
+	for _, x := range c.neq {
+		if iv.contains(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// intersect narrows iv by the constraint c.
+func (iv *interval) intersect(c *interval) {
+	if c.lo > iv.lo || (c.lo == iv.lo && c.loOpen) {
+		iv.lo, iv.loOpen = c.lo, c.loOpen
+	}
+	if c.hi < iv.hi || (c.hi == iv.hi && c.hiOpen) {
+		iv.hi, iv.hiOpen = c.hi, c.hiOpen
+	}
+	iv.neq = append(iv.neq, c.neq...)
+}
+
+// constraintFor turns op+constant into an interval constraint.
+func constraintFor(op ast.CmpOp, c float64) *interval {
+	iv := fullInterval()
+	switch op {
+	case ast.Eq:
+		iv.lo, iv.hi = c, c
+	case ast.Ne:
+		iv.neq = []float64{c}
+	case ast.Lt:
+		iv.hi, iv.hiOpen = c, true
+	case ast.Le:
+		iv.hi = c
+	case ast.Gt:
+		iv.lo, iv.loOpen = c, true
+	case ast.Ge:
+		iv.lo = c
+	}
+	return iv
+}
+
+// isCallFree reports whether a term contains no calls — the totality
+// requirement for keying an interval by the term's spelling (calls may
+// be Random or aggregate probes, whose value is not a function of the
+// spelling).
+func isCallFree(t ast.Term) bool {
+	free := true
+	ast.Inspect(t, func(n any) bool {
+		if _, ok := n.(*ast.Call); ok {
+			free = false
+		}
+		return free
+	})
+	return free
+}
+
+// analyzeChain runs the interval analysis over one AND-chain.
+func (l *linter) analyzeChain(conjs []ast.Cond, owner string) {
+	ivs := map[string]*interval{}
+	for _, conj := range conjs {
+		// Constant-only conjuncts are decided outright.
+		switch l.condVerdict(conj) {
+		case vTrue:
+			l.report(CodeAlwaysTrue, conj.Pos(), "conjunct %s is always true in %s", conj, owner)
+			continue
+		case vFalse:
+			l.report(CodeAlwaysFalse, conj.Pos(), "conjunct %s is always false in %s — the condition can never hold", conj, owner)
+			return
+		}
+		// Disjunction arms are independent chains of their own.
+		if or, ok := conj.(*ast.Or); ok {
+			l.analyzeChain(ast.Conjuncts(or.X), owner)
+			l.analyzeChain(ast.Conjuncts(or.Y), owner)
+			continue
+		}
+		cmp, ok := conj.(*ast.Compare)
+		if !ok {
+			continue
+		}
+		// Normalize to <call-free term> op <constant>.
+		var key ast.Term
+		var op ast.CmpOp
+		var c float64
+		if v, okc := l.fold(cmp.Y); okc && isCallFree(cmp.X) {
+			key, op, c = cmp.X, cmp.Op, v
+		} else if v, okc := l.fold(cmp.X); okc && isCallFree(cmp.Y) {
+			key, c = cmp.Y, v
+			op = mirrorOp(cmp.Op)
+		} else {
+			continue
+		}
+		if math.IsNaN(c) {
+			l.report(CodeAlwaysFalse, conj.Pos(), "conjunct %s compares against NaN and is always false in %s", conj, owner)
+			return
+		}
+		k := key.String()
+		iv := ivs[k]
+		if iv == nil {
+			iv = fullInterval()
+			ivs[k] = iv
+		}
+		cons := constraintFor(op, c)
+		if iv.subsetOf(cons) {
+			l.report(CodeAlwaysTrue, conj.Pos(), "conjunct %s is implied by the earlier conjuncts on %s in %s", conj, k, owner)
+			continue
+		}
+		iv.intersect(cons)
+		if iv.empty() {
+			l.report(CodeAlwaysFalse, conj.Pos(), "conjunct %s leaves no feasible value for %s in %s — the condition can never hold", conj, k, owner)
+			return
+		}
+	}
+}
+
+// mirrorOp flips a comparison whose constant was on the left:
+// c op t  ⇒  t op' c.
+func mirrorOp(op ast.CmpOp) ast.CmpOp {
+	switch op {
+	case ast.Lt:
+		return ast.Gt
+	case ast.Le:
+		return ast.Ge
+	case ast.Gt:
+		return ast.Lt
+	case ast.Ge:
+		return ast.Le
+	}
+	return op
+}

@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"sort"
+
+	"github.com/epicscale/sgl/internal/sgl/ast"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/sgl/token"
+)
+
+// reachSet holds the declarations reachable from the entry point.
+type reachSet struct {
+	funcs map[*ast.FuncDef]bool
+	aggs  map[*ast.AggDef]bool
+	acts  map[*ast.ActDef]bool
+}
+
+// reachable computes the declarations the entry point can reach: main's
+// perform/call closure in script mode, the entry aggregate (the last one
+// declared) in query mode. Resolution uses sem's own tables, so lint's
+// notion of "used" is exactly the compiler's.
+func (l *linter) reachable(prog *sem.Program) *reachSet {
+	r := &reachSet{
+		funcs: map[*ast.FuncDef]bool{},
+		aggs:  map[*ast.AggDef]bool{},
+		acts:  map[*ast.ActDef]bool{},
+	}
+	if l.opts.Mode == ModeQuery {
+		if n := len(prog.Script.Aggs); n > 0 {
+			r.aggs[prog.Script.Aggs[n-1]] = true
+		}
+		return r
+	}
+	var visit func(f *ast.FuncDef)
+	visit = func(f *ast.FuncDef) {
+		if r.funcs[f] {
+			return
+		}
+		r.funcs[f] = true
+		ast.Inspect(f, func(n any) bool {
+			switch x := n.(type) {
+			case *ast.Call:
+				if def := prog.AggCalls[x]; def != nil {
+					r.aggs[def] = true
+				}
+			case *ast.Perform:
+				if tgt := prog.Performs[x]; tgt != nil {
+					if tgt.Act != nil {
+						r.acts[tgt.Act] = true
+					}
+					if tgt.Func != nil {
+						visit(tgt.Func)
+					}
+				}
+			}
+			return true
+		})
+	}
+	if prog.Main != nil {
+		visit(prog.Main)
+	}
+	return r
+}
+
+// checkDeadDefs reports SGL008 for declarations the entry point cannot
+// reach.
+func (l *linter) checkDeadDefs(prog *sem.Program, reach *reachSet) {
+	for _, f := range prog.Script.Funcs {
+		if !reach.funcs[f] {
+			l.report(CodeDeadDef, f.P, "function %s is never performed", f.Name)
+		}
+	}
+	for _, a := range prog.Script.Aggs {
+		if reach.aggs[a] {
+			continue
+		}
+		if l.opts.Mode == ModeQuery {
+			l.report(CodeDeadDef, a.P, "aggregate %s is never evaluated: the last declared aggregate is the query entry point, and definitions cannot reference each other", a.Name)
+		} else {
+			l.report(CodeDeadDef, a.P, "aggregate %s is never called", a.Name)
+		}
+	}
+	for _, a := range prog.Script.Acts {
+		if !reach.acts[a] {
+			l.report(CodeDeadDef, a.P, "action %s is never performed", a.Name)
+		}
+	}
+}
+
+// checkDeadLets reports SGL009 for let bindings whose name is never read
+// in their body. sem rejects shadowing, so a textual match inside the
+// body is exact.
+func (l *linter) checkDeadLets(script *ast.Script) {
+	for _, f := range script.Funcs {
+		ast.Inspect(f, func(n any) bool {
+			let, ok := n.(*ast.Let)
+			if !ok {
+				return true
+			}
+			if !nameRead(let.Body, let.Name) {
+				l.report(CodeDeadLet, let.P, "let %s is never read in function %s", let.Name, f.Name)
+			}
+			return true
+		})
+	}
+}
+
+// nameRead reports whether the name is read anywhere in the node: as a
+// bare variable or as the base of a field access.
+func nameRead(root any, name string) bool {
+	found := false
+	ast.Inspect(root, func(n any) bool {
+		switch x := n.(type) {
+		case *ast.VarRef:
+			if x.Name == name {
+				found = true
+			}
+		case *ast.FieldRef:
+			if x.Base == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkDeadParams reports SGL010 for parameters beyond the unit parameter
+// that the declaration never reads. (An unused unit parameter is normal —
+// `count(*) over e` aggregates legitimately ignore their probe unit.)
+func (l *linter) checkDeadParams(script *ast.Script) {
+	deadParams := func(owner string, params []string, ppos []token.Pos, fallback token.Pos, body any) {
+		for i, p := range params {
+			if i == 0 {
+				continue
+			}
+			if !nameRead(body, p) {
+				pos := fallback
+				if i < len(ppos) {
+					pos = ppos[i]
+				}
+				l.report(CodeDeadParam, pos, "parameter %s of %s is never read", p, owner)
+			}
+		}
+	}
+	for _, f := range script.Funcs {
+		deadParams("function "+f.Name, f.Params, f.ParamPos, f.P, f.Body)
+	}
+	for _, a := range script.Aggs {
+		deadParams("aggregate "+a.Name, a.Params, a.ParamPos, a.P, a)
+	}
+	for _, a := range script.Acts {
+		deadParams("action "+a.Name, a.Params, a.ParamPos, a.P, a)
+	}
+}
+
+// checkDeadOutputs reports SGL011 for output columns of reachable
+// multi-output aggregates that no call site ever reads. A call used as a
+// whole record (record-expanded perform argument, componentwise
+// arithmetic, a let variable read bare) uses every column.
+func (l *linter) checkDeadOutputs(prog *sem.Program, reach *reachSet) {
+	if l.opts.Mode == ModeQuery {
+		return // the entry aggregate's outputs are the query's result row
+	}
+	// used[def][column name] — only reachable multi-output aggregates.
+	used := map[*ast.AggDef]map[string]bool{}
+	for _, a := range prog.Script.Aggs {
+		if len(a.Outputs) > 1 && reach.aggs[a] {
+			used[a] = map[string]bool{}
+		}
+	}
+	if len(used) == 0 {
+		return
+	}
+	u := &outputUseWalker{prog: prog, used: used}
+	for _, f := range prog.Script.Funcs {
+		u.action(f.Body, map[string]*ast.AggDef{})
+	}
+	for _, a := range prog.Script.Aggs {
+		m := used[a]
+		if m == nil {
+			continue
+		}
+		for _, out := range a.Outputs {
+			if !m[out.As] {
+				l.report(CodeDeadOutput, out.P, "output column %s of aggregate %s is never read at any call site", out.As, a.Name)
+			}
+		}
+	}
+}
+
+// outputUseWalker tracks which columns of multi-output aggregate results
+// are read. lets maps in-scope record variables to the aggregate whose
+// result they hold.
+type outputUseWalker struct {
+	prog *sem.Program
+	used map[*ast.AggDef]map[string]bool
+}
+
+func (u *outputUseWalker) useAll(def *ast.AggDef) {
+	if m := u.used[def]; m != nil {
+		for _, out := range def.Outputs {
+			m[out.As] = true
+		}
+	}
+}
+
+func (u *outputUseWalker) action(a ast.Action, lets map[string]*ast.AggDef) {
+	switch n := a.(type) {
+	case *ast.Let:
+		// A let binding a bare tracked aggregate call: field reads of the
+		// variable mark single columns, bare reads mark all.
+		if call, ok := n.Value.(*ast.Call); ok {
+			if def := u.prog.AggCalls[call]; def != nil && u.used[def] != nil {
+				for _, arg := range call.Args {
+					u.term(arg, lets)
+				}
+				inner := cloneLets(lets)
+				inner[n.Name] = def
+				u.action(n.Body, inner)
+				return
+			}
+		}
+		u.term(n.Value, lets)
+		inner := cloneLets(lets)
+		delete(inner, n.Name)
+		u.action(n.Body, inner)
+	case *ast.Seq:
+		for _, s := range n.Acts {
+			u.action(s, lets)
+		}
+	case *ast.If:
+		u.cond(n.Cond, lets)
+		u.action(n.Then, lets)
+		if n.Else != nil {
+			u.action(n.Else, lets)
+		}
+	case *ast.Perform:
+		for _, t := range n.Args {
+			u.term(t, lets)
+		}
+	}
+}
+
+// term marks aggregate output columns a term reads. Field access on a
+// call or a tracked record variable marks one column; any other
+// appearance marks all columns (record expansion reads everything).
+func (u *outputUseWalker) term(t ast.Term, lets map[string]*ast.AggDef) {
+	switch n := t.(type) {
+	case nil:
+		return
+	case *ast.Field:
+		if call, ok := n.X.(*ast.Call); ok {
+			if def := u.prog.AggCalls[call]; def != nil && u.used[def] != nil {
+				u.used[def][n.Field] = true
+				for _, arg := range call.Args {
+					u.term(arg, lets)
+				}
+				return
+			}
+		}
+		u.term(n.X, lets)
+	case *ast.FieldRef:
+		if def := lets[n.Base]; def != nil {
+			if m := u.used[def]; m != nil {
+				m[n.Field] = true
+			}
+		}
+	case *ast.VarRef:
+		if def := lets[n.Name]; def != nil {
+			u.useAll(def)
+		}
+	case *ast.Call:
+		if def := u.prog.AggCalls[n]; def != nil {
+			u.useAll(def)
+		}
+		for _, a := range n.Args {
+			u.term(a, lets)
+		}
+	case *ast.Binary:
+		u.term(n.X, lets)
+		u.term(n.Y, lets)
+	case *ast.Neg:
+		u.term(n.X, lets)
+	case *ast.Pair:
+		u.term(n.X, lets)
+		u.term(n.Y, lets)
+	}
+}
+
+func (u *outputUseWalker) cond(c ast.Cond, lets map[string]*ast.AggDef) {
+	ast.Inspect(c, func(n any) bool {
+		if cmp, ok := n.(*ast.Compare); ok {
+			u.term(cmp.X, lets)
+			u.term(cmp.Y, lets)
+			return false
+		}
+		return true
+	})
+}
+
+func cloneLets(m map[string]*ast.AggDef) map[string]*ast.AggDef {
+	c := make(map[string]*ast.AggDef, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// checkDeadConsts reports SGL012 for game constants the script never
+// references (script mode only — a short observation query legitimately
+// ignores most of the table).
+func (l *linter) checkDeadConsts(script *ast.Script) {
+	if l.opts.Mode != ModeScript || len(l.opts.Consts) == 0 {
+		return
+	}
+	refd := map[string]bool{}
+	ast.Inspect(script, func(n any) bool {
+		if c, ok := n.(*ast.ConstRef); ok {
+			refd[c.Name] = true
+		}
+		return true
+	})
+	names := make([]string, 0, len(l.opts.Consts))
+	for name := range l.opts.Consts {
+		if !refd[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		l.report(CodeDeadConst, token.Pos{Line: 1, Col: 1}, "game constant %s is never referenced by the script", name)
+	}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"testing"
+
+	"github.com/epicscale/sgl/internal/algebra"
+	"github.com/epicscale/sgl/internal/engine"
+	"github.com/epicscale/sgl/internal/exec"
+	"github.com/epicscale/sgl/internal/game"
+	"github.com/epicscale/sgl/internal/sgl/parser"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/workload"
+)
+
+// TestLintClassificationMatchesRuntime is the consistency contract
+// between static analysis and execution: for the built-in script and
+// every zoo program, the classification lint computes (its own
+// exec.NewAnalyzer) must byte-match the classification the live engine
+// runs with (engine.Analyzer()), and the pipeline placement lint reads
+// (a fresh Translate→Optimize→Report) must byte-match the report of the
+// plan the engine actually compiled (engine.Plan()). Both sides render
+// through the same functions — FormatClassification and
+// algebra.FormatReports — so a divergence is a real analyzer/optimizer
+// drift, not a formatting difference.
+func TestLintClassificationMatchesRuntime(t *testing.T) {
+	type program struct {
+		name   string
+		src    string
+		consts map[string]float64
+	}
+	programs := []program{{"builtin", game.Script, game.Consts()}}
+	for _, p := range exec.Zoo {
+		programs = append(programs, program{"zoo/" + p.Name, p.Src, nil})
+	}
+
+	rows := workload.Generate(workload.Spec{Units: 64, Density: 0.02, Seed: 11, Formation: workload.BattleLines})
+	for _, p := range programs {
+		script, err := parser.Parse(p.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", p.name, err)
+		}
+		prog, err := sem.Check(script, game.Schema(), p.consts)
+		if err != nil {
+			t.Fatalf("%s: check: %v", p.name, err)
+		}
+
+		// Static side: exactly what the linter consults.
+		staticClass := FormatClassification(exec.NewAnalyzer(prog, game.Categoricals()), prog)
+		plan, err := algebra.Translate(prog)
+		if err != nil {
+			t.Fatalf("%s: translate: %v", p.name, err)
+		}
+		staticRep, err := algebra.Report(prog, algebra.Optimize(plan))
+		if err != nil {
+			t.Fatalf("%s: static report: %v", p.name, err)
+		}
+
+		// Runtime side: the engine's own analyzer and compiled plan.
+		eng, err := engine.New(prog, game.NewMechanics(), rows.Clone(), engine.Options{
+			Mode:         engine.Indexed,
+			Categoricals: game.Categoricals(),
+			Seed:         11,
+			Side:         64,
+			MoveSpeed:    1,
+		})
+		if err != nil {
+			t.Fatalf("%s: engine: %v", p.name, err)
+		}
+		liveClass := FormatClassification(eng.Analyzer(), prog)
+		liveRep, err := algebra.Report(prog, eng.Plan())
+		if err != nil {
+			t.Fatalf("%s: live report: %v", p.name, err)
+		}
+
+		if staticClass != liveClass {
+			t.Errorf("%s: classification drift between lint and engine\nlint:\n%s\nengine:\n%s", p.name, staticClass, liveClass)
+		}
+		if got, want := algebra.FormatReports(liveRep), algebra.FormatReports(staticRep); got != want {
+			t.Errorf("%s: pipeline drift between lint and engine\nlint:\n%s\nengine:\n%s", p.name, want, got)
+		}
+	}
+}
+
+// TestLintDivisibilityMatchesMaintainedPlan pins SGL102 to the
+// executor's own divisibility decision: for a spread of query shapes,
+// lint reports SGL102 exactly when the engine's maintained-answer plan
+// declares the query non-divisible (i.e. it will rederive instead of
+// patch).
+func TestLintDivisibilityMatchesMaintainedPlan(t *testing.T) {
+	queries := []string{
+		`aggregate Pop(u) := count(*) over e;`,
+		`aggregate HP(u, p) := sum(e.health) as hp, avg(e.health) as mean over e where e.player = p;`,
+		`aggregate Weak(u) := min(e.health) as weakest over e;`,
+		`aggregate Near(u) := nearestkey() as key, nearestdist() as dist over e;`,
+		`aggregate Spread(u) := stddev(e.posx) over e;`,
+		`aggregate Frail(u) := argmin(e.health) as key over e;`,
+		`aggregate Odd(u) := count(*) over e where e.posx * e.posy > 10;`,
+	}
+	rows := workload.Generate(workload.Spec{Units: 32, Density: 0.02, Seed: 5, Formation: workload.BattleLines})
+	script, err := parser.Parse(game.Script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sem.Check(script, game.Schema(), game.Consts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(prog, game.NewMechanics(), rows, engine.Options{
+		Mode: engine.Indexed, Categoricals: game.Categoricals(), Seed: 5, Side: 64, MoveSpeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range queries {
+		q, err := engine.CompileQuery(src, game.Schema(), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		divisible := eng.MaintainedPlan(q).Divisible()
+
+		diags := Lint(src, Options{Mode: ModeQuery, Schema: game.Schema(), Categoricals: game.Categoricals()})
+		warned := false
+		for _, d := range diags {
+			if d.Code == CodeNonDivisible {
+				warned = true
+			}
+		}
+		if warned == divisible {
+			t.Errorf("%s: lint SGL102=%v but MaintainedPlan.Divisible()=%v — the shared classifier disagrees with itself", src, warned, divisible)
+		}
+	}
+}

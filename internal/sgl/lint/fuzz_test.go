@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"testing"
+
+	"github.com/epicscale/sgl/internal/exec"
+	"github.com/epicscale/sgl/internal/game"
+)
+
+// FuzzLint asserts the diagnostics engine never panics or hangs on
+// arbitrary input, in either mode: whatever the front end does with the
+// source (reject or accept), lint must return a (possibly empty)
+// diagnostic list. Seeds are the same corpus the front-end fuzzer uses
+// (the zoo plus the battle script), so any input that exercises a
+// parser edge also exercises the analyzers behind it.
+func FuzzLint(f *testing.F) {
+	for _, zp := range exec.Zoo {
+		f.Add(zp.Src)
+	}
+	f.Add(game.Script)
+	f.Add(`aggregate Q(u) := min(e.health) over e where e.posx > 0 and e.posx < 1;`)
+	schema := game.Schema()
+	consts := game.Consts()
+	cats := game.Categoricals()
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, mode := range []Mode{ModeScript, ModeQuery} {
+			diags := Lint(src, Options{Mode: mode, Schema: schema, Consts: consts, Categoricals: cats})
+			for _, d := range diags {
+				if d.Code == "" || d.Msg == "" {
+					t.Fatalf("mode %v: empty diagnostic %+v", mode, d)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"github.com/epicscale/sgl/internal/sgl/ast"
+	"github.com/epicscale/sgl/internal/sgl/parser"
+	"github.com/epicscale/sgl/internal/sgl/sem"
+	"github.com/epicscale/sgl/internal/sgl/token"
+)
+
+// run drives the phases: parse; syntactic rules; sem; dead analysis and
+// performance classification. Each later phase runs only if the earlier
+// ones left the script standing.
+func (l *linter) run(src string) {
+	script, err := parser.Parse(src)
+	if err != nil {
+		l.report(CodeCompile, errPos(err), "%s", errMsg(err))
+		return
+	}
+
+	// Syntactic rules need no checked program and carry sharper codes
+	// than the sem errors they overlap with.
+	l.checkDuplicates(script)
+	l.checkShadows(script)
+	l.checkDivZero(script)
+	l.checkConjunctions(script)
+
+	var prog *sem.Program
+	if l.opts.Mode == ModeQuery {
+		prog, err = sem.CheckQuery(script, l.opts.Schema, l.opts.Consts)
+	} else {
+		prog, err = sem.Check(script, l.opts.Schema, l.opts.Consts)
+	}
+	if err != nil {
+		// Report the compile failure unless a syntactic rule already
+		// diagnosed it under a sharper code at the same position.
+		if !l.coveredAt(errPos(err)) {
+			l.report(CodeCompile, errPos(err), "%s", errMsg(err))
+		}
+		return
+	}
+
+	reach := l.reachable(prog)
+	l.checkDeadDefs(prog, reach)
+	l.checkDeadLets(script)
+	l.checkDeadParams(script)
+	l.checkDeadOutputs(prog, reach)
+	l.checkDeadConsts(script)
+	l.checkPerformance(prog, reach)
+}
+
+// coveredAt reports whether an error-severity diagnostic was already
+// recorded at pos.
+func (l *linter) coveredAt(pos token.Pos) bool {
+	for _, d := range l.diags {
+		if d.Severity == SevError && d.Pos == pos {
+			return true
+		}
+	}
+	return false
+}
+
+// errPos extracts the source position from a parser or sem error.
+func errPos(err error) token.Pos {
+	switch e := err.(type) {
+	case *parser.Error:
+		return e.Pos
+	case *sem.Error:
+		return e.Pos
+	}
+	return token.Pos{Line: 1, Col: 1}
+}
+
+// errMsg extracts the bare message (the position is carried separately).
+func errMsg(err error) string {
+	switch e := err.(type) {
+	case *parser.Error:
+		return e.Msg
+	case *sem.Error:
+		return e.Msg
+	}
+	return err.Error()
+}
+
+// condSites returns every condition in the script with a label for
+// messages: aggregate/action WHERE clauses and if-conditions.
+type condSite struct {
+	cond  ast.Cond
+	owner string
+}
+
+func condSites(script *ast.Script) []condSite {
+	var sites []condSite
+	for _, a := range script.Aggs {
+		if a.Where != nil {
+			sites = append(sites, condSite{a.Where, "aggregate " + a.Name})
+		}
+	}
+	for _, a := range script.Acts {
+		if a.Where != nil {
+			sites = append(sites, condSite{a.Where, "action " + a.Name})
+		}
+	}
+	for _, f := range script.Funcs {
+		ast.Inspect(f, func(n any) bool {
+			if ifn, ok := n.(*ast.If); ok {
+				sites = append(sites, condSite{ifn.Cond, "function " + f.Name})
+			}
+			return true
+		})
+	}
+	return sites
+}

@@ -177,29 +177,32 @@ func (p *parser) script() (*ast.Script, error) {
 	return s, nil
 }
 
-func (p *parser) params() ([]string, error) {
+func (p *parser) params() ([]string, []token.Pos, error) {
 	if err := p.expect(token.LParen); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var names []string
+	var poss []token.Pos
 	if p.cur().Kind != token.RParen {
 		for {
 			if p.cur().Kind != token.Ident {
-				return nil, p.errf(p.cur().Pos, "expected parameter name, found %s", p.cur())
+				return nil, nil, p.errf(p.cur().Pos, "expected parameter name, found %s", p.cur())
 			}
-			names = append(names, p.next().Text)
+			t := p.next()
+			names = append(names, t.Text)
+			poss = append(poss, t.Pos)
 			if !p.accept(token.Comma) {
 				break
 			}
 		}
 	}
 	if err := p.expect(token.RParen); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(names) == 0 {
-		return nil, p.errf(p.cur().Pos, "declaration needs at least the unit parameter")
+		return nil, nil, p.errf(p.cur().Pos, "declaration needs at least the unit parameter")
 	}
-	return names, nil
+	return names, poss, nil
 }
 
 func (p *parser) funcDecl() (*ast.FuncDef, error) {
@@ -209,7 +212,7 @@ func (p *parser) funcDecl() (*ast.FuncDef, error) {
 		return nil, p.errf(p.cur().Pos, "expected function name, found %s", p.cur())
 	}
 	name := p.next().Text
-	params, err := p.params()
+	params, ppos, err := p.params()
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +231,7 @@ func (p *parser) funcDecl() (*ast.FuncDef, error) {
 	if err := p.expect(token.RBrace); err != nil {
 		return nil, err
 	}
-	return &ast.FuncDef{P: pos, Name: name, Params: params, Body: body}, nil
+	return &ast.FuncDef{P: pos, Name: name, Params: params, ParamPos: ppos, Body: body}, nil
 }
 
 func (p *parser) aggDecl() (*ast.AggDef, error) {
@@ -237,7 +240,7 @@ func (p *parser) aggDecl() (*ast.AggDef, error) {
 		return nil, p.errf(p.cur().Pos, "expected aggregate name, found %s", p.cur())
 	}
 	name := p.next().Text
-	params, err := p.params()
+	params, ppos, err := p.params()
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +275,7 @@ func (p *parser) aggDecl() (*ast.AggDef, error) {
 	if err := p.expect(token.Semi); err != nil {
 		return nil, err
 	}
-	return &ast.AggDef{P: pos, Name: name, Params: params, Outputs: outs, Where: where}, nil
+	return &ast.AggDef{P: pos, Name: name, Params: params, ParamPos: ppos, Outputs: outs, Where: where}, nil
 }
 
 func (p *parser) aggOutput() (ast.AggOutput, error) {
@@ -318,7 +321,7 @@ func (p *parser) actDecl() (*ast.ActDef, error) {
 		return nil, p.errf(p.cur().Pos, "expected action name, found %s", p.cur())
 	}
 	name := p.next().Text
-	params, err := p.params()
+	params, ppos, err := p.params()
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +367,7 @@ func (p *parser) actDecl() (*ast.ActDef, error) {
 	if err := p.expect(token.Semi); err != nil {
 		return nil, err
 	}
-	return &ast.ActDef{P: pos, Name: name, Params: params, Where: where, Sets: sets}, nil
+	return &ast.ActDef{P: pos, Name: name, Params: params, ParamPos: ppos, Where: where, Sets: sets}, nil
 }
 
 // ---------------------------------------------------------------------------

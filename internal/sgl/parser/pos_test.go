@@ -1,0 +1,121 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/epicscale/sgl/internal/sgl/ast"
+	"github.com/epicscale/sgl/internal/sgl/token"
+)
+
+// TestEveryNodeHasPosition parses a multi-line script exercising every AST
+// production and asserts every node carries a usable source position —
+// diagnostics must point at the offending token, not the script start.
+func TestEveryNodeHasPosition(t *testing.T) {
+	src := `# leading comment so nothing sits at 1:1
+aggregate NearestFoe(u) :=
+    nearestkey() as key,
+    nearestdist() as dist
+  over e
+  where e.player <> u.player and e.hp > 0;
+
+aggregate PackStats(me, lo) :=
+    count(*) as n,
+    sum(e.hp) as hp,
+    min(e.posx) as west
+  over e
+  where e.player = me.player
+    and (e.posx - me.posx) * (e.posx - me.posx) < lo * 2
+    and not (e.hp <= 0)
+    or e.morale >= _PACK_COUNT;
+
+action Strafe(u, dx, dy) :=
+  on e
+  where e.key = u.key
+  set movevect_x = dx / 2,
+      movevect_y = 0 - dy;
+
+helper(u, amt) {
+  (let foe = NearestFoe(u)) {
+    if foe.dist < amt then
+      perform Strafe(u, Random(1), abs(amt));
+    else
+      perform Strafe(u, (1, 2).x, min(amt, 3))
+  }
+}
+
+main(u) {
+  (let m = u.morale)
+  if m > 0 and m < 100 then perform helper(u, m % 7)
+}
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+
+	type posed interface{ Pos() token.Pos }
+	var bad []string
+	check := func(n any, pos token.Pos) {
+		if pos.Line <= 0 || pos.Col <= 0 {
+			bad = append(bad, fmt.Sprintf("%T at %v", n, pos))
+		}
+	}
+	ast.Inspect(s, func(n any) bool {
+		if p, ok := n.(posed); ok {
+			check(n, p.Pos())
+		}
+		switch d := n.(type) {
+		case *ast.FuncDef:
+			checkParams(t, d.Name, d.Params, d.ParamPos, &bad)
+		case *ast.AggDef:
+			checkParams(t, d.Name, d.Params, d.ParamPos, &bad)
+		case *ast.ActDef:
+			checkParams(t, d.Name, d.Params, d.ParamPos, &bad)
+		}
+		return true
+	})
+	if len(bad) > 0 {
+		t.Fatalf("nodes without usable positions:\n  %s", strings.Join(bad, "\n  "))
+	}
+
+	// Spot-check that positions land on the right lines, not just nonzero:
+	// the `or` disjunct of PackStats sits on line 16, the second parameter
+	// of Strafe on line 18, the perform in main on line 35.
+	pack := s.Agg("PackStats")
+	or, ok := pack.Where.(*ast.Or)
+	if !ok {
+		t.Fatalf("PackStats where: expected *ast.Or at top, got %T", pack.Where)
+	}
+	if got := or.Y.Pos().Line; got != 16 {
+		t.Errorf("or-disjunct line = %d, want 16", got)
+	}
+	strafe := s.Act("Strafe")
+	if got := strafe.ParamPos[1]; got.Line != 18 || got.Col != 18 {
+		t.Errorf("Strafe param dx at %v, want 18:18", got)
+	}
+	var performLine int
+	ast.Inspect(s.Func("main"), func(n any) bool {
+		if p, ok := n.(*ast.Perform); ok {
+			performLine = p.Pos().Line
+		}
+		return true
+	})
+	if performLine != 35 {
+		t.Errorf("main's perform on line %d, want 35", performLine)
+	}
+}
+
+func checkParams(t *testing.T, name string, params []string, ppos []token.Pos, bad *[]string) {
+	t.Helper()
+	if len(ppos) != len(params) {
+		*bad = append(*bad, fmt.Sprintf("%s: %d params but %d param positions", name, len(params), len(ppos)))
+		return
+	}
+	for i, p := range ppos {
+		if p.Line <= 0 || p.Col <= 0 {
+			*bad = append(*bad, fmt.Sprintf("%s: param %q at %v", name, params[i], p))
+		}
+	}
+}

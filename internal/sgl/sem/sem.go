@@ -182,9 +182,9 @@ func Check(script *ast.Script, schema *table.Schema, consts map[string]float64) 
 		// Parameter well-formedness is checked even for functions that are
 		// never performed, so a broken helper fails fast.
 		names := map[string]bool{}
-		for _, pname := range f.Params {
+		for i, pname := range f.Params {
 			if names[pname] {
-				return nil, errf(f.P, "duplicate parameter %q in %q", pname, f.Name)
+				return nil, errf(paramAt(f.P, f.ParamPos, i), "duplicate parameter %q in %q", pname, f.Name)
 			}
 			names[pname] = true
 		}
@@ -296,16 +296,25 @@ const (
 // ---------------------------------------------------------------------------
 // Definitions
 
-func (c *checker) defEnv(params []string, pos token.Pos) (env, string, error) {
+// paramAt returns the recorded position of parameter i, falling back to the
+// declaration position for ASTs built by hand without ParamPos.
+func paramAt(def token.Pos, ppos []token.Pos, i int) token.Pos {
+	if i < len(ppos) {
+		return ppos[i]
+	}
+	return def
+}
+
+func (c *checker) defEnv(params []string, ppos []token.Pos, pos token.Pos) (env, string, error) {
 	if len(params) == 0 {
 		return nil, "", errf(pos, "definition needs at least the unit parameter")
 	}
 	ev := env{}
 	unit := params[0]
 	ev[unit] = UnitType
-	for _, pname := range params[1:] {
+	for i, pname := range params[1:] {
 		if _, dup := ev[pname]; dup {
-			return nil, "", errf(pos, "duplicate parameter %q", pname)
+			return nil, "", errf(paramAt(pos, ppos, i+1), "duplicate parameter %q", pname)
 		}
 		ev[pname] = Num
 	}
@@ -317,7 +326,7 @@ func (c *checker) defEnv(params []string, pos token.Pos) (env, string, error) {
 }
 
 func (c *checker) checkAggDef(def *ast.AggDef) error {
-	ev, _, err := c.defEnv(def.Params, def.P)
+	ev, _, err := c.defEnv(def.Params, def.ParamPos, def.P)
 	if err != nil {
 		return err
 	}
@@ -366,7 +375,7 @@ func (c *checker) checkAggDef(def *ast.AggDef) error {
 }
 
 func (c *checker) checkActDef(def *ast.ActDef) error {
-	ev, _, err := c.defEnv(def.Params, def.P)
+	ev, _, err := c.defEnv(def.Params, def.ParamPos, def.P)
 	if err != nil {
 		return err
 	}
@@ -435,7 +444,7 @@ func (c *checker) checkFunc(f *ast.FuncDef, argTypes []Type, stack []*ast.FuncDe
 	ev := env{}
 	for i, pname := range f.Params {
 		if _, dup := ev[pname]; dup {
-			return errf(f.P, "duplicate parameter %q", pname)
+			return errf(paramAt(f.P, f.ParamPos, i), "duplicate parameter %q", pname)
 		}
 		ev[pname] = argTypes[i]
 	}
