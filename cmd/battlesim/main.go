@@ -59,6 +59,7 @@ type config struct {
 	workers      int
 	incremental  bool
 	incThreshold float64
+	compact      bool
 	checkpoint   string // write a checkpoint here every checkEvery ticks (and at the end)
 	checkEvery   int
 	resume       string // start from this checkpoint instead of a fresh army
@@ -78,6 +79,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "tick executor shards (0 = all cores, 1 = serial; results are identical)")
 	flag.BoolVar(&cfg.incremental, "incremental", false, "patch per-tick indexes from the previous tick instead of rebuilding (identical results)")
 	flag.Float64Var(&cfg.incThreshold, "incthreshold", 0, "dirty-fraction rebuild fallback (0 = default)")
+	flag.BoolVar(&cfg.compact, "compact", false, "fold the applied journal into the checkpoint base at the end of every tick (flat checkpoints; no genesis replay)")
 	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "write a checkpoint to this path every -checkevery ticks and at the end")
 	flag.IntVar(&cfg.checkEvery, "checkevery", 100, "checkpoint interval in ticks (with -checkpoint)")
 	flag.StringVar(&cfg.resume, "resume", "", "resume from a checkpoint written by -checkpoint (ignores -units/-density/-seed/-mode/-formation)")
@@ -191,6 +193,7 @@ func run(cfg config, out io.Writer) error {
 		Workers:              cfg.workers,
 		Incremental:          cfg.incremental,
 		IncrementalThreshold: cfg.incThreshold,
+		CompactJournal:       cfg.compact,
 	}
 
 	var commands []timedCommand

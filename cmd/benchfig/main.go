@@ -9,6 +9,7 @@
 //	benchfig -experiment ticks                 # proportionality to tick count
 //	benchfig -experiment fig1                  # expressiveness-tier frontier
 //	benchfig -experiment exec                  # streaming vs materializing executor
+//	benchfig -experiment admission             # sharded vs locked command admission
 //	benchfig -experiment all -quick            # everything, reduced sizes
 package main
 
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig10", "fig10, density, capacity, ticks, fig1, exec, or all")
+	experiment := flag.String("experiment", "fig10", "fig10, density, capacity, ticks, fig1, exec, admission, or all")
 	quick := flag.Bool("quick", false, "smaller sizes and fewer measured ticks")
 	measure := flag.Int("measure", 0, "override measured ticks per point (0 = default)")
 	flag.Parse()
@@ -47,13 +48,15 @@ func main() {
 			fig1(r, *quick, *measure)
 		case "exec":
 			execCompare(r, *quick, *measure)
+		case "admission":
+			admission(r, *quick, *measure)
 		default:
 			fmt.Fprintf(os.Stderr, "benchfig: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig10", "density", "capacity", "ticks", "fig1", "exec"} {
+		for _, name := range []string{"fig10", "density", "capacity", "ticks", "fig1", "exec", "admission"} {
 			run(name)
 			fmt.Println()
 		}
@@ -166,6 +169,22 @@ func execCompare(r *metrics.Runner, quick bool, measure int) {
 	fmt.Println("(outcomes are bit-identical; the delta is executor overhead only.")
 	fmt.Println(" effect allocs/pass isolates the effect query — whole-tick allocation")
 	fmt.Println(" counts are dominated by per-tick index rebuilds)")
+}
+
+func admission(r *metrics.Runner, quick bool, measure int) {
+	fmt.Println("=== Sharded vs locked command admission (2000 units, indexed) ===")
+	perRound := 65536
+	if quick {
+		perRound = 8192
+	}
+	rows, err := r.Admission([]int{1, 2, 4, 8}, perRound, pick(measure, 2, 5, quick))
+	if err != nil {
+		fatal(err)
+	}
+	metrics.WriteAdmission(os.Stdout, rows)
+	fmt.Println("(same commands, same ticks; the delta is the admission path —")
+	fmt.Println(" lock contention plus the out-of-order canonical inserts that")
+	fmt.Println(" interleaved origins force on the serialized path)")
 }
 
 func fatal(err error) {

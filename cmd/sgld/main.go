@@ -17,9 +17,11 @@
 //
 // Load-generator mode drives a fleet of worlds with spectator query
 // fan-out — and, with -actors, command-injecting actors exercising the
-// write path, and with -subscribers, SSE push subscribers holding
-// …/subscribe streams — and prints per-session tick-rate and latency
-// tables (plus pushed-vs-poll-equivalent volume for subscribers).
+// sharded admission path, and with -subscribers, SSE push subscribers
+// holding …/subscribe streams — and prints per-session tick-rate and
+// latency tables (plus pushed-vs-poll-equivalent volume for
+// subscribers). -compact turns on end-of-tick journal compaction in
+// every world, the right pairing for a long actor-heavy run.
 // With -base it targets a running daemon; without, it spins up an
 // in-process server first, so one command proves the serving layer end
 // to end:
@@ -64,6 +66,7 @@ func main() {
 		duration   = flag.Duration("duration", 10*time.Second, "loadgen: measurement window")
 		workers    = flag.Int("workers", 1, "loadgen: engine workers per world")
 		incr       = flag.Bool("incremental", false, "loadgen: incremental index maintenance per world")
+		compact    = flag.Bool("compact", false, "loadgen: end-of-tick journal compaction per world (keeps checkpoints flat under actor traffic)")
 	)
 	flag.Parse()
 
@@ -73,7 +76,7 @@ func main() {
 		lg: server.LoadGenConfig{
 			Worlds: *worlds, Units: *units, Density: *density, Seed: *seed,
 			TickRate: *tickrate, Spectators: *spectators, Actors: *actors, Subscribers: *subs, Duration: *duration,
-			Workers: *workers, Incremental: *incr,
+			Workers: *workers, Incremental: *incr, Compact: *compact,
 		},
 	}, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sgld:", err)

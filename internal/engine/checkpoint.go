@@ -13,19 +13,20 @@
 // switches, world geometry) — and, since the command pipeline, the
 // interactive inputs: the pending input buffer, the input journal, the
 // per-origin sequence counters, and the (possibly retuned) constant
-// table. Workers / Incremental / IncrementalThreshold are deliberately
-// NOT part of the format — a checkpoint taken at any setting resumes
-// identically at any other, which is what lets an operator migrate a
-// world onto different hardware.
+// table. Workers / Incremental / IncrementalThreshold / CompactJournal
+// are deliberately NOT part of the format — a checkpoint taken at any
+// setting resumes identically at any other, which is what lets an
+// operator migrate a world onto different hardware (or switch a world's
+// compaction policy in flight).
 //
-// Format version 2 is self-contained: it embeds the SGL script text (in
+// Format version 3 is self-contained: it embeds the SGL script text (in
 // the ast printer's canonical form) and the constant table, so Open can
 // rebuild the whole session from the stream alone — no separate program,
 // no sidecar file to keep paired with the snapshot. Layout
 // (little-endian, FNV-1a checksum over everything before the trailer):
 //
 //	magic     "SGLCKPT\n"                     8 bytes
-//	version   u32                             currently 2
+//	version   u32                             currently 3
 //	seed      u64
 //	tick      i64
 //	mode      u8                              Naive / Indexed
@@ -41,16 +42,23 @@
 //	consts    u32 count, then (name, f64) sorted by name
 //	schema    table codec schema section
 //	rows      table codec row section
+//	base      i64                             journal compaction base tick (v3+)
 //	pending   u32 count, then stamped commands (input buffer)
-//	journal   u32 count, then stamped commands (input journal)
+//	journal   u32 count, then stamped commands (input journal tail)
 //	seqs      u32 count, then (origin, u64) sorted by origin
 //	checksum  u64                             FNV-1a of all preceding bytes
 //
-// Version 1 (PR 3) is the same header through the schema/rows sections
-// with 7 stats counters and no script/consts/inputs; this build keeps
-// its decoder and dispatches on the version tag. The version number is
-// bumped on ANY layout change and never reused; readers reject versions
-// they do not know. See ROADMAP.md for the compatibility policy.
+// Version 3 (this PR) added the single base field for journal compaction
+// (compact.go): a nonzero base says the journal section is a tail — the
+// history before the base was folded into this very snapshot, so the
+// stream is a (base checkpoint + tail), not a genesis history. Version 2
+// (the command pipeline PR) is the same layout without the base field
+// and decodes with base 0; version 1 (PR 3) is the header through the
+// schema/rows sections with 7 stats counters and no script/consts/
+// inputs. This build keeps all three decoders and dispatches on the
+// version tag. The version number is bumped on ANY layout change and
+// never reused; readers reject versions they do not know. See ROADMAP.md
+// for the compatibility policy.
 package engine
 
 import (
@@ -68,12 +76,17 @@ import (
 const checkpointMagic = "SGLCKPT\n"
 
 // CheckpointVersion is the format version this build writes. Reads accept
-// this and CheckpointVersionV1.
-const CheckpointVersion = 2
+// this, CheckpointVersionV2 and CheckpointVersionV1.
+const CheckpointVersion = 3
+
+// CheckpointVersionV2 is the command-pipeline format: self-contained
+// (embedded script, constants and inputs) but without the journal
+// compaction base. Decodes with base 0 — a complete genesis journal.
+const CheckpointVersionV2 = 2
 
 // CheckpointVersionV1 is the PR 3 format: no embedded script, constants
 // or inputs. Still readable through Restore (which takes the program the
-// checkpointed engine ran); Open needs the self-contained v2.
+// checkpointed engine ran); Open needs a self-contained version (v2+).
 const CheckpointVersionV1 = 1
 
 // Decode bounds for the self-describing sections.
@@ -93,13 +106,27 @@ const (
 // called between ticks (never concurrently with Tick); a Session
 // serializes this automatically. The stream is self-describing and ends
 // in a checksum, so Restore detects truncation and corruption. The
-// written format is version 2: self-contained, embedding the script and
-// any pending or journaled inputs, so Open can reopen it with no other
-// artifact.
+// written format is version 3: self-contained, embedding the script,
+// the journal compaction base, and any pending or journaled inputs, so
+// Open can reopen it with no other artifact. Commands still queued in
+// the sharded admission buffers are stamped and drained into the stream
+// first — an acknowledged Submit is always part of the checkpoint.
 func (e *Engine) Checkpoint(w io.Writer) error {
+	return e.checkpointVersioned(w, CheckpointVersion)
+}
+
+// checkpointVersioned writes the stream at a chosen format version —
+// always CheckpointVersion in production; tests use it to synthesize
+// genuine older-version streams for the back-compat and fuzz corpora.
+// Writing v2 silently drops a nonzero journal base, so only uncompacted
+// engines should be serialized that way.
+func (e *Engine) checkpointVersioned(w io.Writer, version uint32) error {
+	e.inmu.Lock()
+	defer e.inmu.Unlock()
+	e.drainAdmission()
 	cw := table.NewWriter(w)
 	cw.Bytes([]byte(checkpointMagic))
-	cw.U32(CheckpointVersion)
+	cw.U32(version)
 	cw.U64(e.opts.Seed)
 	cw.I64(e.tick)
 	cw.U8(uint8(e.opts.Mode))
@@ -129,6 +156,9 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	table.WriteConsts(cw, e.prog.Consts)
 	table.WriteSchema(cw, e.prog.Schema)
 	table.WriteRows(cw, e.env)
+	if version >= CheckpointVersion {
+		cw.I64(e.journalBase)
+	}
 	writeCommands(cw, e.pending)
 	writeCommands(cw, e.journal)
 	writeSeqs(cw, e.seqs)
@@ -247,7 +277,7 @@ func readSeqs(cr *table.Reader) (map[string]uint64, error) {
 
 // checkpointPayload is a fully decoded, checksum-verified checkpoint
 // stream, version-normalized: v1 streams decode with empty script/consts
-// and no inputs.
+// and no inputs, and pre-v3 streams decode with journal base 0.
 type checkpointPayload struct {
 	version   uint32
 	seed      uint64
@@ -262,6 +292,7 @@ type checkpointPayload struct {
 	consts    map[string]float64
 	schema    *table.Schema
 	env       *table.Table
+	base      int64
 	pending   []StampedCommand
 	journal   []StampedCommand
 	seqs      map[string]uint64
@@ -279,8 +310,8 @@ func decodeCheckpoint(r io.Reader) (*checkpointPayload, error) {
 	}
 	p := &checkpointPayload{}
 	p.version = cr.U32()
-	if cr.Err() == nil && p.version != CheckpointVersion && p.version != CheckpointVersionV1 {
-		return nil, fmt.Errorf("engine: restore: unsupported checkpoint version %d (this build reads %d and %d)",
+	if cr.Err() == nil && (p.version < CheckpointVersionV1 || p.version > CheckpointVersion) {
+		return nil, fmt.Errorf("engine: restore: unsupported checkpoint version %d (this build reads %d through %d)",
 			p.version, CheckpointVersionV1, CheckpointVersion)
 	}
 	p.seed = cr.U64()
@@ -316,7 +347,7 @@ func decodeCheckpoint(r io.Reader) (*checkpointPayload, error) {
 	}
 
 	var err error
-	if p.version >= CheckpointVersion {
+	if p.version >= CheckpointVersionV2 {
 		p.script = cr.Str(maxScriptBytes)
 		if err := cr.Err(); err != nil {
 			return nil, fmt.Errorf("engine: restore: %w", err)
@@ -332,6 +363,15 @@ func decodeCheckpoint(r io.Reader) (*checkpointPayload, error) {
 		return nil, fmt.Errorf("engine: restore: %w", err)
 	}
 	if p.version >= CheckpointVersion {
+		p.base = cr.I64()
+		if err := cr.Err(); err != nil {
+			return nil, fmt.Errorf("engine: restore: %w", err)
+		}
+		if p.base < 0 || p.base > p.tick {
+			return nil, fmt.Errorf("engine: restore: journal base %d outside [0, tick %d]", p.base, p.tick)
+		}
+	}
+	if p.version >= CheckpointVersionV2 {
 		if p.pending, err = readCommands(cr, "pending-input"); err != nil {
 			return nil, fmt.Errorf("engine: restore: %w", err)
 		}
@@ -340,6 +380,14 @@ func decodeCheckpoint(r io.Reader) (*checkpointPayload, error) {
 		}
 		if p.journal, err = readCommands(cr, "journal"); err != nil {
 			return nil, fmt.Errorf("engine: restore: %w", err)
+		}
+		// A compacted stream's journal is a tail: every surviving entry is
+		// stamped at or after the base. An entry from before the base
+		// contradicts the base field — one of them is corrupt.
+		for i, sc := range p.journal {
+			if sc.Tick < p.base {
+				return nil, fmt.Errorf("engine: restore: journal entry %d stamped tick %d predates journal base %d", i, sc.Tick, p.base)
+			}
 		}
 		if p.seqs, err = readSeqs(cr); err != nil {
 			return nil, fmt.Errorf("engine: restore: %w", err)
@@ -374,11 +422,13 @@ func buildRestored(p *checkpointPayload, prog *sem.Program, g Game, tune Options
 		Workers:              tune.Workers,
 		Incremental:          tune.Incremental,
 		IncrementalThreshold: tune.IncrementalThreshold,
+		CompactJournal:       tune.CompactJournal,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("engine: restore: %w", err)
 	}
 	e.tick = p.tick
+	e.atick.Store(p.tick)
 	e.Stats.Ticks = int(p.counters[0])
 	e.Stats.EffectsApplied = int(p.counters[1])
 	e.Stats.Moves = int(p.counters[2])
@@ -388,15 +438,18 @@ func buildRestored(p *checkpointPayload, prog *sem.Program, g Game, tune Options
 	e.Stats.DirtyRows = int(p.counters[6])
 	e.Stats.CommandsApplied = int(p.counters[7])
 	e.Stats.CommandsRejected = int(p.counters[8])
-	if p.version >= CheckpointVersion {
-		// The v2 payload is authoritative for everything interactive: the
-		// constant table with any OpTune history folded in, and the input
-		// state. The script source is NOT adopted — the engine runs prog,
-		// and its canonical print equals the embedded text whenever the
-		// programs match (the ast printer is a parse/print fixed point),
-		// which keeps restore → checkpoint a byte fixed point.
+	if p.version >= CheckpointVersionV2 {
+		// The v2+ payload is authoritative for everything interactive: the
+		// constant table with any OpTune history folded in, the journal
+		// base, and the input state. The script source is NOT adopted —
+		// the engine runs prog, and its canonical print equals the
+		// embedded text whenever the programs match (the ast printer is a
+		// parse/print fixed point), which keeps restore → checkpoint a
+		// byte fixed point.
 		e.prog.Consts = p.consts
+		e.rebuildConstNames()
 		e.journal = p.journal
+		e.journalBase = p.base
 		e.seqs = p.seqs
 		// Pending commands apply at the next tick; re-validate them against
 		// the rebuilt engine so a hostile-but-checksummed stream cannot
@@ -407,6 +460,7 @@ func buildRestored(p *checkpointPayload, prog *sem.Program, g Game, tune Options
 			}
 		}
 		e.pending = p.pending
+		e.inflight.Store(int64(len(p.pending)))
 	}
 	return e, nil
 }
@@ -420,15 +474,15 @@ func buildRestored(p *checkpointPayload, prog *sem.Program, g Game, tune Options
 // the run that was never interrupted.
 //
 // prog must be the program the checkpointed engine ran (the embedded
-// schema is verified against prog's); for self-contained version-2
+// schema is verified against prog's); for self-contained version-2+
 // checkpoints, Open rebuilds the program from the stream instead and
 // needs no prog at all. Of tune, only the determinism-neutral execution
-// knobs are consulted — Workers, Incremental, IncrementalThreshold — so a
-// world checkpointed on one machine can resume with a different
-// parallelism or maintenance strategy without changing a single output
-// bit. Everything else (Mode, Seed, Side, MoveSpeed, Categoricals,
-// ablation switches, and on v2 the constant table) comes from the
-// checkpoint itself.
+// knobs are consulted — Workers, Incremental, IncrementalThreshold,
+// CompactJournal — so a world checkpointed on one machine can resume
+// with a different parallelism, maintenance, or compaction strategy
+// without changing a single output bit. Everything else (Mode, Seed,
+// Side, MoveSpeed, Categoricals, ablation switches, and on v2+ the
+// constant table and journal base) comes from the checkpoint itself.
 //
 // Restored measurement state starts fresh where it is configuration-
 // dependent: RunStats.IndexStats and EffectsByWorker count work done by
@@ -444,19 +498,20 @@ func Restore(r io.Reader, prog *sem.Program, g Game, tune Options) (*Engine, err
 	return buildRestored(p, prog, g, tune)
 }
 
-// Open reopens a self-contained (version 2) checkpoint as a ready-to-
-// serve Session, rebuilding the program from the embedded script and
+// Open reopens a self-contained (version 2 or 3) checkpoint as a ready-
+// to-serve Session, rebuilding the program from the embedded script and
 // constant table — the whole world from one stream, nothing to pair it
 // with. Version-1 checkpoints predate the embedded script and are
 // rejected with an explanatory error; reopen those through Restore with
-// the program they ran. tune follows Restore's contract: only Workers,
-// Incremental and IncrementalThreshold are consulted.
+// the program they ran. tune follows Restore's contract: only the
+// determinism-neutral knobs — Workers, Incremental,
+// IncrementalThreshold, CompactJournal — are consulted.
 func Open(r io.Reader, g Game, tune Options) (*Session, error) {
 	p, err := decodeCheckpoint(r)
 	if err != nil {
 		return nil, err
 	}
-	if p.version < CheckpointVersion {
+	if p.version < CheckpointVersionV2 {
 		return nil, fmt.Errorf("engine: open: checkpoint version %d has no embedded script; restore it with Restore and the program it ran", p.version)
 	}
 	script, err := parser.Parse(p.script)

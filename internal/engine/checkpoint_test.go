@@ -282,8 +282,8 @@ func FuzzRestore(f *testing.F) {
 	prog := battleProg(f)
 	valid := checkpointBytes(f, prog)
 
-	// A v2 checkpoint whose script/consts/inputs sections are all
-	// nonempty: applied commands, a journal, and a pending entry.
+	// A current-version checkpoint whose script/consts/inputs sections
+	// are all nonempty: applied commands, a journal, and a pending entry.
 	interactive := func() []byte {
 		e := newEngine(f, prog, 48, Indexed, 11, nil)
 		if err := e.Submit("fuzz", Command{Op: OpSet, Key: 1, Col: "health", Val: 9}); err != nil {
@@ -302,8 +302,53 @@ func FuzzRestore(f *testing.F) {
 		return buf.Bytes()
 	}()
 
+	// v3 corpora: compacted streams (nonzero journal base), with and
+	// without a pending tail, plus adversarial variants — a truncated
+	// compacted stream and a checksum-valid stream whose base field
+	// contradicts its own journal. A genuine v2 stream from the
+	// version-parameterized writer seeds the back-compat path.
+	compacted, compactedPending, badBase, v2 := func() (a, b, c, d []byte) {
+		e := newEngine(f, prog, 64, Indexed, 17, nil)
+		if err := e.Submit("fuzz", Command{Op: OpSet, Key: 3, Col: "morale", Val: 4}); err != nil {
+			f.Fatal(err)
+		}
+		if err := e.Run(3); err != nil {
+			f.Fatal(err)
+		}
+		var v2buf bytes.Buffer
+		if err := e.checkpointVersioned(&v2buf, CheckpointVersionV2); err != nil {
+			f.Fatal(err)
+		}
+		e.Compact()
+		var cbuf bytes.Buffer
+		if err := e.Checkpoint(&cbuf); err != nil {
+			f.Fatal(err)
+		}
+		if err := e.Submit("fuzz", Command{Op: OpDespawn, Key: 5}); err != nil {
+			f.Fatal(err)
+		}
+		var pbuf bytes.Buffer
+		if err := e.Checkpoint(&pbuf); err != nil {
+			f.Fatal(err)
+		}
+		e.journalBase = e.tick + 5 // self-contradictory, but checksummed
+		var bbuf bytes.Buffer
+		if err := e.Checkpoint(&bbuf); err != nil {
+			f.Fatal(err)
+		}
+		return cbuf.Bytes(), pbuf.Bytes(), bbuf.Bytes(), v2buf.Bytes()
+	}()
+
 	f.Add(valid)
 	f.Add(interactive)
+	f.Add(compacted)
+	f.Add(compactedPending)
+	f.Add(compactedPending[:len(compactedPending)-16]) // truncated compacted tail
+	f.Add(badBase)
+	f.Add(v2)
+	baseField := append([]byte(nil), compacted...)
+	baseField[len(baseField)-20] ^= 0x80 // inside the trailing base/checksum region
+	f.Add(baseField)
 	f.Add(valid[:8])
 	f.Add(valid[:9])
 	f.Add(valid[:len(valid)/2])

@@ -7,7 +7,9 @@
 //   - Submit validates a typed command against the schema and world
 //     geometry, stamps it (tick, origin, per-origin sequence), appends it
 //     to the per-tick input buffer AND to the run's input journal, and
-//     returns; nothing mutates yet.
+//     returns; nothing mutates yet. SubmitSharded (admission.go) is its
+//     scalable concurrent twin: validation against immutable state only,
+//     the stamp deferred to the next drain boundary.
 //   - The next Tick drains the buffer first — before the effect query,
 //     before any index build — applying commands in the canonical order
 //     (tick, origin, sequence). Two clients racing their submissions
@@ -37,6 +39,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/epicscale/sgl/internal/index/grid"
 	"github.com/epicscale/sgl/internal/table"
@@ -131,9 +134,12 @@ type StampedCommand struct {
 
 // Input-pipeline limits.
 const (
-	// MaxPendingCommands bounds the per-tick input buffer; Submit fails
-	// once it is full (backpressure, and a decode bound for restore).
-	MaxPendingCommands = 4096
+	// MaxPendingCommands bounds the per-tick input window — queued
+	// admissions plus the stamped pending buffer; Submit and
+	// SubmitSharded fail once it is full (backpressure, and a decode
+	// bound for restore). Sized for the sharded admission path's target
+	// of ~10⁵ commands per tick from many concurrent actors.
+	MaxPendingCommands = 1 << 17
 	// MaxOriginLen bounds the origin identifier a command carries.
 	MaxOriginLen = 64
 )
@@ -155,13 +161,15 @@ func (e *Engine) Submit(origin string, cmds ...Command) error {
 	if len(origin) > MaxOriginLen {
 		return fmt.Errorf("engine: origin longer than %d bytes", MaxOriginLen)
 	}
-	if len(e.pending)+len(cmds) > MaxPendingCommands {
-		return fmt.Errorf("engine: input buffer full (%d pending, limit %d)", len(e.pending), MaxPendingCommands)
-	}
 	for i := range cmds {
 		if err := e.validateCommand(&cmds[i]); err != nil {
 			return fmt.Errorf("engine: command %d: %w", i, err)
 		}
+	}
+	// The budget is shared with the sharded queues, so the reservation is
+	// atomic even though this path itself is serialized.
+	if err := e.reserve(len(cmds)); err != nil {
+		return err
 	}
 	if e.seqs == nil {
 		e.seqs = map[string]uint64{}
@@ -197,10 +205,14 @@ func insertCanonical(list []StampedCommand, sc StampedCommand) []StampedCommand 
 }
 
 // SubmitStamped enqueues one journal entry with its original stamp — the
-// replay path. The entry must be stamped for the engine's current tick
-// (drive the engine tick by tick, submitting each tick's journal slice
-// first). The origin's sequence counter advances past the entry's, so a
-// replayed-then-live session keeps assigning fresh sequence numbers.
+// replay path, deliberately bypassing the sharded admission queues: a
+// journal entry already carries its canonical (tick, origin, seq) stamp,
+// and routing it through a queue that re-stamps at the drain would
+// destroy exactly the history being replayed. The entry must be stamped
+// for the engine's current tick (drive the engine tick by tick,
+// submitting each tick's journal slice first). The origin's sequence
+// counter advances past the entry's, so a replayed-then-live session
+// keeps assigning fresh sequence numbers.
 func (e *Engine) SubmitStamped(sc StampedCommand) error {
 	if len(sc.Origin) > MaxOriginLen {
 		return fmt.Errorf("engine: origin longer than %d bytes", MaxOriginLen)
@@ -208,11 +220,11 @@ func (e *Engine) SubmitStamped(sc StampedCommand) error {
 	if sc.Tick != e.tick {
 		return fmt.Errorf("engine: replayed command stamped for tick %d submitted at tick %d", sc.Tick, e.tick)
 	}
-	if len(e.pending) >= MaxPendingCommands {
-		return fmt.Errorf("engine: input buffer full (%d pending, limit %d)", len(e.pending), MaxPendingCommands)
-	}
 	if err := e.validateCommand(&sc.Cmd); err != nil {
 		return fmt.Errorf("engine: replayed command: %w", err)
+	}
+	if err := e.reserve(1); err != nil {
+		return err
 	}
 	if sc.Cmd.Row != nil {
 		sc.Cmd.Row = append([]float64(nil), sc.Cmd.Row...)
@@ -229,16 +241,24 @@ func (e *Engine) SubmitStamped(sc StampedCommand) error {
 }
 
 // Journal returns a copy of the run's input journal: every accepted
-// command with its (tick, origin, sequence) stamp, in acceptance order.
-// Replaying it against a fresh engine of the same (program, initial
-// environment, seed) reproduces this run byte-identically (contract #5).
+// command with its (tick, origin, sequence) stamp, in acceptance order,
+// from the compaction base on (see JournalBase; zero base means complete
+// from genesis). Replaying it against a fresh engine of the same
+// (program, initial environment, seed) — or, when compacted, against the
+// base checkpoint — reproduces this run byte-identically (contract #5).
+// Commands admitted through the sharded queues enter the journal at the
+// next drain boundary (tick or checkpoint), not at admission.
 func (e *Engine) Journal() []StampedCommand {
+	e.inmu.Lock()
+	defer e.inmu.Unlock()
 	return append([]StampedCommand(nil), e.journal...)
 }
 
-// Pending returns a copy of the commands waiting for the next tick
-// boundary.
+// Pending returns a copy of the stamped commands waiting for the next
+// tick boundary.
 func (e *Engine) Pending() []StampedCommand {
+	e.inmu.Lock()
+	defer e.inmu.Unlock()
 	return append([]StampedCommand(nil), e.pending...)
 }
 
@@ -298,7 +318,10 @@ func (e *Engine) validateCommand(c *Command) error {
 			}
 		}
 	case OpTune:
-		if _, ok := e.prog.Consts[c.Col]; !ok {
+		// Checked against the immutable name set, not the live constant
+		// table: OpTune changes values, never names, and the sharded
+		// admission path validates lock-free while ticks retune.
+		if _, ok := e.constNames[c.Col]; !ok {
 			return fmt.Errorf("tune: no game constant %q", c.Col)
 		}
 		if math.IsNaN(c.Val) || math.IsInf(c.Val, 0) {
@@ -389,6 +412,10 @@ func (e *Engine) applyCommands() {
 		}
 		e.Stats.CommandsApplied++
 	}
+	// Release the drained buffer's share of the admission budget (see
+	// Engine.reserve): queued sharded commands kept their reservation
+	// through the stamp, so the window bound held end to end.
+	e.inflight.Add(-int64(len(e.pending)))
 	e.pending = e.pending[:0]
 
 	// Feed the mutations into the incremental-maintenance path.
@@ -416,18 +443,26 @@ func (e *Engine) applyCommands() {
 		e.deltaOK = false
 		e.incSnap = nil
 	} else if w := e.prog.Schema.NumAttrs(); e.opts.Incremental && e.opts.Mode == Indexed && len(e.incSnap) == e.env.Len()*w {
-		//sgl:unordered per-row snapshot sync is independent per row; cmdSetRows is consumed as a set by captureIncremental
+		rows := make([]int, 0, len(setRows))
+		//sgl:unordered row indexes are collected and sorted before use
 		for i := range setRows {
+			rows = append(rows, i)
+		}
+		sort.Ints(rows)
+		for _, i := range rows {
 			copy(e.incSnap[i*w:(i+1)*w], e.env.Rows[i])
-			if e.deltaOK {
-				e.delta.Add(i, ^uint64(0))
-			}
 			// The sync just hid this edit from the tick-end diff: if the
 			// tick leaves the row alone, captureIncremental's fresh delta
 			// would omit it and maintainAnswers would classify answers
 			// reading it as untouched against their pre-command values.
 			// Remember the row so capture can re-add it.
 			e.cmdSetRows = append(e.cmdSetRows, i)
+		}
+		if e.deltaOK {
+			// One sorted merge instead of per-row sorted inserts: a large
+			// command batch (the sharded admission path admits ~10⁵ per
+			// tick) would otherwise cost O(rows²) in Delta.Add shifting.
+			e.delta.AddRows(rows, ^uint64(0))
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/epicscale/sgl/internal/algebra"
 	"github.com/epicscale/sgl/internal/exec"
@@ -121,6 +122,15 @@ type Options struct {
 	// DefaultIncrementalThreshold; negative means rebuild whenever
 	// anything relevant changed; values ≥ 1 always maintain.
 	IncrementalThreshold float64
+	// CompactJournal folds the applied journal prefix into the base after
+	// every tick (see compact.go): the journal — and with it the
+	// checkpoint — stays proportional to the pending window instead of
+	// the run's full input history, and checkpoints record the base tick
+	// (format v3). The world's evolution is untouched; only the replay
+	// window is, which is why this is an operational knob like Workers
+	// (consulted from restore-time tune, never serialized). Replay from
+	// before the base degrades explicitly via *CompactedError.
+	CompactJournal bool
 }
 
 // DefaultIncrementalThreshold is the dirty-fraction fallback cutoff used
@@ -147,9 +157,32 @@ type Engine struct {
 
 	// Command-pipeline state (see command.go): the per-tick input buffer,
 	// the run's input journal, and the per-origin sequence counters.
+	// inmu guards them against the one writer that may run under the
+	// session's READER lock — the pre-checkpoint admission drain — so
+	// concurrent Journal/Pending/Checkpoint readers stay coherent; every
+	// other mutation happens under the session's writer lock.
+	inmu    sync.Mutex
 	pending []StampedCommand
 	journal []StampedCommand
 	seqs    map[string]uint64
+	// journalBase is the compaction base (compact.go): journal entries
+	// stamped before it were folded into the base checkpoint. Guarded by
+	// inmu like the journal itself.
+	journalBase int64
+
+	// Sharded admission state (admission.go): the per-origin queues of
+	// submitted-but-unstamped commands, the atomic (queued + pending)
+	// occupancy the buffer bound is enforced against, and a lock-free
+	// mirror of the tick counter for admission-time acknowledgments.
+	adm      admission
+	inflight atomic.Int64
+	atick    atomic.Int64
+
+	// constNames is the immutable set of tunable constant names, fixed at
+	// construction: OpTune updates values, never the key set, so the
+	// lock-free admission path can validate names without reading the
+	// mutable constant table.
+	constNames map[string]struct{}
 
 	an   *exec.Analyzer
 	plan *algebra.Plan
@@ -266,6 +299,7 @@ func New(prog *sem.Program, game Game, initial *table.Table, opts Options) (*Eng
 		workers: w,
 	}
 	e.fxCols = prog.Schema.EffectCols()
+	e.rebuildConstNames()
 	e.Stats.EffectsByWorker = make([]int, w)
 	plan, err := algebra.Translate(prog)
 	if err != nil {
@@ -313,11 +347,27 @@ func (e *Engine) Source() string { return e.source }
 // constant table (OpTune mutates it); treat the result as read-only.
 func (e *Engine) Program() *sem.Program { return e.prog }
 
+// rebuildConstNames derives the immutable tunable-name set the lock-free
+// admission path validates OpTune against. Called at construction and
+// after a restore adopts the checkpoint's constant table.
+func (e *Engine) rebuildConstNames() {
+	e.constNames = make(map[string]struct{}, len(e.prog.Consts))
+	//sgl:unordered set construction; membership is order-free
+	for k := range e.prog.Consts {
+		e.constNames[k] = struct{}{}
+	}
+}
+
 // Tick advances one clock tick through all phases.
 func (e *Engine) Tick() error {
-	// Drain externally injected commands first: the whole tick — key
-	// index, effect query, index builds — observes the post-command world
-	// (see command.go for the ordering and determinism argument).
+	// Stamp and drain externally injected commands first: queued sharded
+	// admissions get their canonical (tick, origin, seq) stamps, then the
+	// whole tick — key index, effect query, index builds — observes the
+	// post-command world (see admission.go and command.go for the
+	// ordering and determinism argument).
+	e.inmu.Lock()
+	e.drainAdmission()
+	e.inmu.Unlock()
 	e.applyCommands()
 
 	r := e.src.Tick(e.tick)
@@ -385,7 +435,13 @@ func (e *Engine) Tick() error {
 	e.invalidateQueries()
 
 	e.tick++
+	e.atick.Store(e.tick)
 	e.Stats.Ticks++
+	if e.opts.CompactJournal {
+		// Fold the entries this tick just applied into the base: the
+		// journal stays proportional to the pending window.
+		e.Compact()
+	}
 	return nil
 }
 

@@ -10,7 +10,10 @@
 //     spectators run simultaneously (sharing one index build per tick,
 //     see query.go) while Step waits;
 //   - Checkpoint takes the reader lock too — persisting a world does not
-//     block its observers, only its clock.
+//     block its observers, only its clock;
+//   - Submit takes NO session lock at all: it routes through the sharded
+//     per-origin admission queues (admission.go), so N concurrent actors
+//     never contend with each other, with spectators, or with the clock.
 package engine
 
 import (
@@ -199,35 +202,34 @@ func (s *Session) View(fn func(e *Engine)) {
 
 // Checkpoint writes the world's resumable state to w (see
 // Engine.Checkpoint). It runs under the reader lock: concurrent queries
-// proceed, the clock waits.
+// proceed, the clock waits. Queued sharded admissions are stamped and
+// drained into the stream first, so every acknowledged Submit is in the
+// checkpoint it should survive through.
 func (s *Session) Checkpoint(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.e.Checkpoint(w)
 }
 
-// Submit validates and enqueues externally injected commands for the
-// next tick boundary, all-or-nothing (see Engine.Submit). It takes the
-// writer lock — the input buffer and journal are engine state — but only
-// briefly: nothing is applied here, so submitters never wait on a tick
-// and the clock never waits on a slow submitter. Any number of
-// goroutines may call Submit concurrently; the canonical application
-// order (tick, origin, sequence) makes the world independent of how
-// their calls interleave.
+// Submit validates and enqueues externally injected commands,
+// all-or-nothing (see Engine.SubmitSharded). It takes no session lock:
+// admission is sharded per origin, so any number of goroutines submit
+// concurrently — with each other, with spectators, and with a running
+// tick — contending only when two connections share one origin. The
+// commands are stamped in canonical (tick, origin, sequence) order at
+// the next drain boundary (tick or checkpoint), which makes the world —
+// and the checkpoint bytes — independent of how the calls interleaved.
 func (s *Session) Submit(origin string, cmds ...Command) error {
 	_, err := s.SubmitTick(origin, cmds...)
 	return err
 }
 
-// SubmitTick is Submit returning the tick the accepted commands were
-// stamped with (the tick count they will apply after), captured under
-// the same lock acquisition — so an acknowledgment cannot be skewed by
-// a clock tick completing between the enqueue and the read. On error
-// the tick is the current count and nothing was enqueued.
+// SubmitTick is Submit returning the completed tick count at admission —
+// a lower bound on the tick the accepted commands will be stamped with
+// (they apply at the first tick boundary that drains them). On error
+// nothing was enqueued.
 func (s *Session) SubmitTick(origin string, cmds ...Command) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.e.TickCount(), s.e.Submit(origin, cmds...)
+	return s.e.SubmitSharded(origin, cmds...)
 }
 
 // Journal returns a copy of the run's input journal under the reader

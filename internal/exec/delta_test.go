@@ -1,0 +1,53 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// AddRows must be observationally identical to a per-row Add loop — it
+// exists only to replace that loop's O(n) tail-shift per insert with a
+// single merge pass for the bulk command batches the sharded admission
+// path produces.
+func TestDeltaAddRowsMatchesAddLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		var ref, bulk Delta
+		// Seed both with the same random pre-existing dirty set.
+		pre := r.Intn(20)
+		for k := 0; k < pre; k++ {
+			row, mask := r.Intn(60), uint64(1)<<uint(r.Intn(8))
+			ref.Add(row, mask)
+			bulk.Add(row, mask)
+		}
+		// Build a sorted duplicate-free batch, sometimes overlapping the
+		// pre-existing rows, sometimes disjoint, sometimes empty.
+		seen := map[int]bool{}
+		var rows []int
+		for k := r.Intn(25); k > 0; k-- {
+			row := r.Intn(60)
+			if !seen[row] {
+				seen[row] = true
+				rows = append(rows, row)
+			}
+		}
+		sort.Ints(rows)
+		mask := uint64(1) << uint(r.Intn(8))
+
+		for _, row := range rows {
+			ref.Add(row, mask)
+		}
+		bulk.AddRows(rows, mask)
+
+		if len(ref.Dirty) != len(bulk.Dirty) {
+			t.Fatalf("trial %d: %d dirty rows via Add, %d via AddRows", trial, len(ref.Dirty), len(bulk.Dirty))
+		}
+		for i := range ref.Dirty {
+			if ref.Dirty[i] != bulk.Dirty[i] || ref.Masks[i] != bulk.Masks[i] {
+				t.Fatalf("trial %d: entry %d = (%d, %#x) via Add, (%d, %#x) via AddRows",
+					trial, i, ref.Dirty[i], ref.Masks[i], bulk.Dirty[i], bulk.Masks[i])
+			}
+		}
+	}
+}

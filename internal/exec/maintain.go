@@ -77,6 +77,48 @@ func (d *Delta) Add(row int, mask uint64) {
 	d.Dirty[i], d.Masks[i] = row, mask
 }
 
+// AddRows merges a batch of dirty rows, all sharing one mask, in a
+// single pass. rows must be sorted ascending and duplicate-free —
+// exactly what the command pipeline produces at the tick boundary. The
+// merge is O(len(d.Dirty) + len(rows)), where the equivalent Add loop
+// would shift the tail once per new row; at the sharded admission path's
+// command volumes that quadratic cost is the difference between a tick
+// and a stall.
+func (d *Delta) AddRows(rows []int, mask uint64) {
+	if len(rows) == 0 {
+		return
+	}
+	if len(d.Dirty) == 0 {
+		d.Dirty = append(d.Dirty, rows...)
+		for range rows {
+			d.Masks = append(d.Masks, mask)
+		}
+		return
+	}
+	oldDirty, oldMasks := d.Dirty, d.Masks
+	merged := make([]int, 0, len(oldDirty)+len(rows))
+	masks := make([]uint64, 0, len(oldDirty)+len(rows))
+	i, j := 0, 0
+	for i < len(oldDirty) || j < len(rows) {
+		switch {
+		case j >= len(rows) || (i < len(oldDirty) && oldDirty[i] < rows[j]):
+			merged = append(merged, oldDirty[i])
+			masks = append(masks, oldMasks[i])
+			i++
+		case i >= len(oldDirty) || rows[j] < oldDirty[i]:
+			merged = append(merged, rows[j])
+			masks = append(masks, mask)
+			j++
+		default: // same row: union the masks
+			merged = append(merged, oldDirty[i])
+			masks = append(masks, oldMasks[i]|mask)
+			i++
+			j++
+		}
+	}
+	d.Dirty, d.Masks = merged, masks
+}
+
 // MaintainFrom patches the previous tick's index structures to reflect
 // the current environment instead of rebuilding them, definition by
 // definition. For each definition it counts the dirty rows whose changed

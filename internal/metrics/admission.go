@@ -1,0 +1,116 @@
+// The admission experiment: command-injection throughput of the sharded
+// per-origin admission path against the same volume serialized through a
+// single lock, across actor counts. This is the measurement behind the
+// sharded-admission design claim — Submit from N concurrent actors must
+// not contend on the session writer lock — rendered as a table the same
+// way the paper's figures are.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/epicscale/sgl/internal/engine"
+)
+
+// AdmissionRow is one actor count's throughput measurement.
+type AdmissionRow struct {
+	Actors int
+	// ShardedPerSec is commands/second through the per-origin sharded
+	// queues (the Session.Submit path).
+	ShardedPerSec float64
+	// LockedPerSec is commands/second with every actor serialized
+	// through one mutex — the pre-sharding architecture.
+	LockedPerSec float64
+}
+
+// Admission measures concurrent submission throughput at each actor
+// count. Every round, the actors concurrently inject perRound commands
+// between two tick boundaries; only the concurrent injection phase is
+// timed (the tick that applies the batch is the same work either way).
+func (r *Runner) Admission(actorCounts []int, perRound, rounds int) ([]AdmissionRow, error) {
+	const n = 2000
+	rows := make([]AdmissionRow, 0, len(actorCounts))
+	for _, actors := range actorCounts {
+		row := AdmissionRow{Actors: actors}
+		for _, sharded := range []bool{true, false} {
+			e, err := r.newEngine(engine.Indexed, n, 0.01, 42)
+			if err != nil {
+				return nil, err
+			}
+			sess := engine.NewSession(e)
+			var lock sync.Mutex // the serialized variant's single lock
+			var elapsed time.Duration
+			quota := (perRound / actors / 64) * 64 // whole batches per actor
+			if quota == 0 {
+				quota = 64
+			}
+			for round := 0; round < rounds; round++ {
+				var wg sync.WaitGroup
+				errs := make([]error, actors)
+				start := time.Now()
+				for a := 0; a < actors; a++ {
+					wg.Add(1)
+					go func(a int) {
+						defer wg.Done()
+						origin := fmt.Sprintf("actor-%d", a)
+						batch := make([]engine.Command, 64)
+						for sent := 0; sent < quota; sent += len(batch) {
+							for i := range batch {
+								batch[i] = engine.Command{
+									Op:  engine.OpSet,
+									Key: int64((a*perRound + sent + i) % n),
+									Col: "health",
+									Val: float64(round + 1),
+								}
+							}
+							if sharded {
+								errs[a] = sess.Submit(origin, batch...)
+							} else {
+								lock.Lock()
+								errs[a] = e.Submit(origin, batch...)
+								lock.Unlock()
+							}
+							if errs[a] != nil {
+								return
+							}
+						}
+					}(a)
+				}
+				wg.Wait()
+				elapsed += time.Since(start)
+				for _, err := range errs {
+					if err != nil {
+						return nil, err
+					}
+				}
+				if err := sess.Step(1); err != nil { // untimed: drains + applies
+					return nil, err
+				}
+			}
+			total := float64(rounds * quota * actors)
+			perSec := total / elapsed.Seconds()
+			if sharded {
+				row.ShardedPerSec = perSec
+			} else {
+				row.LockedPerSec = perSec
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteAdmission renders the admission table.
+func WriteAdmission(w io.Writer, rows []AdmissionRow) {
+	fmt.Fprintf(w, "%-8s %16s %16s %10s\n", "actors", "sharded cmd/s", "locked cmd/s", "ratio")
+	for _, row := range rows {
+		ratio := 0.0
+		if row.LockedPerSec > 0 {
+			ratio = row.ShardedPerSec / row.LockedPerSec
+		}
+		fmt.Fprintf(w, "%-8d %16.0f %16.0f %9.2fx\n", row.Actors, row.ShardedPerSec, row.LockedPerSec, ratio)
+	}
+}

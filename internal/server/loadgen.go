@@ -63,9 +63,13 @@ type LoadGenConfig struct {
 	Subscribers int
 	// Duration is the measurement window.
 	Duration time.Duration
-	// Workers / Incremental tune each session's engine.
+	// Workers / Incremental tune each session's engine. Compact turns on
+	// end-of-tick journal compaction — the right setting for a long
+	// actor-heavy run, where an uncompacted journal grows with every
+	// injected command.
 	Workers     int
 	Incremental bool
+	Compact     bool
 	// KeepSessions leaves the worlds running after the run (for poking at
 	// /metrics afterwards); default tears them down.
 	KeepSessions bool
@@ -129,7 +133,7 @@ func LoadGen(cfg LoadGenConfig) (rows []metrics.LoadGenRow, err error) {
 			Units:   cfg.Units,
 			Density: cfg.Density,
 			Seed:    cfg.Seed + uint64(i),
-			Workers: cfg.Workers, Incremental: cfg.Incremental,
+			Workers: cfg.Workers, Incremental: cfg.Incremental, Compact: cfg.Compact,
 			TickRate: cfg.TickRate,
 		}
 		if req.TickRate == 0 {

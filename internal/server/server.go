@@ -11,7 +11,8 @@
 //	POST   /v1/sessions/{name}/query        evaluate an observation query
 //	GET    /v1/sessions/{name}/subscribe    push changed answers (SSE)
 //	POST   /v1/sessions/{name}/commands     inject commands (spawn/despawn/set/tune)
-//	GET    /v1/sessions/{name}/journal      download the input journal
+//	GET    /v1/sessions/{name}/journal      download the input journal (?since=N for a suffix)
+//	POST   /v1/sessions/{name}/compact      fold the applied journal into the base
 //	POST   /v1/sessions/{name}/checkpoint   write a checkpoint into the data dir
 //	GET    /v1/sessions/{name}/checkpoint   stream a checkpoint (binary)
 //	GET    /metrics                         Prometheus text exposition
@@ -33,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"github.com/epicscale/sgl/internal/engine"
@@ -68,6 +70,7 @@ func New(reg *Registry, dataDir string) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{name}/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/commands", s.handleCommands)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/journal", s.handleJournal)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/compact", s.handleCompact)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/checkpoint", s.handleCheckpointFile)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/checkpoint", s.handleCheckpointStream)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -106,10 +109,14 @@ type CreateRequest struct {
 	// non-empty Script deliberately overrides the embedded one.
 	Restore string `json:"restore,omitempty"`
 
-	// Per-session determinism-neutral tuning.
+	// Per-session determinism-neutral tuning. Compact folds the applied
+	// journal prefix into the checkpoint base at the end of every tick,
+	// keeping checkpoint size flat under sustained command traffic at
+	// the cost of genesis replay (GET …/journal reports the base).
 	Workers              int     `json:"workers,omitempty"`
 	Incremental          bool    `json:"incremental,omitempty"`
 	IncrementalThreshold float64 `json:"incthreshold,omitempty"`
+	Compact              bool    `json:"compact,omitempty"`
 
 	// TickRate, when nonzero, starts the clock immediately (ticks/second;
 	// negative = uncapped).
@@ -206,8 +213,13 @@ type JournalResponse struct {
 	Name string `json:"name"`
 	// Tick is the world's tick count when the journal was read.
 	Tick int64 `json:"tick"`
-	// Entries is every accepted command with its (tick, origin, seq)
-	// stamp, in acceptance order.
+	// Base is the journal's compaction base: entries stamped before this
+	// tick have been folded into the checkpoint state and are no longer
+	// retrievable. 0 means the journal reaches back to genesis.
+	Base int64 `json:"base"`
+	// Entries is every retained accepted command with its (tick, origin,
+	// seq) stamp, in acceptance order, starting at Base (or at ?since=N
+	// when the client asks for a suffix).
 	Entries []engine.StampedCommand `json:"entries"`
 }
 
@@ -323,6 +335,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Workers:              req.Workers,
 		Incremental:          req.Incremental,
 		IncrementalThreshold: req.IncrementalThreshold,
+		CompactJournal:       req.Compact,
 	}
 
 	var world *World
@@ -635,17 +648,61 @@ func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	// Journal and tick in one View, so the response's tick is exactly the
-	// tick the journal snapshot was taken at.
+	var since int64 = -1 // no ?since= → everything retained, from the base on
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, "since must be a non-negative tick, got %q", raw)
+			return
+		}
+		since = v
+	}
+	// Journal, base and tick in one View, so the response's tick is
+	// exactly the tick the journal snapshot was taken at.
 	resp := JournalResponse{Name: wd.Name}
+	var sinceErr error
 	wd.Session().View(func(e *engine.Engine) {
 		resp.Tick = e.TickCount()
-		resp.Entries = e.Journal()
+		resp.Base = e.JournalBase()
+		if since < 0 {
+			resp.Entries = e.Journal()
+		} else {
+			resp.Entries, sinceErr = e.JournalSince(since)
+		}
 	})
+	var ce *engine.CompactedError
+	if errors.As(sinceErr, &ce) {
+		// The requested prefix has been folded away: 410 Gone, with the
+		// base tick a client can re-request from.
+		writeErr(w, http.StatusGone, "journal before tick %d compacted away; re-request with ?since=%d", ce.BaseTick, ce.BaseTick)
+		return
+	}
+	if sinceErr != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", sinceErr)
+		return
+	}
 	if resp.Entries == nil {
 		resp.Entries = []engine.StampedCommand{} // render [], not null
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// CompactResponse reports a manual compaction's new journal base.
+type CompactResponse struct {
+	Name string `json:"name"`
+	Tick int64  `json:"tick"`
+	// Base is the new compaction base: the journal now starts here.
+	Base int64 `json:"base"`
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	wd, ok := s.world(w, r)
+	if !ok {
+		return
+	}
+	sess := wd.Session()
+	base := sess.Compact()
+	writeJSON(w, http.StatusOK, CompactResponse{Name: wd.Name, Tick: sess.Tick(), Base: base})
 }
 
 func (s *Server) handleCheckpointFile(w http.ResponseWriter, r *http.Request) {

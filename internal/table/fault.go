@@ -1,0 +1,44 @@
+// Fault injection for the crash-window tests: a writer that dies mid-
+// stream at a chosen byte. The atomic-write discipline in this package
+// claims a reader sees either the old complete file or the new complete
+// file; the claim is only worth anything if tests can actually crash a
+// write at every interesting offset, which is what FaultWriter is for.
+package table
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjectedFault is the error a FaultWriter fails with once its byte
+// budget is exhausted.
+var ErrInjectedFault = errors.New("table: injected write fault")
+
+// FaultWriter forwards writes to W until Limit bytes have passed, then
+// fails every subsequent write (including the partial one that crosses
+// the limit, whose in-budget prefix IS forwarded — a real crash tears
+// mid-buffer, not at a friendly boundary) with ErrInjectedFault.
+type FaultWriter struct {
+	W     io.Writer
+	Limit int
+	n     int
+}
+
+// Write forwards p within the remaining budget and fails once it is
+// spent.
+func (f *FaultWriter) Write(p []byte) (int, error) {
+	if f.n >= f.Limit {
+		return 0, ErrInjectedFault
+	}
+	if rem := f.Limit - f.n; len(p) > rem {
+		n, err := f.W.Write(p[:rem])
+		f.n += n
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedFault
+	}
+	n, err := f.W.Write(p)
+	f.n += n
+	return n, err
+}
