@@ -10,6 +10,7 @@
 //	benchfig -experiment fig1                  # expressiveness-tier frontier
 //	benchfig -experiment exec                  # streaming vs materializing executor
 //	benchfig -experiment admission             # sharded vs locked command admission
+//	benchfig -experiment cluster               # gateway scale-out, loadgen over a fleet
 //	benchfig -experiment all -quick            # everything, reduced sizes
 package main
 
@@ -19,12 +20,13 @@ import (
 	"os"
 	"time"
 
+	"github.com/epicscale/sgl/internal/cluster"
 	"github.com/epicscale/sgl/internal/engine"
 	"github.com/epicscale/sgl/internal/metrics"
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig10", "fig10, density, capacity, ticks, fig1, exec, admission, or all")
+	experiment := flag.String("experiment", "fig10", "fig10, density, capacity, ticks, fig1, exec, admission, cluster, or all")
 	quick := flag.Bool("quick", false, "smaller sizes and fewer measured ticks")
 	measure := flag.Int("measure", 0, "override measured ticks per point (0 = default)")
 	flag.Parse()
@@ -50,13 +52,15 @@ func main() {
 			execCompare(r, *quick, *measure)
 		case "admission":
 			admission(r, *quick, *measure)
+		case "cluster":
+			clusterScaleOut(*quick)
 		default:
 			fmt.Fprintf(os.Stderr, "benchfig: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig10", "density", "capacity", "ticks", "fig1", "exec", "admission"} {
+		for _, name := range []string{"fig10", "density", "capacity", "ticks", "fig1", "exec", "admission", "cluster"} {
 			run(name)
 			fmt.Println()
 		}
@@ -185,6 +189,32 @@ func admission(r *metrics.Runner, quick bool, measure int) {
 	fmt.Println("(same commands, same ticks; the delta is the admission path —")
 	fmt.Println(" lock contention plus the out-of-order canonical inserts that")
 	fmt.Println(" interleaved origins force on the serialized path)")
+}
+
+func clusterScaleOut(quick bool) {
+	fmt.Println("=== Cluster scale-out: loadgen through sglgw, constant per-node load ===")
+	cfg := cluster.ExperimentConfig{
+		FleetSizes:    []int{1, 2},
+		WorldsPerNode: 8,
+		Units:         500,
+		Density:       0.01,
+		Seed:          42,
+		TickRate:      10,
+		Spectators:    2,
+		Actors:        1,
+		Duration:      5 * time.Second,
+	}
+	if quick {
+		cfg.WorldsPerNode, cfg.Units, cfg.Duration = 4, 200, 1500*time.Millisecond
+	}
+	rows, err := cluster.Experiment(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	metrics.WriteCluster(os.Stdout, rows)
+	fmt.Println("(worlds scale with the fleet, per-node load is constant; linear")
+	fmt.Println(" ticks/s across rows means the gateway's routing hop is off the")
+	fmt.Println(" critical path and placement actually spreads the sessions)")
 }
 
 func fatal(err error) {

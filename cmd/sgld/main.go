@@ -15,6 +15,15 @@
 //	curl -X POST localhost:7070/v1/sessions \
 //	     -d '{"name":"beta","restore":"alpha.ckpt","workers":4}'
 //
+// Replica mode follows a writer daemon: each listed session is
+// bootstrapped from the writer's checkpoint, kept current by replaying
+// its streamed journal, and served locally for reads (queries, SSE
+// subscriptions, checkpoints — mutations refuse with 409). If the
+// writer compacts past the replica's cursor, the replica re-bootstraps
+// by itself:
+//
+//	sgld -addr :7071 -follow http://writer:7070 -follow-sessions alpha,beta
+//
 // Load-generator mode drives a fleet of worlds with spectator query
 // fan-out — and, with -actors, command-injecting actors exercising the
 // sharded admission path, and with -subscribers, SSE push subscribers
@@ -41,9 +50,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/epicscale/sgl/internal/cluster"
+	"github.com/epicscale/sgl/internal/engine"
 	"github.com/epicscale/sgl/internal/metrics"
 	"github.com/epicscale/sgl/internal/server"
 )
@@ -52,6 +64,12 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":7070", "HTTP listen address")
 		dataDir = flag.String("data", "sgld-data", "checkpoint directory (empty disables file checkpoints)")
+
+		follow     = flag.String("follow", "", "writer base URL to replicate from (replica mode; serves reads only)")
+		followSess = flag.String("follow-sessions", "", "comma-separated writer sessions to replicate (required with -follow)")
+		followWait = flag.Duration("follow-wait", 5*time.Second, "replica journal long-poll park time")
+		followWork = flag.Int("follow-workers", 1, "replica engine workers per followed session")
+		followIncr = flag.Bool("follow-incremental", false, "replica incremental index maintenance per followed session")
 
 		loadgen    = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		base       = flag.String("base", "", "loadgen target base URL (empty = spin up an in-process server)")
@@ -72,7 +90,9 @@ func main() {
 
 	if err := run(runConfig{
 		addr: *addr, dataDir: *dataDir,
-		loadgen: *loadgen, base: *base,
+		follow: *follow, followSessions: *followSess, followWait: *followWait,
+		followTune: engine.Options{Workers: *followWork, Incremental: *followIncr},
+		loadgen:    *loadgen, base: *base,
 		lg: server.LoadGenConfig{
 			Worlds: *worlds, Units: *units, Density: *density, Seed: *seed,
 			TickRate: *tickrate, Spectators: *spectators, Actors: *actors, Subscribers: *subs, Duration: *duration,
@@ -88,6 +108,16 @@ func main() {
 type runConfig struct {
 	addr    string
 	dataDir string
+
+	// Replica mode: follow is the writer's base URL, followSessions the
+	// comma-separated sessions to replicate. The daemon then serves those
+	// worlds read-only (queries, subscriptions, checkpoints), refusing
+	// mutation with 409.
+	follow         string
+	followSessions string
+	followWait     time.Duration
+	followTune     engine.Options
+
 	loadgen bool
 	base    string
 	lg      server.LoadGenConfig
@@ -108,10 +138,43 @@ func run(cfg runConfig, out io.Writer) error {
 }
 
 // serve runs the daemon until SIGINT/SIGTERM, then stops every clock.
+// With -follow it first bootstraps a replica world per followed session
+// (failing fast on a bad writer URL or session name) and keeps each one
+// replaying the writer's journal until shutdown.
 func serve(cfg runConfig, out io.Writer) error {
 	reg := server.NewRegistry()
 	srv := server.New(reg, cfg.dataDir)
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv}
+
+	var followers []*cluster.Follower
+	if cfg.follow != "" {
+		if cfg.followSessions == "" {
+			return fmt.Errorf("-follow needs -follow-sessions")
+		}
+		for _, name := range strings.Split(cfg.followSessions, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			f, err := cluster.StartFollower(cluster.FollowerConfig{
+				Writer: strings.TrimSuffix(cfg.follow, "/"), Session: name,
+				Registry: reg, Tune: cfg.followTune, Wait: cfg.followWait,
+			})
+			if err != nil {
+				for _, started := range followers {
+					started.Stop()
+				}
+				return err
+			}
+			followers = append(followers, f)
+			fmt.Fprintf(out, "sgld: replicating %s from %s (at tick %d)\n", name, cfg.follow, f.World().Session().Tick())
+		}
+		defer func() {
+			for _, f := range followers {
+				f.Stop()
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

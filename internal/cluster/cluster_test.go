@@ -1,0 +1,119 @@
+// Shared fixtures for the cluster tier tests: in-process sgld nodes,
+// a gateway fronting them, and small HTTP helpers mirroring the server
+// package's test idiom.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/epicscale/sgl/internal/server"
+)
+
+// node is one in-process sgld: registry + HTTP server.
+type node struct {
+	ts  *httptest.Server
+	reg *server.Registry
+}
+
+// newNode starts an in-process daemon with a temp data dir.
+func newNode(t *testing.T) *node {
+	t.Helper()
+	reg := server.NewRegistry()
+	ts := httptest.NewServer(server.New(reg, t.TempDir()))
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Close()
+	})
+	return &node{ts: ts, reg: reg}
+}
+
+// newCluster starts n nodes and a gateway fronting them, probed once so
+// placement sees them alive.
+func newCluster(t *testing.T, n int) (*Gateway, *httptest.Server, []*node) {
+	t.Helper()
+	nodes := make([]*node, n)
+	cfg := Config{ProbeEvery: time.Hour} // tests probe explicitly
+	for i := range nodes {
+		nodes[i] = newNode(t)
+		cfg.Nodes = append(cfg.Nodes, Node{Name: fmt.Sprintf("node%d", i), URL: nodes[i].ts.URL})
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	t.Cleanup(g.Close)
+	gw := httptest.NewServer(g)
+	t.Cleanup(gw.Close)
+	return g, gw, nodes
+}
+
+// try performs one JSON request, decoding the response into out when
+// non-nil. Goroutine-safe (no t.Fatal).
+func try(method, url string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s %s response %q: %w", method, url, data, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// do is try with t.Fatal on transport errors.
+func do(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	code, err := try(method, url, body, out)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	return code
+}
+
+// fetchCheckpoint streams a session's checkpoint bytes.
+func fetchCheckpoint(t *testing.T, base, name string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/sessions/" + name + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint %s: status %d", name, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

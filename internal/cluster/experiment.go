@@ -1,0 +1,129 @@
+// The cluster scale-out experiment behind `benchfig -experiment
+// cluster`: spin up an in-process fleet of N sgld nodes behind a
+// gateway, drive the stock load generator through the gateway at a
+// world count proportional to N, and aggregate the per-world rows into
+// one metrics.ClusterRow per fleet size. Near-linear ticks/s across
+// fleet sizes is the claim: placement spreads the worlds and the
+// gateway's proxy hop stays off the critical path.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/epicscale/sgl/internal/metrics"
+	"github.com/epicscale/sgl/internal/server"
+)
+
+// ExperimentConfig sizes one scale-out run.
+type ExperimentConfig struct {
+	// FleetSizes lists the node counts to measure (e.g. {1, 2}). Each
+	// fleet hosts WorldsPerNode × size worlds, so per-node load is
+	// constant — the scale-out question is whether total throughput
+	// follows.
+	FleetSizes []int
+	// WorldsPerNode × Units × Density × TickRate shape the per-world
+	// workload exactly as the sgld load generator does.
+	WorldsPerNode int
+	Units         int
+	Density       float64
+	Seed          uint64
+	TickRate      float64
+	Spectators    int
+	Actors        int
+	Duration      time.Duration
+}
+
+// Experiment measures gateway scale-out for each fleet size.
+func Experiment(cfg ExperimentConfig) ([]metrics.ClusterRow, error) {
+	rows := make([]metrics.ClusterRow, 0, len(cfg.FleetSizes))
+	for _, size := range cfg.FleetSizes {
+		row, err := runFleet(cfg, size)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: fleet of %d: %w", size, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runFleet builds an in-process fleet (nodes + gateway, loopback HTTP),
+// drives the load generator through the gateway, and tears it all down.
+func runFleet(cfg ExperimentConfig, size int) (metrics.ClusterRow, error) {
+	var row metrics.ClusterRow
+	type nodeSrv struct {
+		reg *server.Registry
+		srv *http.Server
+		ln  net.Listener
+	}
+	nodes := make([]nodeSrv, 0, size)
+	defer func() {
+		for _, n := range nodes {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			n.srv.Shutdown(ctx)
+			cancel()
+			n.reg.Close()
+		}
+	}()
+	fleet := make([]Node, 0, size)
+	for i := 0; i < size; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return row, err
+		}
+		reg := server.NewRegistry()
+		srv := &http.Server{Handler: server.New(reg, "")}
+		go srv.Serve(ln)
+		nodes = append(nodes, nodeSrv{reg: reg, srv: srv, ln: ln})
+		fleet = append(fleet, Node{Name: fmt.Sprintf("node%d", i), URL: "http://" + ln.Addr().String()})
+	}
+
+	gw, err := New(Config{Nodes: fleet, ProbeEvery: time.Hour})
+	if err != nil {
+		return row, err
+	}
+	gw.Start()
+	defer gw.Close()
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	gwSrv := &http.Server{Handler: gw}
+	go gwSrv.Serve(gwLn)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		gwSrv.Shutdown(ctx)
+		cancel()
+	}()
+
+	lgRows, err := server.LoadGen(server.LoadGenConfig{
+		BaseURL:    "http://" + gwLn.Addr().String(),
+		Worlds:     cfg.WorldsPerNode * size,
+		Units:      cfg.Units,
+		Density:    cfg.Density,
+		Seed:       cfg.Seed,
+		TickRate:   cfg.TickRate,
+		Spectators: cfg.Spectators,
+		Actors:     cfg.Actors,
+		Duration:   cfg.Duration,
+	})
+	if err != nil {
+		return row, err
+	}
+
+	row.Nodes, row.Worlds = size, cfg.WorldsPerNode*size
+	secs := cfg.Duration.Seconds()
+	for _, r := range lgRows {
+		row.Ticks += r.Ticks
+		row.QPS += r.QPS
+		row.CPS += r.CPS
+		row.Errors += r.Errors + r.CmdErrors
+	}
+	if secs > 0 {
+		row.TicksPerSec = float64(row.Ticks) / secs
+	}
+	return row, nil
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/epicscale/sgl/internal/metrics"
+	"github.com/epicscale/sgl/internal/server"
+)
+
+// TestLoadGenTwoNodesThroughGateway is the scale-out acceptance run:
+// the stock load generator pointed at a gateway over two nodes drives
+// twice the single-node acceptance world count (16 vs the 8 of
+// TestLoadGenEightWorlds) with spectators and actors per world — every
+// world must tick, serve queries and accept commands error-free, and
+// placement must actually use both nodes.
+func TestLoadGenTwoNodesThroughGateway(t *testing.T) {
+	g, gw, nodes := newCluster(t, 2)
+
+	// Under -race everything runs several times slower; a window sized
+	// for the bare build starves the last-created worlds of their first
+	// spectator query on a small machine.
+	window := 1200 * time.Millisecond
+	if raceEnabled {
+		window = 5 * time.Second
+	}
+	rows, err := server.LoadGen(server.LoadGenConfig{
+		BaseURL:    gw.URL,
+		Worlds:     16,
+		Units:      96,
+		Density:    0.02,
+		Seed:       1,
+		TickRate:   10,
+		Spectators: 1,
+		Actors:     1,
+		Duration:   window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	for _, r := range rows {
+		if r.Errors != 0 || r.CmdErrors != 0 {
+			t.Errorf("world %s: %d query errors, %d command errors", r.World, r.Errors, r.CmdErrors)
+		}
+		if r.Ticks <= 0 {
+			t.Errorf("world %s never ticked", r.World)
+		}
+		if r.Queries <= 0 {
+			t.Errorf("world %s served no queries", r.World)
+		}
+	}
+
+	// Placement spread the fleet: both nodes host worlds. (The loadgen
+	// deleted its sessions on teardown, so count placements, not
+	// survivors.)
+	for _, ns := range g.NodeStatuses() {
+		placed := g.Metrics.Counter("sglgw_placements_total", metrics.L("node", ns.Name)).Value()
+		if placed == 0 {
+			t.Errorf("node %s received no placements out of 16 worlds", ns.Name)
+		}
+	}
+	for i, n := range nodes {
+		if got := len(n.reg.List()); got != 0 {
+			t.Errorf("node %d still hosts %d worlds after loadgen teardown", i, got)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Placement is rendezvous (highest-random-weight) hashing: every node
+// scores FNV-1a(node name, session name) and the highest score wins.
+// Each session's preference order is an independent pseudo-random
+// permutation of the fleet, so sessions spread evenly, a dead node's
+// sessions redistribute without moving anyone else's, and the choice is
+// a pure function of the two names — any gateway replica computes the
+// same answer with no coordination. Ties (and only ties) break toward
+// the less-loaded node, then the lexically smaller name, keeping the
+// order total and deterministic.
+
+// rendezvousScore hashes (node, session) into the node's weight for the
+// session. The NUL separator keeps ("ab","c") and ("a","bc") distinct.
+// Raw FNV-1a is NOT enough here: a difference in the first bytes (the
+// node name) persists as a roughly constant multiplicative offset
+// through any shared suffix, so one node would outscore another for
+// nearly every session. The splitmix64 finalizer avalanches the state
+// so per-session winners are actually uniform.
+func rendezvousScore(node, session string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(session))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// place returns the alive nodes in placement-preference order for a
+// session. Empty means no node is alive.
+func (g *Gateway) place(session string) []*nodeState {
+	type scored struct {
+		ns     *nodeState
+		score  uint64
+		worlds int64
+	}
+	alive := make([]scored, 0, len(g.nodes))
+	for _, ns := range g.nodes {
+		if !ns.alive.Load() {
+			continue
+		}
+		alive = append(alive, scored{ns, rendezvousScore(ns.node.Name, session), ns.worlds.Load()})
+	}
+	sort.Slice(alive, func(i, j int) bool {
+		if alive[i].score != alive[j].score {
+			return alive[i].score > alive[j].score
+		}
+		if alive[i].worlds != alive[j].worlds {
+			return alive[i].worlds < alive[j].worlds
+		}
+		return alive[i].ns.node.Name < alive[j].ns.node.Name
+	})
+	out := make([]*nodeState, len(alive))
+	for i, s := range alive {
+		out[i] = s.ns
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in, so
+// wall-clock-sensitive tests can widen their measurement windows —
+// everything runs several times slower under -race, and on a small
+// machine a fixed window can starve late-created worlds.
+const raceEnabled = true

@@ -232,6 +232,18 @@ func (s *Session) SubmitTick(origin string, cmds ...Command) (int64, error) {
 	return s.e.SubmitSharded(origin, cmds...)
 }
 
+// SubmitStamped enqueues one journal entry with its original (tick,
+// origin, seq) stamp under the writer lock — the replay path a follower
+// replica drives (see Engine.SubmitStamped): the entry must be stamped
+// for the session's current tick, so a replayer submits each tick's
+// journal slice and then steps once. Unlike Submit, this serializes
+// against the clock; replay is a single-writer activity by construction.
+func (s *Session) SubmitStamped(sc StampedCommand) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.SubmitStamped(sc)
+}
+
 // Journal returns a copy of the run's input journal under the reader
 // lock (see Engine.Journal).
 func (s *Session) Journal() []StampedCommand {

@@ -27,6 +27,7 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/epicscale/sgl/internal/engine"
@@ -44,6 +45,9 @@ var (
 	ErrExists = errors.New("session already exists")
 	// ErrClockRunning reports an operation that requires a paused clock.
 	ErrClockRunning = errors.New("clock is running")
+	// ErrReplica reports a mutating operation on a follower replica
+	// world, which only its replication loop may advance.
+	ErrReplica = errors.New("replica world is read-only")
 )
 
 // Name rules: both sessions and checkpoint files must be flat path
@@ -145,6 +149,20 @@ type World struct {
 	subsClosed bool
 	subsDone   chan struct{}
 
+	// Tick broadcast: tickCh is closed and replaced after every completed
+	// tick (under tmu), so journal long-polls (GET …/journal?wait=) can
+	// block until the world moves without polling.
+	tmu    sync.Mutex
+	tickCh chan struct{}
+
+	// replica marks a follower world: it is advanced only by its
+	// replication loop (ReplicaAdvance), never by clients — Step,
+	// StartClock, Submit and Compact refuse with ErrReplica. lagTicks is
+	// the last writer-tick minus local-tick gap the loop reported.
+	replica    bool
+	lagTicks   atomic.Int64
+	replicaLag *metrics.Gauge // sgld_replica_lag_ticks{session=…}; nil for primaries
+
 	ticks         *metrics.Counter
 	queriesTotal  *metrics.Counter
 	querySecs     *metrics.Counter
@@ -193,6 +211,10 @@ func (w *World) Warnings() []lint.Diagnostic { return w.warnings }
 // carries, read under the same lock as the enqueue — a running clock
 // cannot skew it.
 func (w *World) SubmitCommands(origin string, cmds []engine.Command) (int64, error) {
+	if w.replica {
+		w.commandErrs.Inc()
+		return 0, fmt.Errorf("server: world %s: %w; submit to the writer", w.Name, ErrReplica)
+	}
 	tick, err := w.sess.SubmitTick(origin, cmds...)
 	if err != nil {
 		w.commandErrs.Inc()
@@ -213,6 +235,10 @@ type Status struct {
 	Deaths   int     `json:"deaths"`
 	Moves    int     `json:"moves"`
 	ClockErr string  `json:"clock_error,omitempty"`
+	// Replica marks a follower world replaying its writer's journal;
+	// LagTicks is the writer-tick gap its replication loop last reported.
+	Replica  bool  `json:"replica,omitempty"`
+	LagTicks int64 `json:"lag_ticks,omitempty"`
 	// Created is when the world was registered (RFC 3339).
 	Created time.Time `json:"created"`
 }
@@ -222,7 +248,7 @@ type Status struct {
 // same between-ticks snapshot (and the session's lock discipline is
 // honored even for reads that happen to be race-free today).
 func (w *World) Status() Status {
-	st := Status{Name: w.Name, Created: w.created}
+	st := Status{Name: w.Name, Created: w.created, Replica: w.replica, LagTicks: w.lagTicks.Load()}
 	w.sess.View(func(e *engine.Engine) {
 		st.Tick = e.TickCount()
 		st.Units = e.Env().Len()
@@ -248,6 +274,9 @@ func (w *World) Status() Status {
 // before/after tick delta would span the other's ticks, double-counting
 // sgld_ticks_total.
 func (w *World) Step(n int) error {
+	if w.replica {
+		return fmt.Errorf("server: world %s: %w; it follows its writer's journal", w.Name, ErrReplica)
+	}
 	w.stepMu.Lock()
 	defer w.stepMu.Unlock()
 	w.mu.Lock()
@@ -281,6 +310,9 @@ func (w *World) Step(n int) error {
 // ticks per second (rate <= 0 runs uncapped). It fails if the clock is
 // already running.
 func (w *World) StartClock(rate float64) error {
+	if w.replica {
+		return fmt.Errorf("server: world %s: %w; its cadence is the writer's", w.Name, ErrReplica)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.deleted {
@@ -442,6 +474,115 @@ const maxCachedQuerySources = 256
 // reader lock: spectators keep querying, the clock waits for the write.
 func (w *World) Checkpoint(wr io.Writer) error { return w.sess.Checkpoint(wr) }
 
+// Replica reports whether this world is a follower replica.
+func (w *World) Replica() bool { return w.replica }
+
+// SetReplicaLag records the writer-tick gap the replication loop last
+// observed; surfaced in Status, /readyz and sgld_replica_lag_ticks.
+func (w *World) SetReplicaLag(lag int64) {
+	w.lagTicks.Store(lag)
+	if w.replicaLag != nil {
+		w.replicaLag.Set(float64(lag))
+	}
+}
+
+// bumpTick broadcasts a completed tick to journal long-polls. Called by
+// notifySubscribers, which runs after every successful Step(1) on the
+// world's single stepping goroutine (clock, synchronous Step, or the
+// replication loop).
+func (w *World) bumpTick() {
+	w.tmu.Lock()
+	close(w.tickCh)
+	w.tickCh = make(chan struct{})
+	w.tmu.Unlock()
+}
+
+// WaitTick blocks until the world's tick count exceeds after, the
+// timeout elapses, or the world is deleted, and reports whether the tick
+// now exceeds after. This is the long-poll primitive behind GET
+// …/journal?since=N&wait=…: a follower replica parks here instead of
+// hammering the endpoint between ticks.
+func (w *World) WaitTick(after int64, timeout time.Duration) bool {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		if w.sess.Tick() > after {
+			return true
+		}
+		w.tmu.Lock()
+		ch := w.tickCh
+		w.tmu.Unlock()
+		// Re-check after capturing the channel: a tick landing in between
+		// closed the channel we now hold, but one landing before the
+		// capture closed its predecessor — only the state answers.
+		if w.sess.Tick() > after {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-w.subsDone:
+			return w.sess.Tick() > after
+		case <-deadline.C:
+			return w.sess.Tick() > after
+		}
+	}
+}
+
+// replicaStamp identifies a journal entry within one tick (the tick is
+// the loop variable in ReplicaAdvance).
+type replicaStamp struct {
+	origin string
+	seq    uint64
+}
+
+// ReplicaAdvance replays journal entries and steps the replica world to
+// the target tick: for each tick t below target it submits the entries
+// stamped t (skipping stamps already pending — the bootstrap checkpoint
+// carries the writer's pending buffer, and the first poll after a
+// recovery re-serves those entries) and steps once, notifying push
+// subscribers exactly as a clock tick would. Entries stamped at or past
+// target are ignored; the writer may still be accepting commands for
+// those ticks, so the caller re-requests them next round (see
+// cluster.Follower). Only the replication loop calls this; it refuses on
+// a non-replica world.
+func (w *World) ReplicaAdvance(target int64, entries []engine.StampedCommand) error {
+	if !w.replica {
+		return fmt.Errorf("server: world %s: ReplicaAdvance on a primary world", w.Name)
+	}
+	w.stepMu.Lock()
+	defer w.stepMu.Unlock()
+	before := w.sess.Tick()
+	defer func() { w.ticks.Add(float64(w.sess.Tick() - before)) }()
+	for {
+		t := w.sess.Tick()
+		if t >= target {
+			return nil
+		}
+		var pending map[replicaStamp]bool
+		for _, sc := range entries {
+			if sc.Tick != t {
+				continue
+			}
+			if pending == nil {
+				pending = map[replicaStamp]bool{}
+				for _, p := range w.sess.Pending() {
+					pending[replicaStamp{p.Origin, p.Seq}] = true
+				}
+			}
+			if pending[replicaStamp{sc.Origin, sc.Seq}] {
+				continue
+			}
+			if err := w.sess.SubmitStamped(sc); err != nil {
+				return fmt.Errorf("server: replica %s: replay tick %d: %w", w.Name, t, err)
+			}
+		}
+		if err := w.sess.Step(1); err != nil {
+			return fmt.Errorf("server: replica %s: step: %w", w.Name, err)
+		}
+		w.notifySubscribers()
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Registry
 
@@ -474,6 +615,7 @@ func NewRegistry() *Registry {
 	r.Metrics.Help("sgld_subscribers", "Live push subscribers, per session.")
 	r.Metrics.Help("sgld_pushes_total", "Answer events pushed to subscribers, per session.")
 	r.Metrics.Help("sgld_push_drops_total", "Answer events dropped on slow subscribers (resynced on the next push), per session.")
+	r.Metrics.Help("sgld_replica_lag_ticks", "Writer-tick gap a follower replica last observed, per session.")
 	// Materialize the unlabeled series eagerly: a fresh daemon must
 	// expose sgld_worlds 0 (not an absent metric that trips no-data
 	// alerts) before the first session ever arrives.
@@ -562,7 +704,7 @@ func (r *Registry) Create(name string, spec WorldSpec) (*World, error) {
 	// The world keeps the engine's canonical source (not the client's
 	// raw text): it is what checkpoints embed, so Script() always equals
 	// what a migration target will run.
-	return r.register(name, engine.NewSession(eng), prog, eng.Source(), spec.TickRate)
+	return r.register(name, engine.NewSession(eng), prog, eng.Source(), spec.TickRate, false)
 }
 
 // Restore builds a world from a checkpoint stream under restore-time
@@ -602,11 +744,29 @@ func (r *Registry) Restore(name string, ck io.Reader, scriptOverride string, tun
 	if !prog.Schema.Equal(game.Schema()) {
 		return nil, fmt.Errorf("server: checkpoint schema %v is not the battle schema this daemon serves", prog.Schema)
 	}
-	w, err := r.register(name, sess, prog, sess.Engine().Source(), tickRate)
+	w, err := r.register(name, sess, prog, sess.Engine().Source(), tickRate, false)
 	if err == nil {
 		r.Metrics.Counter("sgld_restores_total").Inc()
 	}
 	return w, err
+}
+
+// RegisterReplica publishes a follower world over an already-restored
+// session (typically opened from the writer's checkpoint stream). The
+// world serves queries, status, checkpoints and push subscriptions like
+// any other, but refuses every client-side mutation (step, clock,
+// commands, compaction): only the caller's replication loop advances it,
+// through ReplicaAdvance. No clock ever starts on a replica — its
+// cadence is the writer's.
+func (r *Registry) RegisterReplica(name string, sess *engine.Session) (*World, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("server: invalid session name %q", name)
+	}
+	prog := sess.Engine().Program()
+	if !prog.Schema.Equal(game.Schema()) {
+		return nil, fmt.Errorf("server: checkpoint schema %v is not the battle schema this daemon serves", prog.Schema)
+	}
+	return r.register(name, sess, prog, sess.Engine().Source(), 0, true)
 }
 
 // register inserts a built world, failing on duplicate names. Counter
@@ -614,8 +774,8 @@ func (r *Registry) Restore(name string, ck io.Reader, scriptOverride string, tun
 // one registry critical section: nothing can observe (or race) the
 // world between becoming visible and reaching its requested state, so
 // the clock start cannot fail and no rollback path exists.
-func (r *Registry) register(name string, sess *engine.Session, prog *sem.Program, script string, tickRate float64) (*World, error) {
-	w := &World{Name: name, sess: sess, prog: prog, script: script, created: time.Now(), subsDone: make(chan struct{})}
+func (r *Registry) register(name string, sess *engine.Session, prog *sem.Program, script string, tickRate float64, replica bool) (*World, error) {
+	w := &World{Name: name, sess: sess, prog: prog, script: script, created: time.Now(), subsDone: make(chan struct{}), tickCh: make(chan struct{}), replica: replica}
 	// Lint the canonical source once, outside the registry lock. The
 	// program compiled, so every finding is warn-severity; []
 	// (not nil) keeps the create response's warnings field an array.
@@ -634,6 +794,10 @@ func (r *Registry) register(name string, sess *engine.Session, prog *sem.Program
 		return nil, fmt.Errorf("server: session %q: %w", name, ErrExists)
 	}
 	r.attachCounters(w)
+	if replica {
+		w.replicaLag = r.Metrics.Gauge("sgld_replica_lag_ticks", metrics.L("session", name))
+		w.replicaLag.Set(0)
+	}
 	r.worlds[name] = w
 	// Under the registry lock, so concurrent register/Delete cannot
 	// publish the gauge updates out of order and leave it stale.

@@ -11,12 +11,14 @@
 //	POST   /v1/sessions/{name}/query        evaluate an observation query
 //	GET    /v1/sessions/{name}/subscribe    push changed answers (SSE)
 //	POST   /v1/sessions/{name}/commands     inject commands (spawn/despawn/set/tune)
-//	GET    /v1/sessions/{name}/journal      download the input journal (?since=N for a suffix)
+//	GET    /v1/sessions/{name}/journal      download the input journal (?since=N for a suffix, &wait=D to long-poll)
 //	POST   /v1/sessions/{name}/compact      fold the applied journal into the base
 //	POST   /v1/sessions/{name}/checkpoint   write a checkpoint into the data dir
 //	GET    /v1/sessions/{name}/checkpoint   stream a checkpoint (binary)
+//	PUT    /v1/sessions/{name}/checkpoint   create a world from a pushed checkpoint stream (binary body)
 //	GET    /metrics                         Prometheus text exposition
 //	GET    /healthz                         liveness probe
+//	GET    /readyz                          readiness + per-world lag report (cluster signals)
 //
 // Error responses are {"error": "..."} with a 4xx/5xx status. The
 // checkpoint data directory is the daemon's only filesystem surface;
@@ -73,11 +75,13 @@ func New(reg *Registry, dataDir string) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{name}/compact", s.handleCompact)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/checkpoint", s.handleCheckpointFile)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/checkpoint", s.handleCheckpointStream)
+	s.mux.HandleFunc("PUT /v1/sessions/{name}/checkpoint", s.handleCheckpointPut)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
 
@@ -307,6 +311,15 @@ func (s *Server) dataPath(file string) (string, error) {
 // clock (/run), which is stoppable.
 const maxStepTicks = 10_000
 
+// maxJournalWait caps one journal long-poll (GET …/journal?wait=): a
+// paused world must not pin request handlers forever; clients re-poll.
+const maxJournalWait = 30 * time.Second
+
+// maxCheckpointBytes bounds a pushed checkpoint stream (PUT
+// …/checkpoint). Far above any real world (a 1M-unit army checkpoints in
+// the tens of MB), far below an allocation that endangers the daemon.
+const maxCheckpointBytes = 1 << 30
+
 // world resolves the {name} path segment, writing a 404 on miss.
 func (s *Server) world(w http.ResponseWriter, r *http.Request) (*World, bool) {
 	name := r.PathValue("name")
@@ -457,7 +470,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := wd.Step(req.Ticks); err != nil {
-		if errors.Is(err, ErrClockRunning) {
+		if errors.Is(err, ErrClockRunning) || errors.Is(err, ErrReplica) {
 			writeErr(w, http.StatusConflict, "%v", err)
 		} else {
 			writeErr(w, http.StatusInternalServerError, "%v", err)
@@ -608,7 +621,11 @@ func (s *Server) handleCommands(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	tick, err := wd.SubmitCommands(req.Origin, cmds)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		if errors.Is(err, ErrReplica) {
+			writeErr(w, http.StatusConflict, "%v", err)
+		} else {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
 	wd.commandSecs.Add(time.Since(start).Seconds())
@@ -657,6 +674,28 @@ func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
 		}
 		since = v
 	}
+	// ?wait=D long-polls: block until the world's tick exceeds ?since (so
+	// the suffix is non-trivially answerable) or D elapses, whichever is
+	// first. This is the replication transport — a follower parks one
+	// request here per writer tick instead of polling between ticks. Only
+	// meaningful with ?since: an unanchored wait has nothing to wait past.
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		if since < 0 {
+			writeErr(w, http.StatusBadRequest, "wait requires since (the tick to wait past)")
+			return
+		}
+		d, err := time.ParseDuration(raw)
+		if err != nil || d < 0 {
+			writeErr(w, http.StatusBadRequest, "wait must be a non-negative duration, got %q", raw)
+			return
+		}
+		if d > maxJournalWait {
+			d = maxJournalWait
+		}
+		// A timeout (or world deletion) is not an error: the client gets
+		// the current — possibly empty — suffix and re-polls.
+		wd.WaitTick(since, d)
+	}
 	// Journal, base and tick in one View, so the response's tick is
 	// exactly the tick the journal snapshot was taken at.
 	resp := JournalResponse{Name: wd.Name}
@@ -698,6 +737,12 @@ type CompactResponse struct {
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	wd, ok := s.world(w, r)
 	if !ok {
+		return
+	}
+	if wd.Replica() {
+		// A replica's journal base must track the writer's: compacting it
+		// independently would make its ?since= answers diverge.
+		writeErr(w, http.StatusConflict, "server: world %s: %v; its journal base is the writer's", wd.Name, ErrReplica)
 		return
 	}
 	sess := wd.Session()
@@ -789,6 +834,110 @@ func (s *Server) handleCheckpointStream(w http.ResponseWriter, r *http.Request) 
 	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
 	_, _ = w.Write(buf.Bytes())
 	wd.checkpoints.Inc()
+}
+
+// handleCheckpointPut is the push half of live migration: the gateway
+// (or an operator) streams a self-contained checkpoint as the request
+// body and the world comes up here under restore-time tuning — no shared
+// data directory required. Tuning rides in query parameters because the
+// body is the raw binary stream: ?workers, ?incremental, ?incthreshold,
+// ?compact, ?tickrate, ?script (override, normally absent).
+func (s *Server) handleCheckpointPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !ValidName(name) {
+		writeErr(w, http.StatusBadRequest, "invalid session name %q", name)
+		return
+	}
+	q := r.URL.Query()
+	var tune engine.Options
+	var tickRate float64
+	var err error
+	if raw := q.Get("workers"); raw != "" {
+		if tune.Workers, err = strconv.Atoi(raw); err != nil {
+			writeErr(w, http.StatusBadRequest, "workers must be an integer, got %q", raw)
+			return
+		}
+	}
+	if raw := q.Get("incremental"); raw != "" {
+		if tune.Incremental, err = strconv.ParseBool(raw); err != nil {
+			writeErr(w, http.StatusBadRequest, "incremental must be a boolean, got %q", raw)
+			return
+		}
+	}
+	if raw := q.Get("incthreshold"); raw != "" {
+		if tune.IncrementalThreshold, err = strconv.ParseFloat(raw, 64); err != nil {
+			writeErr(w, http.StatusBadRequest, "incthreshold must be a number, got %q", raw)
+			return
+		}
+	}
+	if raw := q.Get("compact"); raw != "" {
+		if tune.CompactJournal, err = strconv.ParseBool(raw); err != nil {
+			writeErr(w, http.StatusBadRequest, "compact must be a boolean, got %q", raw)
+			return
+		}
+	}
+	if raw := q.Get("tickrate"); raw != "" {
+		if tickRate, err = strconv.ParseFloat(raw, 64); err != nil {
+			writeErr(w, http.StatusBadRequest, "tickrate must be a number, got %q", raw)
+			return
+		}
+	}
+	body := http.MaxBytesReader(w, r.Body, maxCheckpointBytes)
+	world, err := s.reg.Restore(name, body, q.Get("script"), tune, tickRate)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrExists):
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	default:
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "checkpoint stream exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateResponse{Status: world.Status(), Warnings: world.Warnings()})
+}
+
+// ReadySession is one world's row in the readiness report: enough for a
+// gateway to weigh load (world count) and a replica supervisor to judge
+// freshness (per-world lag).
+type ReadySession struct {
+	Name     string `json:"name"`
+	Tick     int64  `json:"tick"`
+	Replica  bool   `json:"replica,omitempty"`
+	LagTicks int64  `json:"lag_ticks,omitempty"`
+}
+
+// ReadyResponse is GET /readyz's body. The status is always 200 once the
+// daemon serves HTTP — readiness here means "accepting placements", and
+// the interesting signal is the load/lag content, which the gateway's
+// health prober consumes for least-loaded placement.
+type ReadyResponse struct {
+	Worlds      int            `json:"worlds"`
+	Replicas    int            `json:"replicas"`
+	MaxLagTicks int64          `json:"max_lag_ticks"`
+	Sessions    []ReadySession `json:"sessions"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	statuses := s.reg.List()
+	resp := ReadyResponse{Sessions: make([]ReadySession, 0, len(statuses))}
+	for _, st := range statuses {
+		resp.Worlds++
+		if st.Replica {
+			resp.Replicas++
+			if st.LagTicks > resp.MaxLagTicks {
+				resp.MaxLagTicks = st.LagTicks
+			}
+		}
+		resp.Sessions = append(resp.Sessions, ReadySession{
+			Name: st.Name, Tick: st.Tick, Replica: st.Replica, LagTicks: st.LagTicks,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -186,6 +186,10 @@ func (w *World) closeSubscribers() {
 // still receive one last event into its buffered channel; the handler
 // is gone, so it is simply never read.
 func (w *World) notifySubscribers() {
+	// Every completed tick also wakes journal long-polls (WaitTick):
+	// notifySubscribers is the one per-tick hook every stepping path
+	// (clock, synchronous Step, replica replay) already runs.
+	w.bumpTick()
 	w.submu.Lock()
 	subs := make([]*subscriber, 0, len(w.subs))
 	for sub := range w.subs {
